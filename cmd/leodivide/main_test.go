@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCmd invokes the CLI entry point with a small-scale dataset so the
+// whole command matrix stays fast.
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	full := append([]string{"-scale", "0.05"}, args...)
+	if err := run(full, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestFig1Command(t *testing.T) {
+	out := runCmd(t, "fig1")
+	for _, want := range []string{"Figure 1", "max locations/cell", "# series"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable1Command(t *testing.T) {
+	out := runCmd(t, "table1")
+	for _, want := range []string{"Table 1", "3850", "17.3", "100/20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable2Command(t *testing.T) {
+	out := runCmd(t, "table2")
+	for _, want := range []string{"Table 2", "beamspread", "79287"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 output missing %q", want)
+		}
+	}
+}
+
+func TestTable2Calibrated(t *testing.T) {
+	out := runCmd(t, "-calibrated", "table2")
+	if !strings.Contains(out, "Table 2") {
+		t.Error("calibrated table2 failed")
+	}
+}
+
+func TestFig2Command(t *testing.T) {
+	out := runCmd(t, "fig2")
+	if !strings.Contains(out, "Figure 2") {
+		t.Error("fig2 output missing title")
+	}
+}
+
+func TestFig3Command(t *testing.T) {
+	out := runCmd(t, "fig3")
+	for _, want := range []string{"Figure 3", "additional satellites"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3 output missing %q", want)
+		}
+	}
+}
+
+func TestFig4Command(t *testing.T) {
+	out := runCmd(t, "fig4")
+	for _, want := range []string{"Figure 4", "Starlink Residential", "Lifeline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig4 output missing %q", want)
+		}
+	}
+}
+
+func TestFindingsCommand(t *testing.T) {
+	out := runCmd(t, "findings")
+	for _, want := range []string{"F1:", "F2:", "F3:", "F4:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("findings output missing %q", want)
+		}
+	}
+}
+
+func TestAblateCommand(t *testing.T) {
+	out := runCmd(t, "ablate")
+	for _, want := range []string{"Ablation", "baseline", "all-cells binding"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablate output missing %q", want)
+		}
+	}
+}
+
+func TestGenCommand(t *testing.T) {
+	out := runCmd(t, "gen")
+	if !strings.Contains(out, "cell_id,latitude,longitude,county_fips,unserved_locations") {
+		t.Error("gen output missing cell CSV header")
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 500 {
+		t.Errorf("gen produced only %d lines", lines)
+	}
+}
+
+func TestGenLocationsCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "locs.csv")
+	var buf bytes.Buffer
+	err := run([]string{"-scale", "0.02", "-locations-csv", path, "-locations-scale", "0.01", "gen"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"nonsense"}, &buf); err == nil {
+		t.Error("unknown command should fail")
+	}
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("missing command should fail")
+	}
+}
+
+func TestBadScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "0", "fig1"}, &buf); err == nil {
+		t.Error("scale 0 should fail")
+	}
+}
+
+func TestFleetsCommand(t *testing.T) {
+	out := runCmd(t, "fleets")
+	for _, want := range []string{"Starlink Gen1", "Starlink Gen2", "coverage ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleets output missing %q", want)
+		}
+	}
+}
+
+func TestRefinedCommand(t *testing.T) {
+	out := runCmd(t, "refined")
+	for _, want := range []string{"Refined affordability", "median-only", "Lifeline eligibility"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("refined output missing %q", want)
+		}
+	}
+}
+
+func TestStatesCommand(t *testing.T) {
+	out := runCmd(t, "states")
+	for _, want := range []string{"State report card", "oversub needed", "capacity-stressed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("states output missing %q", want)
+		}
+	}
+}
+
+func TestLatencyCommand(t *testing.T) {
+	out := runCmd(t, "latency")
+	for _, want := range []string{"Latency geometry", "GEO", "Doppler"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("latency output missing %q", want)
+		}
+	}
+}
+
+func TestExportCommand(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "0.02", "-dir", dir, "export"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cells.geojson", "cells.csv", "gateways.geojson"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing export %s: %v", name, err)
+		}
+	}
+}
+
+func TestBusyHourCommand(t *testing.T) {
+	out := runCmd(t, "busyhour")
+	for _, want := range []string{"Busy hour", "peak-to-mean", "per-location throughput"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("busyhour output missing %q", want)
+		}
+	}
+}
+
+func TestEconCommand(t *testing.T) {
+	out := runCmd(t, "econ")
+	for _, want := range []string{"Constellation economics", "capex", "diminishing-returns tail"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("econ output missing %q", want)
+		}
+	}
+}
+
+func TestAllCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	out := runCmd(t, "all")
+	for _, want := range []string{
+		"Figure 1", "Table 1", "Table 2", "Figure 2", "Figure 3",
+		"Figure 4", "F1:", "Simulator cross-check", "Ablation",
+		"Starlink Gen2", "Refined affordability", "Link budget",
+		"State report card", "Latency geometry", "Busy hour",
+		"Constellation economics",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("all output missing %q", want)
+		}
+	}
+}
+
+func TestExportFigureCSVs(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-dir", dir, "export"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig1_cdf.csv", "fig2_grid.csv", "fig3_curves.csv", "fig4_curves.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if len(data) < 100 {
+			t.Errorf("%s implausibly small (%d bytes)", name, len(data))
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Policydesign: how large would a monthly broadband subsidy need to be
+// to close the affordability gap the paper identifies?
+//
+// The paper finds that even with the $9.25 Lifeline subsidy, ~3M
+// un(der)served locations cannot afford Starlink Residential under the
+// 2%-of-income benchmark. This example sweeps subsidy levels and solves
+// for the subsidy required to reach coverage targets — the kind of
+// question a universal-service fund designer would ask.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"leodivide"
+	"leodivide/internal/afford"
+)
+
+func main() {
+	ds, err := leodivide.GenerateDataset(leodivide.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := leodivide.NewModel()
+	in, err := m.AffordabilityInput(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plan := afford.StarlinkResidential()
+	fmt.Printf("plan: %s at $%.0f/month; affordability threshold %.0f%% of monthly income\n\n",
+		plan.Name, plan.MonthlyUSD, 100*m.AffordShare)
+
+	// Sweep subsidy levels, anchored by the two real federal programs:
+	// Lifeline ($9.25, still running) and the lapsed ACP ($30).
+	fmt.Println("monthly subsidy -> locations still unable to afford:")
+	lifeline, acp := afford.Lifeline(), afford.ACP()
+	for _, s := range []afford.Subsidy{
+		{Name: "none", MonthlyUSD: 0}, lifeline, {Name: "candidate", MonthlyUSD: 20},
+		acp, {Name: "candidate", MonthlyUSD: 40}, {Name: "candidate", MonthlyUSD: 50},
+		{Name: "candidate", MonthlyUSD: 60}, {Name: "candidate", MonthlyUSD: 70},
+	} {
+		s := s
+		r := in.Evaluate(plan, &s, m.AffordShare)
+		fmt.Printf("  $%6.2f (%-9s) -> %9.0f locations (%.1f%%)\n",
+			s.MonthlyUSD, s.Name, r.UnaffordableLocations, 100*r.UnaffordableFraction)
+	}
+	fmt.Println()
+
+	// Solve for the subsidy meeting coverage targets.
+	fmt.Println("subsidy required for affordability coverage targets:")
+	for _, target := range []float64{0.50, 0.75, 0.90, 0.95, 0.99, 1.0} {
+		need := in.SubsidyToAfford(plan, m.AffordShare, target)
+		annual := need * 12 * in.TotalLocations() * target
+		fmt.Printf("  %5.1f%% of locations -> $%.2f/month (~$%.1fB/year if all enrolled)\n",
+			100*target, need, annual/1e9)
+	}
+	fmt.Println()
+
+	// Contrast: the terrestrial plans are already affordable nearly
+	// everywhere they exist — the paper's point that the gap is a
+	// price gap, not only a coverage gap.
+	for _, opt := range []afford.Plan{afford.Xfinity300(), afford.SpectrumPremier()} {
+		r := in.Evaluate(opt, nil, m.AffordShare)
+		fmt.Printf("%s at $%.0f/mo: %.4f%% unaffordable without any subsidy\n",
+			opt.Name, opt.MonthlyUSD, 100*r.UnaffordableFraction)
+	}
+}

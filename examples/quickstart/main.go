@@ -1,0 +1,57 @@
+// Quickstart: generate the calibrated national dataset, run the paper's
+// core analysis end-to-end, and print the four findings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"leodivide"
+)
+
+func main() {
+	// The dataset is the synthetic National Broadband Map: ~4.67M
+	// un(der)served locations aggregated into ~27k service cells, with
+	// county median incomes attached.
+	ds, err := leodivide.GenerateDataset(leodivide.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d un(der)served locations in %d service cells\n\n",
+		ds.TotalLocations(), ds.NumCells())
+
+	m := leodivide.NewModel()
+
+	// Table 1: what one satellite can deliver to one cell.
+	t1 := m.Table1(ds)
+	fmt.Printf("single-satellite capacity: %.1f Gbps per cell (%.0f MHz x %.1f b/Hz)\n",
+		t1.MaxCellCapacityGbps, t1.UTDownlinkMHz, t1.SpectralEfficiencyBpsPerHz)
+	fmt.Printf("peak cell: %d locations demanding %.1f Gbps -> %.1f:1 oversubscription for full service\n\n",
+		t1.PeakCellLocations, t1.PeakCellDemandGbps, t1.MaxOversubscription)
+
+	// Table 2: how many satellites universal service takes.
+	t2 := m.Table2(ds)
+	fmt.Println("constellation size by beamspread factor (full service / capped 20:1):")
+	for _, row := range t2.Rows {
+		fmt.Printf("  beamspread %2.0f: %6d / %6d satellites\n",
+			row.Spread, row.FullServiceSats, row.CappedOversubSats)
+	}
+	fmt.Println()
+
+	// The findings.
+	f, err := m.RunFindings(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("F1: %.2f%% of locations servable within a %g:1 oversubscription cap\n",
+		100*f.F1.ServedFractionAtCap, f.F1.MaxOversub)
+	fmt.Printf("F2: %d satellites needed at beamspread 2 vs ~%d deployed today\n",
+		f.F2SatellitesAtSpread2, f.F2CurrentConstellation)
+	if len(f.F3) > 0 {
+		last := f.F3[len(f.F3)-1]
+		fmt.Printf("F3: the last %d servable locations cost %d additional satellites\n",
+			last.LocationsGained, last.AdditionalSatellites)
+	}
+	fmt.Printf("F4: %.1fM locations (%.1f%%) cannot afford Starlink Residential at 2%% of income\n",
+		f.F4Unaffordable/1e6, 100*f.F4UnaffordableFraction)
+}

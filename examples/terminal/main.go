@@ -1,0 +1,80 @@
+// Terminal: what a single user terminal experiences — the "anyone,
+// anywhere" half of the paper's title. For a chosen location, predict
+// satellite passes, visibility statistics under the real first shell,
+// and the link budget / achievable throughput, including the far-north
+// locations where even "anywhere" fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"leodivide/internal/geo"
+	"leodivide/internal/linkbudget"
+	"leodivide/internal/orbit"
+)
+
+func main() {
+	lat := flag.Float64("lat", 35.5, "terminal latitude")
+	lng := flag.Float64("lng", -106.3, "terminal longitude")
+	mask := flag.Float64("mask", 25, "elevation mask in degrees")
+	flag.Parse()
+
+	ground := geo.LatLng{Lat: *lat, Lng: *lng}
+	shell := orbit.StarlinkShell1()
+	fmt.Printf("terminal at %v under a %d-satellite %g° shell (mask %g°)\n\n",
+		ground, shell.Total, shell.InclinationDeg, *mask)
+
+	// Constellation-level visibility.
+	stats, err := shell.GroundCoverage(ground, *mask, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("satellites in view: min %d, mean %.1f, max %d\n",
+		stats.VisibleMin, stats.VisibleMean, stats.VisibleMax)
+	fmt.Printf("epochs with no coverage: %.1f%%\n", 100*stats.OutageFraction)
+	if stats.OutageFraction == 1 {
+		fmt.Println("\nthis location is beyond the shell's coverage — the paper's")
+		fmt.Println("\"anyone, anywhere\" promise already fails here (e.g. northern Alaska).")
+		return
+	}
+	fmt.Printf("mean best elevation: %.1f°\n\n", stats.MeanBestElevationDeg)
+
+	// Single-satellite pass prediction for the first orbit of the
+	// shell's first plane.
+	orbits, err := shell.Orbits()
+	if err != nil {
+		log.Fatal(err)
+	}
+	passes, err := orbits[0].Passes(ground, *mask, 24*3600, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("passes of one satellite over 24h: %d\n", len(passes))
+	for i, p := range passes {
+		if i >= 4 {
+			fmt.Printf("  ... and %d more\n", len(passes)-4)
+			break
+		}
+		fmt.Printf("  t+%6.0fs for %3.0fs, culminating at %4.1f°\n",
+			p.StartSec, p.Duration(), p.MaxElevationDeg)
+	}
+
+	// Link budget at the mean best elevation.
+	budget := linkbudget.StarlinkKuDownlink()
+	el := stats.MeanBestElevationDeg
+	fmt.Printf("\nlink budget at the typical %.0f° elevation:\n", el)
+	for _, line := range budget.Breakdown(el) {
+		fmt.Printf("  %-22s %9.2f %s\n", line.Item, line.Value, line.Unit)
+	}
+	eff, err := budget.MeanEfficiency(*mask)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nelevation-weighted spectral efficiency: %.2f b/Hz (the paper adopts ~4.5)\n", eff)
+	// A beam carries a quarter of the 3,850 MHz UT downlink spectrum.
+	const beamSpectrumMHz = 3850.0 / 4
+	fmt.Printf("a dedicated beam (%.1f MHz of UT spectrum) would deliver ≈%.2f Gbps to this cell (paper's beam: 4.33 Gbps)\n",
+		beamSpectrumMHz, eff*beamSpectrumMHz/1000)
+}

@@ -1,0 +1,3 @@
+module leodivide
+
+go 1.22

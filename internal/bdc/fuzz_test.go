@@ -1,0 +1,78 @@
+package bdc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzzing the CSV decoders: arbitrary input must never panic, and
+// anything that parses must re-encode and re-parse to the same records
+// (a decode/encode/decode fixed point).
+
+func FuzzReadLocationsCSV(f *testing.F) {
+	f.Add("location_id,latitude,longitude,state,county_fips,max_download_mbps,max_upload_mbps,technology\n" +
+		"1,35.5,-106.3,NM,35001,25.00,3.00,dsl\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("location_id,latitude,longitude,state,county_fips,max_download_mbps,max_upload_mbps,technology\n" +
+		"1,999,-106.3,NM,35001,25.00,3.00,dsl\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		locs, err := ReadLocationsCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteLocationsCSV(&buf, locs); err != nil {
+			t.Fatalf("re-encode of parsed input failed: %v", err)
+		}
+		again, err := ReadLocationsCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of re-encoded input failed: %v", err)
+		}
+		if len(again) != len(locs) {
+			t.Fatalf("fixed point violated: %d -> %d records", len(locs), len(again))
+		}
+	})
+}
+
+func FuzzReadProviderCSV(f *testing.F) {
+	f.Add("location_id,provider_id,provider_name,technology,max_download_mbps,max_upload_mbps,low_latency\n" +
+		"1,130077,Windstream,dsl,25.00,3.00,true\n")
+	f.Add("x")
+	f.Fuzz(func(t *testing.T, input string) {
+		records, err := ReadProviderCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteProviderCSV(&buf, records); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := ReadProviderCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again) != len(records) {
+			t.Fatalf("fixed point violated: %d -> %d", len(records), len(again))
+		}
+	})
+}
+
+func FuzzReadCellsCSV(f *testing.F) {
+	f.Add("cell_id,latitude,longitude,county_fips,unserved_locations\n" +
+		"4611686018427387904,35.5,-106.3,35001,100\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		cells, err := ReadCellsCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCellsCSV(&buf, cells); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadCellsCSV(&buf); err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,217 @@
+// Package beams models satellite spot beams: how much capacity a beam
+// delivers to a cell, how beam spreading dilutes it, and how many beams
+// a cell of a given demand requires at a given oversubscription ratio.
+//
+// The beam model is the hinge between raw demand (locations wanting
+// 100/20 Mbps) and constellation geometry (how many cells one satellite
+// can cover), so its arithmetic is kept explicit and unit-annotated.
+package beams
+
+import (
+	"fmt"
+	"math"
+
+	"leodivide/internal/spectrum"
+)
+
+// Config fixes the physical beam parameters for a model run. The zero
+// value is not usable; obtain one from DefaultConfig and adjust.
+type Config struct {
+	// BeamCapacityGbps is the downlink capacity of one spot beam when
+	// dedicated to a single cell.
+	BeamCapacityGbps float64
+	// BeamsPerSatellite is the number of beams a satellite can point at
+	// user-terminal cells.
+	BeamsPerSatellite int
+	// MaxBeamsPerCell caps how many beams may stack on one cell
+	// (spectrum/polarization limit).
+	MaxBeamsPerCell int
+	// DemandPerLocationGbps is the downlink a served location is sold.
+	DemandPerLocationGbps float64
+}
+
+// DefaultConfig returns the paper's beam parameters: 24 UT beams of
+// ~4.325 Gbps, at most 4 stacked per cell, 100 Mbps per location.
+func DefaultConfig() Config {
+	return Config{
+		BeamCapacityGbps:      spectrum.BeamCapacityGbps(),
+		BeamsPerSatellite:     spectrum.UTBeams(),
+		MaxBeamsPerCell:       spectrum.BeamsPerCellLimit,
+		DemandPerLocationGbps: spectrum.FCCDownlinkMbps / 1000.0,
+	}
+}
+
+// Validate reports whether the configuration is coherent.
+func (c Config) Validate() error {
+	if c.BeamCapacityGbps <= 0 {
+		return fmt.Errorf("beams: beam capacity must be positive, got %v", c.BeamCapacityGbps)
+	}
+	if c.BeamsPerSatellite <= 0 {
+		return fmt.Errorf("beams: beams per satellite must be positive, got %d", c.BeamsPerSatellite)
+	}
+	if c.MaxBeamsPerCell <= 0 || c.MaxBeamsPerCell > c.BeamsPerSatellite {
+		return fmt.Errorf("beams: max beams per cell %d out of range (1..%d)",
+			c.MaxBeamsPerCell, c.BeamsPerSatellite)
+	}
+	if c.DemandPerLocationGbps <= 0 {
+		return fmt.Errorf("beams: per-location demand must be positive, got %v", c.DemandPerLocationGbps)
+	}
+	return nil
+}
+
+// MaxCellCapacityGbps is the most capacity one cell can receive
+// (MaxBeamsPerCell dedicated beams).
+func (c Config) MaxCellCapacityGbps() float64 {
+	return c.BeamCapacityGbps * float64(c.MaxBeamsPerCell)
+}
+
+// CellDemandGbps returns the sold downlink demand of a cell with the
+// given number of locations.
+func (c Config) CellDemandGbps(locations int) float64 {
+	return float64(locations) * c.DemandPerLocationGbps
+}
+
+// RequiredOversubscription returns the minimum oversubscription ratio at
+// which the cell's demand fits in the maximum per-cell capacity.
+// A cell with zero locations requires no oversubscription (returns 1).
+func (c Config) RequiredOversubscription(locations int) float64 {
+	if locations <= 0 {
+		return 1
+	}
+	ratio := c.CellDemandGbps(locations) / c.MaxCellCapacityGbps()
+	if ratio < 1 {
+		return 1
+	}
+	return ratio
+}
+
+// BeamsForCell returns the number of dedicated beams needed to serve a
+// cell of the given size at oversubscription ratio oversub, and whether
+// the cell is servable within the per-cell beam cap. Cells with zero
+// locations still need one beam for coverage.
+func (c Config) BeamsForCell(locations int, oversub float64) (beams int, servable bool) {
+	if oversub < 1 {
+		oversub = 1
+	}
+	if locations <= 0 {
+		return 1, true
+	}
+	need := c.CellDemandGbps(locations) / oversub
+	b := int(math.Ceil(need/c.BeamCapacityGbps - 1e-9))
+	if b < 1 {
+		b = 1
+	}
+	if b > c.MaxBeamsPerCell {
+		return c.MaxBeamsPerCell, false
+	}
+	return b, true
+}
+
+// LocationsPerBeam returns the largest number of locations one dedicated
+// beam can serve at oversubscription ratio oversub (865 at 20:1 under
+// the default config).
+func (c Config) LocationsPerBeam(oversub float64) int {
+	if oversub < 1 {
+		oversub = 1
+	}
+	return int(math.Floor(c.BeamCapacityGbps*oversub/c.DemandPerLocationGbps + 1e-9))
+}
+
+// MaxServableLocations returns the largest cell servable within the
+// per-cell beam cap at oversubscription oversub (3,460 at 20:1 under
+// the default config). It is computed from the full per-cell capacity
+// so it agrees exactly with BeamsForCell's servability boundary.
+func (c Config) MaxServableLocations(oversub float64) int {
+	if oversub < 1 {
+		oversub = 1
+	}
+	return int(math.Floor(c.MaxCellCapacityGbps()*oversub/c.DemandPerLocationGbps + 1e-9))
+}
+
+// SpreadCellCapacityGbps returns the per-cell capacity when one beam is
+// spread across spreadFactor cells. Spread factor 1 means a dedicated
+// beam.
+func (c Config) SpreadCellCapacityGbps(spreadFactor float64) float64 {
+	if spreadFactor < 1 {
+		spreadFactor = 1
+	}
+	return c.BeamCapacityGbps / spreadFactor
+}
+
+// MaxLocationsUnderSpread returns the largest cell a single spread beam
+// can serve at oversubscription oversub when the beam covers
+// spreadFactor cells: 43.25·oversub/spread locations under the default
+// config.
+func (c Config) MaxLocationsUnderSpread(oversub, spreadFactor float64) int {
+	if oversub < 1 {
+		oversub = 1
+	}
+	perCell := c.SpreadCellCapacityGbps(spreadFactor)
+	return int(math.Floor(perCell*oversub/c.DemandPerLocationGbps + 1e-9))
+}
+
+// CellsPerSatellite returns how many cells one satellite covers when it
+// dedicates peakBeams beams to the peak-demand cell and spreads each of
+// its remaining beams over spreadFactor cells: 1 + (B−peakBeams)·s.
+func (c Config) CellsPerSatellite(spreadFactor float64, peakBeams int) float64 {
+	if peakBeams < 1 {
+		peakBeams = 1
+	}
+	if peakBeams > c.BeamsPerSatellite {
+		peakBeams = c.BeamsPerSatellite
+	}
+	if spreadFactor < 1 {
+		spreadFactor = 1
+	}
+	return 1 + float64(c.BeamsPerSatellite-peakBeams)*spreadFactor
+}
+
+// GatewayConfig models the backhaul side of the bent-pipe architecture:
+// every bit delivered to user terminals must also cross a
+// satellite-to-gateway link. Starlink satellites carry 4 dedicated
+// gateway beams (the 71-76 GHz band) and can divert their 16 flexible
+// beams to gateway duty; when a fully loaded satellite's user traffic
+// exceeds the dedicated gateway capacity, flexible beams must be
+// diverted, shrinking the beams available for user cells.
+type GatewayConfig struct {
+	// DedicatedGatewayBeams is the count of gateway-only beams.
+	DedicatedGatewayBeams int
+	// GatewayBeamCapacityGbps is the capacity of one dedicated gateway
+	// beam.
+	GatewayBeamCapacityGbps float64
+}
+
+// DefaultGatewayConfig returns the Schedule S gateway budget: 4
+// dedicated beams, each able to reuse the full 5,000 MHz E-band toward
+// a distinct gateway at the paper's 4.5 b/Hz estimate (22.5 Gbps per
+// beam, 90 Gbps per satellite).
+func DefaultGatewayConfig() GatewayConfig {
+	return GatewayConfig{
+		DedicatedGatewayBeams:   spectrum.BeamsPerCellLimit,
+		GatewayBeamCapacityGbps: 5000 * spectrum.SpectralEfficiencyBpsPerHz / 1000,
+	}
+}
+
+// DedicatedGatewayCapacityGbps returns the backhaul capacity available
+// without diverting any flexible beam.
+func (g GatewayConfig) DedicatedGatewayCapacityGbps() float64 {
+	return float64(g.DedicatedGatewayBeams) * g.GatewayBeamCapacityGbps
+}
+
+// EffectiveUTBeams returns the number of beams a fully loaded satellite
+// can actually point at user cells once backhaul balance is enforced:
+// the largest B such that B beams of user traffic fit through the
+// dedicated gateway capacity plus the flexible beams diverted to
+// gateway duty (each diverted beam both removes c_beam of user capacity
+// and adds c_beam of backhaul).
+func (c Config) EffectiveUTBeams(g GatewayConfig) int {
+	total := c.BeamsPerSatellite
+	for b := total; b >= 1; b-- {
+		userGbps := float64(b) * c.BeamCapacityGbps
+		backhaul := g.DedicatedGatewayCapacityGbps() + float64(total-b)*c.BeamCapacityGbps
+		if userGbps <= backhaul+1e-9 {
+			return b
+		}
+	}
+	return 1
+}

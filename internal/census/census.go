@@ -1,0 +1,308 @@
+// Package census is the demographic substrate: county-level median
+// household income in the style of the US Census ACS table S2801/S1901,
+// plus the federal poverty guideline and Lifeline subsidy rules the
+// affordability analysis uses.
+//
+// Real ACS extracts are not shipped; incomes are assigned synthetically
+// but calibrated so the *location-weighted* income distribution over
+// un(der)served locations reproduces the paper's affordability anchors
+// (74.5% of locations below the $72,000 Starlink threshold, ≈64% below
+// the $66,450 Lifeline-adjusted threshold, fewer than 0.01% below the
+// $30,000 Spectrum threshold). See DESIGN.md §1 for the substitution
+// argument.
+package census
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Federal assistance constants (2025 program parameters used by the
+// paper).
+const (
+	// LifelineMonthlySubsidyUSD is the Lifeline program's monthly
+	// broadband subsidy.
+	LifelineMonthlySubsidyUSD = 9.25
+
+	// LifelineEligibilityFPLMultiple is the income cutoff for Lifeline,
+	// as a multiple of the Federal Poverty Level.
+	LifelineEligibilityFPLMultiple = 1.35
+
+	// FederalPovertyLevelBaseUSD and FederalPovertyLevelPerPersonUSD
+	// approximate the 48-state poverty guideline: base + per-person.
+	FederalPovertyLevelBaseUSD      = 10380
+	FederalPovertyLevelPerPersonUSD = 5380
+)
+
+// FederalPovertyLevelUSD returns the poverty guideline for a household
+// of the given size.
+func FederalPovertyLevelUSD(householdSize int) float64 {
+	if householdSize < 1 {
+		householdSize = 1
+	}
+	return FederalPovertyLevelBaseUSD + FederalPovertyLevelPerPersonUSD*float64(householdSize)
+}
+
+// LifelineEligible reports whether a household qualifies for Lifeline on
+// the income test.
+func LifelineEligible(annualIncomeUSD float64, householdSize int) bool {
+	return annualIncomeUSD <= LifelineEligibilityFPLMultiple*FederalPovertyLevelUSD(householdSize)
+}
+
+// QuantileAnchor pins the location-weighted income quantile function at
+// one point.
+type QuantileAnchor struct {
+	Q      float64 // location-weighted quantile in [0, 1]
+	Income float64 // annual household income, USD
+}
+
+// DefaultIncomeAnchors returns the calibration anchors derived from the
+// paper's Figure 4 and Finding 4 (see package comment). Interpolation
+// between anchors is log-linear in income.
+func DefaultIncomeAnchors() []QuantileAnchor {
+	return []QuantileAnchor{
+		{Q: 0.0, Income: 28800},     // Starlink curve reaches zero at 5.0% of income
+		{Q: 0.00008, Income: 30000}, // >99.99% can afford the $50 Spectrum plan
+		{Q: 0.02, Income: 36000},
+		{Q: 0.30, Income: 52000},
+		{Q: 0.642, Income: 66450}, // ≈3.0M locations below the Lifeline threshold
+		{Q: 0.745, Income: 72000}, // 74.5% below the $120 Starlink threshold
+		{Q: 0.90, Income: 89000},
+		{Q: 0.97, Income: 112000},
+		{Q: 1.0, Income: 230000},
+	}
+}
+
+// IncomeQuantile evaluates the anchored quantile function at q,
+// interpolating log-linearly in income between anchors.
+func IncomeQuantile(anchors []QuantileAnchor, q float64) (float64, error) {
+	if len(anchors) < 2 {
+		return 0, fmt.Errorf("census: need at least 2 anchors, got %d", len(anchors))
+	}
+	for i := 1; i < len(anchors); i++ {
+		if anchors[i].Q <= anchors[i-1].Q {
+			return 0, fmt.Errorf("census: anchors not strictly increasing in Q at %d", i)
+		}
+		if anchors[i].Income <= anchors[i-1].Income {
+			return 0, fmt.Errorf("census: anchors not strictly increasing in income at %d", i)
+		}
+	}
+	if q <= anchors[0].Q {
+		return anchors[0].Income, nil
+	}
+	last := anchors[len(anchors)-1]
+	if q >= last.Q {
+		return last.Income, nil
+	}
+	i := sort.Search(len(anchors), func(i int) bool { return anchors[i].Q > q }) - 1
+	a, b := anchors[i], anchors[i+1]
+	t := (q - a.Q) / (b.Q - a.Q)
+	return math.Exp(math.Log(a.Income) + t*(math.Log(b.Income)-math.Log(a.Income))), nil
+}
+
+// CountyIncome is one county's ACS-style record.
+type CountyIncome struct {
+	FIPS                     string
+	StateAbbr                string
+	MedianHouseholdIncomeUSD float64
+	// Weight is the number of un(der)served locations attributed to
+	// the county, carried for weighted statistics.
+	Weight float64
+}
+
+// Table holds per-county incomes keyed by FIPS.
+type Table struct {
+	byFIPS  map[string]CountyIncome
+	ordered []CountyIncome // ascending by income
+}
+
+// NewTable builds a Table from records.
+func NewTable(records []CountyIncome) *Table {
+	t := &Table{byFIPS: make(map[string]CountyIncome, len(records))}
+	t.ordered = make([]CountyIncome, len(records))
+	copy(t.ordered, records)
+	sort.Slice(t.ordered, func(i, j int) bool {
+		if t.ordered[i].MedianHouseholdIncomeUSD != t.ordered[j].MedianHouseholdIncomeUSD {
+			return t.ordered[i].MedianHouseholdIncomeUSD < t.ordered[j].MedianHouseholdIncomeUSD
+		}
+		return t.ordered[i].FIPS < t.ordered[j].FIPS
+	})
+	for _, r := range records {
+		t.byFIPS[r.FIPS] = r
+	}
+	return t
+}
+
+// Lookup returns the county record for a FIPS code.
+func (t *Table) Lookup(fips string) (CountyIncome, bool) {
+	r, ok := t.byFIPS[fips]
+	return r, ok
+}
+
+// Len returns the number of counties in the table.
+func (t *Table) Len() int { return len(t.ordered) }
+
+// Counties returns the records in ascending income order.
+func (t *Table) Counties() []CountyIncome {
+	out := make([]CountyIncome, len(t.ordered))
+	copy(out, t.ordered)
+	return out
+}
+
+// CountyWeight is the input to AssignIncomes: a county and its
+// un(der)served location count.
+type CountyWeight struct {
+	FIPS      string
+	StateAbbr string
+	Weight    float64
+	// PovertyRank orders counties from poorest to richest before income
+	// assignment; callers typically derive it from state-level rural
+	// poverty plus a deterministic per-county jitter.
+	PovertyRank float64
+}
+
+// AssignIncomes distributes incomes over counties so the
+// location-weighted income CDF reproduces the anchored quantile
+// function exactly (up to county granularity): counties are ordered by
+// PovertyRank and each receives the income at its cumulative-weight
+// midpoint quantile.
+func AssignIncomes(weights []CountyWeight, anchors []QuantileAnchor) (*Table, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("census: no county weights")
+	}
+	ws := make([]CountyWeight, len(weights))
+	copy(ws, weights)
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].PovertyRank != ws[j].PovertyRank {
+			return ws[i].PovertyRank < ws[j].PovertyRank
+		}
+		return ws[i].FIPS < ws[j].FIPS
+	})
+	total := 0.0
+	for _, w := range ws {
+		if w.Weight < 0 {
+			return nil, fmt.Errorf("census: negative weight for county %s", w.FIPS)
+		}
+		total += w.Weight
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("census: zero total weight")
+	}
+	records := make([]CountyIncome, 0, len(ws))
+	cum := 0.0
+	for _, w := range ws {
+		mid := (cum + w.Weight/2) / total
+		cum += w.Weight
+		income, err := IncomeQuantile(anchors, mid)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, CountyIncome{
+			FIPS:                     w.FIPS,
+			StateAbbr:                w.StateAbbr,
+			MedianHouseholdIncomeUSD: math.Round(income/50) * 50, // ACS-style rounding
+			Weight:                   w.Weight,
+		})
+	}
+	return NewTable(records), nil
+}
+
+// WeightedFractionBelow returns the location-weight fraction of counties
+// with median income strictly below the threshold.
+func (t *Table) WeightedFractionBelow(incomeUSD float64) float64 {
+	total, below := 0.0, 0.0
+	for _, r := range t.ordered {
+		total += r.Weight
+		if r.MedianHouseholdIncomeUSD < incomeUSD {
+			below += r.Weight
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return below / total
+}
+
+// WeightedCountBelow returns the total location weight in counties with
+// median income strictly below the threshold.
+func (t *Table) WeightedCountBelow(incomeUSD float64) float64 {
+	below := 0.0
+	for _, r := range t.ordered {
+		if r.MedianHouseholdIncomeUSD < incomeUSD {
+			below += r.Weight
+		}
+	}
+	return below
+}
+
+// csvHeader is the ACS-style county income schema.
+var csvHeader = []string{"county_fips", "state", "median_household_income_usd", "unserved_locations"}
+
+// WriteCSV writes the table in the ACS-style schema, ordered by FIPS.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("census: writing header: %w", err)
+	}
+	recs := t.Counties()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].FIPS < recs[j].FIPS })
+	for _, r := range recs {
+		row := []string{
+			r.FIPS,
+			r.StateAbbr,
+			strconv.FormatFloat(r.MedianHouseholdIncomeUSD, 'f', 0, 64),
+			strconv.FormatFloat(r.Weight, 'f', 0, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("census: writing county %s: %w", r.FIPS, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table written by WriteCSV.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("census: reading header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("census: header field %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var recs []CountyIncome
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("census: line %d: %w", line, err)
+		}
+		income, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || income <= 0 {
+			return nil, fmt.Errorf("census: line %d: bad income %q", line, row[2])
+		}
+		weight, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || weight < 0 {
+			return nil, fmt.Errorf("census: line %d: bad weight %q", line, row[3])
+		}
+		recs = append(recs, CountyIncome{
+			FIPS:                     row[0],
+			StateAbbr:                row[1],
+			MedianHouseholdIncomeUSD: income,
+			Weight:                   weight,
+		})
+	}
+	return NewTable(recs), nil
+}

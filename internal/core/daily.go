@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"leodivide/internal/demand"
+	"leodivide/internal/traffic"
+)
+
+// DailyPoint is the served fraction at one UTC hour.
+type DailyPoint struct {
+	UTCHour float64
+	// ServedCellFraction is the fraction of demand cells whose
+	// instantaneous demand fits in their single spread beam at the
+	// oversubscription cap.
+	ServedCellFraction float64
+}
+
+// ServedFractionOverDay ties the diurnal model to the capacity model:
+// at each UTC hour, a cell is served if its instantaneous demand
+// (locations × benchmark × diurnal multiplier at its local hour) fits
+// in one spread beam at the oversubscription cap. The resulting curve
+// shows national service quality sagging as the evening peak sweeps
+// westward across the time zones.
+func (m Model) ServedFractionOverDay(p traffic.DiurnalProfile, cells []demand.Cell,
+	spread, maxOversub float64, steps int) ([]DailyPoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("core: no cells")
+	}
+	if steps < 2 {
+		steps = 24
+	}
+	// A cell is served at multiplier k iff k·L ≤ L1(ρ, s): the diurnal
+	// multiplier effectively scales the cell's location count.
+	limit := float64(m.Beams.MaxLocationsUnderSpread(maxOversub, spread))
+	out := make([]DailyPoint, 0, steps)
+	for s := 0; s < steps; s++ {
+		utc := 24 * float64(s) / float64(steps)
+		served := 0
+		for _, c := range cells {
+			k := traffic.CellDemandAt(p, c, utc)
+			if float64(c.Locations)*k <= limit {
+				served++
+			}
+		}
+		out = append(out, DailyPoint{
+			UTCHour:            utc,
+			ServedCellFraction: float64(served) / float64(len(cells)),
+		})
+	}
+	return out, nil
+}
+
+// DailySummary condenses the daily curve.
+type DailySummary struct {
+	BestFraction, WorstFraction float64
+	WorstUTCHour                float64
+}
+
+// SummarizeDaily extracts the best and worst hours.
+func SummarizeDaily(points []DailyPoint) DailySummary {
+	if len(points) == 0 {
+		return DailySummary{}
+	}
+	out := DailySummary{
+		BestFraction:  points[0].ServedCellFraction,
+		WorstFraction: points[0].ServedCellFraction,
+		WorstUTCHour:  points[0].UTCHour,
+	}
+	for _, pt := range points[1:] {
+		if pt.ServedCellFraction > out.BestFraction {
+			out.BestFraction = pt.ServedCellFraction
+		}
+		if pt.ServedCellFraction < out.WorstFraction {
+			out.WorstFraction = pt.ServedCellFraction
+			out.WorstUTCHour = pt.UTCHour
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"leodivide/internal/constellation"
+	"leodivide/internal/demand"
+	"leodivide/internal/orbit"
+)
+
+// FleetAssessment compares a real multi-shell fleet against the
+// sizing requirement the demand distribution imposes.
+type FleetAssessment struct {
+	FleetName string
+	// TotalSatellites is the fleet's raw satellite count.
+	TotalSatellites int
+	// EquivalentSatellites is the fleet's density at the binding
+	// latitude expressed as the size of a single reference shell with
+	// the model's inclination — the unit the sizing requirement is
+	// stated in.
+	EquivalentSatellites int
+	// BindingLatDeg is the latitude of the binding demand cell.
+	BindingLatDeg float64
+	// Rows give, per beamspread factor, the required constellation and
+	// the fleet's shortfall ratio.
+	Rows []FleetRow
+}
+
+// FleetRow is one beamspread point of a fleet assessment.
+type FleetRow struct {
+	Spread float64
+	// RequiredSatellites is the capped-oversubscription sizing result.
+	RequiredSatellites int
+	// CoverageRatio is equivalent/required: ≥1 means the fleet's
+	// density at the binding latitude suffices at this beamspread.
+	CoverageRatio float64
+}
+
+// AssessFleet evaluates whether a fleet's satellite density at the
+// binding demand cell meets the capped-oversubscription sizing
+// requirement across beamspread factors.
+func (m Model) AssessFleet(d *demand.Distribution, fleet constellation.Fleet,
+	spreads []float64, maxOversub float64) (FleetAssessment, error) {
+	if err := fleet.Validate(); err != nil {
+		return FleetAssessment{}, err
+	}
+	ref := orbit.Walker{
+		AltitudeKm:     orbit.StarlinkAltitudeKm,
+		InclinationDeg: m.InclinationDeg,
+		Total:          1, // density factor is per satellite
+		Planes:         1,
+	}
+	// Binding latitude from the capped scenario at the first spread
+	// (the binding cell is spread-independent in peak-only mode).
+	first := m.Size(d, CappedOversub, spreads[0], maxOversub)
+	lat := first.BindingCell.Center.Lat
+	equiv := fleet.EquivalentSingleShellSatellites(ref, lat)
+	out := FleetAssessment{
+		FleetName:            fleet.Name,
+		TotalSatellites:      fleet.TotalSatellites(),
+		EquivalentSatellites: equiv,
+		BindingLatDeg:        lat,
+	}
+	for _, s := range spreads {
+		req := m.Size(d, CappedOversub, s, maxOversub).Satellites
+		out.Rows = append(out.Rows, FleetRow{
+			Spread:             s,
+			RequiredSatellites: req,
+			CoverageRatio:      float64(equiv) / float64(req),
+		})
+	}
+	return out, nil
+}

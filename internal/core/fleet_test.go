@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"leodivide/internal/constellation"
+)
+
+func TestAssessFleet(t *testing.T) {
+	m := NewModel()
+	d := paperDist(t)
+	spreads := []float64{2, 10, 15}
+
+	gen1, err := m.AssessFleet(d, constellation.StarlinkGen1(), spreads, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen1.TotalSatellites != 4408 {
+		t.Errorf("Gen1 total = %d", gen1.TotalSatellites)
+	}
+	if gen1.EquivalentSatellites <= 0 {
+		t.Errorf("Gen1 equivalent = %d", gen1.EquivalentSatellites)
+	}
+	if len(gen1.Rows) != 3 {
+		t.Fatalf("got %d rows", len(gen1.Rows))
+	}
+	// Gen1 cannot meet the requirement at low beamspread.
+	if gen1.Rows[0].CoverageRatio >= 1 {
+		t.Errorf("Gen1 covers beamspread 2?! ratio=%v", gen1.Rows[0].CoverageRatio)
+	}
+	// Coverage ratio improves with beamspread.
+	for i := 1; i < len(gen1.Rows); i++ {
+		if gen1.Rows[i].CoverageRatio <= gen1.Rows[i-1].CoverageRatio {
+			t.Error("coverage ratio not improving with beamspread")
+		}
+	}
+
+	gen2, err := m.AssessFleet(d, constellation.StarlinkGen2(), spreads, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gen2's density at the binding latitude far exceeds Gen1's.
+	if gen2.EquivalentSatellites <= gen1.EquivalentSatellites {
+		t.Errorf("Gen2 equivalent (%d) should exceed Gen1 (%d)",
+			gen2.EquivalentSatellites, gen1.EquivalentSatellites)
+	}
+
+	// Invalid fleet errors.
+	if _, err := m.AssessFleet(d, constellation.Fleet{Name: "x"}, spreads, 20); err == nil {
+		t.Error("invalid fleet should fail")
+	}
+}

@@ -1,0 +1,438 @@
+// Package core implements the paper's analytical capacity model: the
+// single-satellite capacity budget (Table 1), the peak-demand-driven
+// constellation sizing rule (P2, Table 2), the beamspread ×
+// oversubscription service-fraction surface (Figure 2), and the
+// diminishing-returns sweep over the demand long tail (Figure 3).
+//
+// The model's chain of reasoning:
+//
+//  1. Spectrum fixes a maximum per-cell capacity (≈17.3 Gbps via 4
+//     beams); the FCC benchmark fixes per-location demand (100 Mbps).
+//  2. The densest cell therefore fixes the minimum oversubscription for
+//     full service, and — via the number of beams the satellite above
+//     it must dedicate — how many cells that satellite can still cover.
+//  3. Continuous coverage converts the required satellite density at the
+//     peak cell's latitude into a total constellation size using the
+//     Walker-shell latitude density profile.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"leodivide/internal/beams"
+	"leodivide/internal/demand"
+	"leodivide/internal/geo"
+	"leodivide/internal/hexgrid"
+	"leodivide/internal/orbit"
+	"leodivide/internal/spectrum"
+)
+
+// BindingMode selects which cells may determine the constellation size.
+type BindingMode int
+
+const (
+	// BindPeakOnly reproduces the paper's lower bound: only the cells
+	// requiring the maximum beam count bind, and among them the one at
+	// the least-dense latitude.
+	BindPeakOnly BindingMode = iota
+	// BindAllCells is the tighter extension: every demand cell imposes
+	// a density constraint (a 1-beam cell at a sparse low latitude can
+	// out-bind a 4-beam cell at a dense mid latitude).
+	BindAllCells
+)
+
+// String names the binding mode.
+func (b BindingMode) String() string {
+	switch b {
+	case BindPeakOnly:
+		return "peak-only"
+	case BindAllCells:
+		return "all-cells"
+	default:
+		return fmt.Sprintf("BindingMode(%d)", int(b))
+	}
+}
+
+// Model carries the fixed parameters of a capacity analysis. Obtain a
+// paper-default instance from NewModel and adjust fields for ablations.
+type Model struct {
+	// Beams is the satellite beam/spectrum configuration.
+	Beams beams.Config
+	// InclinationDeg is the shell inclination used for the latitude
+	// density profile.
+	InclinationDeg float64
+	// CellAreaKm2 is the service-cell area.
+	CellAreaKm2 float64
+	// Binding selects the sizing constraint set.
+	Binding BindingMode
+	// CalibratedEffectiveCells, when positive, pins the effective
+	// global cell count at CalibrationLatDeg to the paper's fitted
+	// value (≈1.665e6) instead of deriving it from CellAreaKm2 and the
+	// shell geometry. Other latitudes scale by the density profile.
+	CalibratedEffectiveCells float64
+	// CalibrationLatDeg is the reference latitude for the calibrated
+	// effective cell count.
+	CalibrationLatDeg float64
+}
+
+// PaperEffectiveCells is the effective global cell count implied by the
+// paper's Table 2 (N·(1+20s) is constant at ≈1,665,027 across all five
+// beamspread rows of the full-service column).
+const PaperEffectiveCells = 1665027
+
+// NewModel returns the model with the paper's parameters: Starlink beam
+// budget, 53° shell, resolution-5 cell area, geometric effective cells,
+// peak-only binding.
+func NewModel() Model {
+	return Model{
+		Beams:             beams.DefaultConfig(),
+		InclinationDeg:    orbit.StarlinkInclinationDeg,
+		CellAreaKm2:       hexgrid.Resolution(5).AvgCellAreaKm2(),
+		Binding:           BindPeakOnly,
+		CalibrationLatDeg: 34.8,
+	}
+}
+
+// Calibrated returns a copy of the model with the effective cell count
+// pinned to the paper's fitted value.
+func (m Model) Calibrated() Model {
+	m.CalibratedEffectiveCells = PaperEffectiveCells
+	return m
+}
+
+// EffectiveCells returns the effective number of cells the constellation
+// must cover, given that the binding constraint sits at latDeg: the
+// Earth's cell count divided by the shell's density enhancement there.
+func (m Model) EffectiveCells(latDeg float64) float64 {
+	f := orbit.DensityFactor(m.InclinationDeg, latDeg)
+	if m.CalibratedEffectiveCells > 0 {
+		fRef := orbit.DensityFactor(m.InclinationDeg, m.CalibrationLatDeg)
+		return m.CalibratedEffectiveCells * fRef / f
+	}
+	return geo.EarthAreaKm2 / (m.CellAreaKm2 * f)
+}
+
+// ConstellationSize returns the satellites required when the binding
+// cell at latDeg needs peakBeams dedicated beams and all other beams
+// spread over spreadFactor cells.
+func (m Model) ConstellationSize(spreadFactor float64, peakBeams int, latDeg float64) int {
+	cellsPerSat := m.Beams.CellsPerSatellite(spreadFactor, peakBeams)
+	return int(math.Ceil(m.EffectiveCells(latDeg) / cellsPerSat))
+}
+
+// CapacityTable reproduces the paper's Table 1: the single-satellite
+// capacity model applied to the peak-demand cell.
+type CapacityTable struct {
+	UTDownlinkMHz              float64
+	SpectralEfficiencyBpsPerHz float64
+	MaxCellCapacityGbps        float64
+	PeakCellLocations          int
+	FCCDownMbps, FCCUpMbps     float64
+	PeakCellDemandGbps         float64
+	MaxOversubscription        float64
+}
+
+// Capacity evaluates the Table 1 quantities against the dataset's peak
+// cell.
+func (m Model) Capacity(d *demand.Distribution) CapacityTable {
+	peak := d.Peak()
+	demandGbps := m.Beams.CellDemandGbps(peak.Locations)
+	return CapacityTable{
+		UTDownlinkMHz:              spectrum.UTDownlinkMHz(),
+		SpectralEfficiencyBpsPerHz: spectrum.SpectralEfficiencyBpsPerHz,
+		MaxCellCapacityGbps:        m.Beams.MaxCellCapacityGbps(),
+		PeakCellLocations:          peak.Locations,
+		FCCDownMbps:                spectrum.FCCDownlinkMbps,
+		FCCUpMbps:                  spectrum.FCCUplinkMbps,
+		PeakCellDemandGbps:         demandGbps,
+		MaxOversubscription:        m.Beams.RequiredOversubscription(peak.Locations),
+	}
+}
+
+// OversubAnalysis reproduces Finding 1: what oversubscription full
+// service requires, and what a regulator-acceptable cap leaves behind.
+type OversubAnalysis struct {
+	// MaxOversub is the cap analysed (20:1 in the paper).
+	MaxOversub float64
+	// RequiredOversub is the oversubscription full service of the peak
+	// cell demands (~35:1).
+	RequiredOversub float64
+	// CapLocations is the largest servable cell at the cap (3,460).
+	CapLocations int
+	// CellsAboveCap counts cells denser than the cap (5).
+	CellsAboveCap int
+	// LocationsInCellsAboveCap counts locations living in those cells
+	// (22,428): all of them see >cap oversubscription if fully served.
+	LocationsInCellsAboveCap int
+	// ExcessLocations counts locations beyond the per-cell cap (5,128):
+	// the locations that cannot be served at all within the cap.
+	ExcessLocations int
+	// ServedFractionAtCap is the fraction of all locations servable at
+	// the cap (99.89%).
+	ServedFractionAtCap float64
+	// TotalLocations is the dataset total.
+	TotalLocations int
+}
+
+// Oversubscription analyses the dataset against an oversubscription cap.
+func (m Model) Oversubscription(d *demand.Distribution, maxOversub float64) OversubAnalysis {
+	capLoc := m.Beams.MaxServableLocations(maxOversub)
+	return OversubAnalysis{
+		MaxOversub:               maxOversub,
+		RequiredOversub:          m.Beams.RequiredOversubscription(d.Peak().Locations),
+		CapLocations:             capLoc,
+		CellsAboveCap:            d.CellsAbove(capLoc),
+		LocationsInCellsAboveCap: d.LocationsInCellsAbove(capLoc),
+		ExcessLocations:          d.ExcessAbove(capLoc),
+		ServedFractionAtCap:      d.ServedFractionWithCap(capLoc),
+		TotalLocations:           d.TotalLocations(),
+	}
+}
+
+// Scenario selects a deployment strategy for sizing.
+type Scenario int
+
+const (
+	// FullService serves every location, letting the peak cell's
+	// oversubscription float as high as needed (~35:1).
+	FullService Scenario = iota
+	// CappedOversub serves at most the oversubscription cap per cell,
+	// leaving the excess locations in the densest cells unserved.
+	CappedOversub
+)
+
+// String names the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case FullService:
+		return "full service"
+	case CappedOversub:
+		return "capped oversubscription"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// SizingResult is the constellation size required for one scenario and
+// beamspread.
+type SizingResult struct {
+	Scenario    Scenario
+	Spread      float64
+	Oversub     float64 // the oversubscription in force
+	PeakBeams   int     // beams dedicated to the binding cell
+	BindingCell demand.Cell
+	Satellites  int
+	// UnservedLocations counts locations left out (0 for FullService).
+	UnservedLocations int
+}
+
+// Size computes the constellation required for a scenario at a
+// beamspread factor. maxOversub only applies to CappedOversub.
+func (m Model) Size(d *demand.Distribution, sc Scenario, spread, maxOversub float64) SizingResult {
+	var oversub float64
+	var unserved int
+	switch sc {
+	case FullService:
+		oversub = m.Beams.RequiredOversubscription(d.Peak().Locations)
+	case CappedOversub:
+		oversub = maxOversub
+		unserved = d.ExcessAbove(m.Beams.MaxServableLocations(maxOversub))
+	}
+	capLoc := m.Beams.MaxServableLocations(oversub)
+	res := m.sizeWithCap(d, spread, oversub, capLoc)
+	res.Scenario = sc
+	res.UnservedLocations = unserved
+	return res
+}
+
+// sizeWithCap sizes the constellation when every cell is served up to
+// capLoc locations at the given oversubscription.
+func (m Model) sizeWithCap(d *demand.Distribution, spread, oversub float64, capLoc int) SizingResult {
+	maxBeams := 0
+	var bindingBeams demand.Cell
+	bindingBeamsF := math.Inf(1)
+	bestN := 0
+	var bindingAll demand.Cell
+	bindingAllBeams := 0
+	for _, c := range d.Cells() {
+		served := c.Locations
+		if served > capLoc {
+			served = capLoc
+		}
+		b, _ := m.Beams.BeamsForCell(served, oversub)
+		f := orbit.DensityFactor(m.InclinationDeg, c.Center.Lat)
+		switch {
+		case b > maxBeams, b == maxBeams && f < bindingBeamsF:
+			if b > maxBeams {
+				maxBeams = b
+				bindingBeamsF = math.Inf(1)
+			}
+			if f < bindingBeamsF {
+				bindingBeamsF = f
+				bindingBeams = c
+			}
+		}
+		if m.Binding == BindAllCells {
+			n := m.ConstellationSize(spread, b, c.Center.Lat)
+			if n > bestN {
+				bestN = n
+				bindingAll = c
+				bindingAllBeams = b
+			}
+		}
+	}
+	if m.Binding == BindAllCells {
+		return SizingResult{
+			Spread:      spread,
+			Oversub:     oversub,
+			PeakBeams:   bindingAllBeams,
+			BindingCell: bindingAll,
+			Satellites:  bestN,
+		}
+	}
+	return SizingResult{
+		Spread:      spread,
+		Oversub:     oversub,
+		PeakBeams:   maxBeams,
+		BindingCell: bindingBeams,
+		Satellites:  m.ConstellationSize(spread, maxBeams, bindingBeams.Center.Lat),
+	}
+}
+
+// SizeRow pairs the two scenarios of the paper's Table 2 at one
+// beamspread factor.
+type SizeRow struct {
+	Spread               float64
+	FullServiceSats      int
+	CappedOversubSats    int
+	FullServiceBinding   demand.Cell
+	CappedOversubBinding demand.Cell
+}
+
+// SizeTable reproduces Table 2: constellation sizes for both scenarios
+// across beamspread factors.
+func (m Model) SizeTable(d *demand.Distribution, spreads []float64, maxOversub float64) []SizeRow {
+	out := make([]SizeRow, 0, len(spreads))
+	for _, s := range spreads {
+		full := m.Size(d, FullService, s, 0)
+		capped := m.Size(d, CappedOversub, s, maxOversub)
+		out = append(out, SizeRow{
+			Spread:               s,
+			FullServiceSats:      full.Satellites,
+			CappedOversubSats:    capped.Satellites,
+			FullServiceBinding:   full.BindingCell,
+			CappedOversubBinding: capped.BindingCell,
+		})
+	}
+	return out
+}
+
+// ServedFractionGrid reproduces Figure 2: for each (beamspread,
+// oversubscription) pair, the fraction of US demand cells servable.
+// With multiBeam false (the paper's current-constellation reading),
+// each cell gets a single s-way-spread beam; with multiBeam true, up to
+// the per-cell beam cap of s-way-spread beams.
+func (m Model) ServedFractionGrid(d *demand.Distribution, spreads, oversubs []float64, multiBeam bool) [][]float64 {
+	out := make([][]float64, len(spreads))
+	for i, s := range spreads {
+		row := make([]float64, len(oversubs))
+		for j, o := range oversubs {
+			maxLoc := m.Beams.MaxLocationsUnderSpread(o, s)
+			if multiBeam {
+				maxLoc *= m.Beams.MaxBeamsPerCell
+			}
+			row[j] = d.FractionOfCellsAtMost(maxLoc)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// ReturnsPoint is one point of the Figure-3 diminishing-returns curve.
+type ReturnsPoint struct {
+	// CapLocations is the per-cell service cap producing the point.
+	CapLocations int
+	// UnservedLocations is the x-axis: locations left unserved.
+	UnservedLocations int
+	// Satellites is the constellation size required.
+	Satellites int
+	// PeakBeams is the binding cell's beam requirement.
+	PeakBeams int
+}
+
+// DiminishingReturns reproduces Figure 3 for one beamspread factor at a
+// fixed oversubscription: sweeping the per-cell service cap from the
+// single-beam limit up to the oversubscription limit, it returns the
+// (unserved locations, constellation size) trade-off in the direction
+// of serving more locations. The curve is stepped: satellites jump only
+// when the cap crosses a per-beam boundary and pins another beam on the
+// binding cell.
+func (m Model) DiminishingReturns(d *demand.Distribution, spread, oversub float64) []ReturnsPoint {
+	hardCap := m.Beams.MaxServableLocations(oversub)
+	perBeam := m.Beams.LocationsPerBeam(oversub)
+
+	// The paper's narrative sizes every point of the sweep against the
+	// same peak cell, with only its beam requirement changing as the cap
+	// falls through per-beam boundaries. Fix the binding latitude from
+	// the full-cap sizing and precompute the per-band sizes.
+	maxBand := m.Beams.MaxBeamsPerCell
+	bandSats := make([]int, maxBand+1) // indexed by beams
+	if m.Binding == BindPeakOnly {
+		bindLat := m.sizeWithCap(d, spread, oversub, hardCap).BindingCell.Center.Lat
+		for b := 1; b <= maxBand; b++ {
+			bandSats[b] = m.ConstellationSize(spread, b, bindLat)
+		}
+	}
+
+	var out []ReturnsPoint
+	lastUnserved, lastSats := -1, -1
+	for t := perBeam; t <= hardCap; t++ {
+		unserved := d.ExcessAbove(t)
+		b, _ := m.Beams.BeamsForCell(t, oversub)
+		var sats int
+		if m.Binding == BindPeakOnly {
+			sats = bandSats[b]
+		} else {
+			sats = m.sizeWithCap(d, spread, oversub, t).Satellites
+		}
+		if unserved == lastUnserved && sats == lastSats {
+			continue
+		}
+		out = append(out, ReturnsPoint{
+			CapLocations:      t,
+			UnservedLocations: unserved,
+			Satellites:        sats,
+			PeakBeams:         b,
+		})
+		lastUnserved, lastSats = unserved, sats
+	}
+	return out
+}
+
+// StepCost summarizes one step of the diminishing-returns curve: how
+// many additional satellites the next tranche of locations costs.
+type StepCost struct {
+	FromUnserved, ToUnserved int
+	LocationsGained          int
+	AdditionalSatellites     int
+}
+
+// StepCosts extracts the satellite cost of each step of a
+// diminishing-returns curve (the paper's Figure 3 annotations).
+func StepCosts(points []ReturnsPoint) []StepCost {
+	var out []StepCost
+	for i := 1; i < len(points); i++ {
+		prev, cur := points[i-1], points[i]
+		if cur.Satellites == prev.Satellites {
+			continue
+		}
+		out = append(out, StepCost{
+			FromUnserved:         prev.UnservedLocations,
+			ToUnserved:           cur.UnservedLocations,
+			LocationsGained:      prev.UnservedLocations - cur.UnservedLocations,
+			AdditionalSatellites: cur.Satellites - prev.Satellites,
+		})
+	}
+	return out
+}

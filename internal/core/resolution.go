@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"leodivide/internal/demand"
+	"leodivide/internal/hexgrid"
+)
+
+// The paper notes (§2.1) that "the 'peak demand' of a constellation's
+// user base varies depending on the size of the geographical area into
+// which users are grouped". This file quantifies that: re-aggregate
+// the demand cells at a coarser grid resolution and watch the peak
+// cell, the required oversubscription and the unservable tail move.
+
+// ResolutionPoint is the capacity picture at one grid resolution.
+type ResolutionPoint struct {
+	Resolution hexgrid.Resolution
+	// AvgCellAreaKm2 is the cell size at this resolution.
+	AvgCellAreaKm2 float64
+	// Cells is the demand-cell count after re-aggregation.
+	Cells int
+	// PeakLocations is the densest cell.
+	PeakLocations int
+	// RequiredOversub is the full-service oversubscription the peak
+	// forces (per-cell capacity is resolution-independent: it is set by
+	// spectrum, not geography).
+	RequiredOversub float64
+	// ExcessAt20 is the unservable location count at the 20:1 cap.
+	ExcessAt20 int
+}
+
+// ResolutionSensitivity re-aggregates cells at each requested coarser
+// resolution (via geometric parents) and reports the capacity picture.
+// The input cells' own resolution is included as the first point.
+func (m Model) ResolutionSensitivity(cells []demand.Cell, coarser ...hexgrid.Resolution) ([]ResolutionPoint, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("core: no cells")
+	}
+	baseRes := cells[0].ID.Resolution()
+	evaluate := func(cs []demand.Cell, res hexgrid.Resolution) (ResolutionPoint, error) {
+		dist, err := demand.NewDistribution(cs)
+		if err != nil {
+			return ResolutionPoint{}, err
+		}
+		return ResolutionPoint{
+			Resolution:      res,
+			AvgCellAreaKm2:  res.AvgCellAreaKm2(),
+			Cells:           dist.NumCells(),
+			PeakLocations:   dist.Peak().Locations,
+			RequiredOversub: m.Beams.RequiredOversubscription(dist.Peak().Locations),
+			ExcessAt20:      dist.ExcessAbove(m.Beams.MaxServableLocations(20)),
+		}, nil
+	}
+	base, err := evaluate(cells, baseRes)
+	if err != nil {
+		return nil, err
+	}
+	out := []ResolutionPoint{base}
+	for _, res := range coarser {
+		if !res.Valid() || res > baseRes {
+			return nil, fmt.Errorf("core: resolution %d not coarser than base %d", res, baseRes)
+		}
+		if res == baseRes {
+			continue
+		}
+		merged := make(map[hexgrid.CellID]*demand.Cell)
+		for _, c := range cells {
+			parent, err := c.ID.ParentAt(res)
+			if err != nil {
+				return nil, err
+			}
+			if agg, ok := merged[parent]; ok {
+				agg.Locations += c.Locations
+			} else {
+				merged[parent] = &demand.Cell{
+					ID:         parent,
+					Locations:  c.Locations,
+					CountyFIPS: c.CountyFIPS,
+					Center:     parent.LatLng(),
+				}
+			}
+		}
+		coarse := make([]demand.Cell, 0, len(merged))
+		for _, c := range merged {
+			coarse = append(coarse, *c)
+		}
+		point, err := evaluate(coarse, res)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}

@@ -1,0 +1,290 @@
+// Package demand models broadband demand: individual serviceable
+// locations (the FCC Broadband Data Collection unit), their
+// classification against the federal "reliable broadband" benchmark,
+// aggregation into service-grid cells, and the per-cell density
+// distribution the capacity model is driven by.
+package demand
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"leodivide/internal/geo"
+	"leodivide/internal/hexgrid"
+	"leodivide/internal/spectrum"
+	"leodivide/internal/stats"
+)
+
+// Location is one broadband-serviceable location with the best service
+// any ISP reports there.
+type Location struct {
+	// ID is a stable identifier, unique within a dataset.
+	ID uint64
+	// Pos is the location's coordinate.
+	Pos geo.LatLng
+	// CountyFIPS is the 5-digit county code.
+	CountyFIPS string
+	// StateAbbr is the USPS state abbreviation.
+	StateAbbr string
+	// MaxDownMbps and MaxUpMbps are the fastest reported service.
+	MaxDownMbps, MaxUpMbps float64
+	// Technology is the reported access technology ("none", "dsl",
+	// "fixed-wireless", "cable", "fiber", "satellite").
+	Technology string
+}
+
+// ReliablyServed reports whether down/up meets the FCC reliable
+// broadband benchmark (100/20 Mbps).
+func ReliablyServed(downMbps, upMbps float64) bool {
+	return downMbps >= spectrum.FCCDownlinkMbps && upMbps >= spectrum.FCCUplinkMbps
+}
+
+// Underserved reports whether the location lacks reliable broadband.
+func (l Location) Underserved() bool {
+	return !ReliablyServed(l.MaxDownMbps, l.MaxUpMbps)
+}
+
+// Cell is one service-grid cell with its aggregated demand.
+type Cell struct {
+	// ID is the grid cell.
+	ID hexgrid.CellID
+	// Locations is the number of un(der)served locations in the cell.
+	Locations int
+	// CountyFIPS is the county owning the cell's center (the paper
+	// assigns incomes at county granularity).
+	CountyFIPS string
+	// Center is the cell's center coordinate.
+	Center geo.LatLng
+}
+
+// DemandGbps returns the cell's sold downlink demand at the FCC
+// benchmark.
+func (c Cell) DemandGbps() float64 {
+	return float64(c.Locations) * spectrum.FCCDownlinkMbps / 1000
+}
+
+// Aggregate groups un(der)served locations into cells at the given
+// resolution. Served locations are skipped. County attribution uses the
+// plurality county among the cell's locations.
+func Aggregate(locs []Location, res hexgrid.Resolution) ([]Cell, error) {
+	if !res.Valid() {
+		return nil, fmt.Errorf("demand: invalid resolution %d", res)
+	}
+	type agg struct {
+		count    int
+		counties map[string]int
+	}
+	byCell := make(map[hexgrid.CellID]*agg)
+	for _, l := range locs {
+		if !l.Underserved() {
+			continue
+		}
+		id := hexgrid.LatLngToCell(l.Pos, res)
+		a := byCell[id]
+		if a == nil {
+			a = &agg{counties: make(map[string]int)}
+			byCell[id] = a
+		}
+		a.count++
+		a.counties[l.CountyFIPS]++
+	}
+	out := make([]Cell, 0, len(byCell))
+	for id, a := range byCell {
+		county, best := "", -1
+		for f, n := range a.counties {
+			if n > best || (n == best && f < county) {
+				county, best = f, n
+			}
+		}
+		out = append(out, Cell{ID: id, Locations: a.count, CountyFIPS: county, Center: id.LatLng()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Distribution wraps a cell set with the order statistics the model
+// queries repeatedly. Construct with NewDistribution.
+type Distribution struct {
+	cells  []Cell // descending by Locations
+	cdf    *stats.CDF
+	total  int
+	suffix []int // suffix[i] = sum of Locations of cells[0..i]
+}
+
+// NewDistribution indexes the cells. Cells with zero locations are
+// dropped (they impose coverage but no demand).
+func NewDistribution(cells []Cell) (*Distribution, error) {
+	kept := make([]Cell, 0, len(cells))
+	for _, c := range cells {
+		if c.Locations < 0 {
+			return nil, fmt.Errorf("demand: cell %v has negative locations", c.ID)
+		}
+		if c.Locations > 0 {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("demand: no cells with demand")
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Locations != kept[j].Locations {
+			return kept[i].Locations > kept[j].Locations
+		}
+		return kept[i].ID < kept[j].ID
+	})
+	samples := make([]float64, len(kept))
+	suffix := make([]int, len(kept))
+	total := 0
+	for i, c := range kept {
+		samples[i] = float64(c.Locations)
+		total += c.Locations
+		suffix[i] = total
+	}
+	cdf, err := stats.NewCDF(samples)
+	if err != nil {
+		return nil, err
+	}
+	return &Distribution{cells: kept, cdf: cdf, total: total, suffix: suffix}, nil
+}
+
+// NumCells returns the number of cells with demand.
+func (d *Distribution) NumCells() int { return len(d.cells) }
+
+// TotalLocations returns the total un(der)served locations.
+func (d *Distribution) TotalLocations() int { return d.total }
+
+// Cells returns the cells in descending demand order. The returned
+// slice is shared; callers must not modify it.
+func (d *Distribution) Cells() []Cell { return d.cells }
+
+// Peak returns the densest cell.
+func (d *Distribution) Peak() Cell { return d.cells[0] }
+
+// CDF returns the per-cell location-count CDF.
+func (d *Distribution) CDF() *stats.CDF { return d.cdf }
+
+// Quantile returns the per-cell location count at quantile q.
+func (d *Distribution) Quantile(q float64) int { return int(d.cdf.Quantile(q)) }
+
+// CellsAbove returns the number of cells with more than t locations.
+func (d *Distribution) CellsAbove(t int) int {
+	return d.cdf.CountGT(float64(t))
+}
+
+// LocationsInCellsAbove returns the total locations living in cells with
+// more than t locations (the paper's "locations subject to high
+// oversubscription").
+func (d *Distribution) LocationsInCellsAbove(t int) int {
+	n := d.CellsAbove(t)
+	if n == 0 {
+		return 0
+	}
+	return d.suffix[n-1]
+}
+
+// ExcessAbove returns the total locations beyond a per-cell cap of t:
+// Σ max(L−t, 0). These are the locations that cannot be served when
+// every cell is limited to t.
+func (d *Distribution) ExcessAbove(t int) int {
+	n := d.CellsAbove(t)
+	if n == 0 {
+		return 0
+	}
+	return d.suffix[n-1] - n*t
+}
+
+// ServedFractionWithCap returns the fraction of all locations servable
+// when every cell is capped at t locations.
+func (d *Distribution) ServedFractionWithCap(t int) float64 {
+	return 1 - float64(d.ExcessAbove(t))/float64(d.total)
+}
+
+// FractionOfCellsAtMost returns the fraction of demand cells with at
+// most t locations.
+func (d *Distribution) FractionOfCellsAtMost(t int) float64 {
+	return d.cdf.P(float64(t))
+}
+
+// Summary returns headline statistics of the per-cell distribution.
+func (d *Distribution) Summary() (stats.Summary, error) {
+	samples := make([]float64, len(d.cells))
+	for i, c := range d.cells {
+		samples[i] = float64(c.Locations)
+	}
+	return stats.Summarize(samples)
+}
+
+// CountyWeights returns total locations per county FIPS, for income
+// weighting.
+func (d *Distribution) CountyWeights() map[string]int {
+	out := make(map[string]int)
+	for _, c := range d.cells {
+		out[c.CountyFIPS] += c.Locations
+	}
+	return out
+}
+
+// Scale returns a copy of cells with every location count multiplied by
+// factor (rounded, minimum 1). It models the FCC map's known
+// undercounting of un(der)served locations — ISPs self-report coverage
+// and are known to overstate it — so sensitivity analyses can ask how
+// the capacity findings move if the true demand is, say, 20% higher
+// than the map shows.
+func Scale(cells []Cell, factor float64) ([]Cell, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("demand: scale factor must be positive, got %v", factor)
+	}
+	out := make([]Cell, len(cells))
+	for i, c := range cells {
+		n := int(math.Round(float64(c.Locations) * factor))
+		if n < 1 && c.Locations > 0 {
+			n = 1
+		}
+		out[i] = c
+		out[i].Locations = n
+	}
+	return out, nil
+}
+
+// TechMix summarizes the access technologies reported across locations.
+type TechMix struct {
+	Technology string
+	Locations  int
+	// ReliableShare is the fraction of the technology's locations
+	// meeting the 100/20 benchmark.
+	ReliableShare float64
+}
+
+// TechnologyMix aggregates locations by technology, sorted by location
+// count descending.
+func TechnologyMix(locs []Location) []TechMix {
+	type agg struct{ n, reliable int }
+	byTech := make(map[string]*agg)
+	for _, l := range locs {
+		a := byTech[l.Technology]
+		if a == nil {
+			a = &agg{}
+			byTech[l.Technology] = a
+		}
+		a.n++
+		if !l.Underserved() {
+			a.reliable++
+		}
+	}
+	out := make([]TechMix, 0, len(byTech))
+	for tech, a := range byTech {
+		out = append(out, TechMix{
+			Technology:    tech,
+			Locations:     a.n,
+			ReliableShare: float64(a.reliable) / float64(a.n),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Locations != out[j].Locations {
+			return out[i].Locations > out[j].Locations
+		}
+		return out[i].Technology < out[j].Technology
+	})
+	return out
+}

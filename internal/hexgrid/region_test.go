@@ -1,0 +1,194 @@
+package hexgrid
+
+import (
+	"math"
+	"testing"
+
+	"leodivide/internal/geo"
+)
+
+func TestBoundary(t *testing.T) {
+	id := LatLngToCell(geo.LatLng{Lat: 40, Lng: -100}, 3)
+	b := id.Boundary()
+	if len(b) != 6 {
+		t.Fatalf("hexagon boundary has %d vertices", len(b))
+	}
+	center := id.LatLng()
+	spacing := id.latticeSpacing()
+	for _, v := range b {
+		d := geo.AngularDistance(center, v)
+		// Voronoi vertices sit near one circumradius (~0.577 spacings)
+		// from the center.
+		if d < 0.3*spacing || d > 0.9*spacing {
+			t.Errorf("boundary vertex at %.3f spacings", d/spacing)
+		}
+	}
+	// The center must be inside its own boundary polygon.
+	if !(geo.Polygon{Vertices: b}).Contains(center) {
+		t.Error("cell center outside its boundary")
+	}
+}
+
+func TestBoundaryPentagon(t *testing.T) {
+	// Find a pentagon cell at res 1 and check 5 vertices.
+	var pent CellID
+	ForEachCell(1, func(id CellID) {
+		if pent == 0 && len(id.Neighbors()) == 5 {
+			pent = id
+		}
+	})
+	if pent == 0 {
+		t.Fatal("no pentagon found")
+	}
+	if got := len(pent.Boundary()); got != 5 {
+		t.Errorf("pentagon boundary has %d vertices", got)
+	}
+}
+
+func TestCellAreasSumToSphere(t *testing.T) {
+	// At res 1 the polygon areas must tile the sphere (within the
+	// centroid-vertex approximation).
+	total := 0.0
+	ForEachCell(1, func(id CellID) {
+		total += id.AreaKm2()
+	})
+	if math.Abs(total-geo.EarthAreaKm2)/geo.EarthAreaKm2 > 0.05 {
+		t.Errorf("cell areas sum to %v, want ≈%v", total, geo.EarthAreaKm2)
+	}
+}
+
+func TestCellAreaNearAverage(t *testing.T) {
+	id := LatLngToCell(geo.LatLng{Lat: 40, Lng: -100}, 4)
+	avg := Resolution(4).AvgCellAreaKm2()
+	got := id.AreaKm2()
+	if got < 0.6*avg || got > 1.5*avg {
+		t.Errorf("cell area %v far from average %v", got, avg)
+	}
+}
+
+func TestRectFill(t *testing.T) {
+	// Colorado's frame: ~4.0x7.1 degrees at res 4 (~1770 km² cells).
+	cells := RectFill(37, 41, -109, -102, 4)
+	if len(cells) == 0 {
+		t.Fatal("no cells")
+	}
+	// Expected count ≈ area / avg cell area.
+	area := geo.RectArea(37, 41, -109, -102)
+	want := area / Resolution(4).AvgCellAreaKm2()
+	if math.Abs(float64(len(cells))-want)/want > 0.2 {
+		t.Errorf("RectFill returned %d cells, want ≈%.0f", len(cells), want)
+	}
+	seen := map[CellID]bool{}
+	for i, id := range cells {
+		if seen[id] {
+			t.Fatal("duplicate cell")
+		}
+		seen[id] = true
+		if i > 0 && cells[i] < cells[i-1] {
+			t.Fatal("not sorted")
+		}
+		c := id.LatLng()
+		if c.Lat < 37 || c.Lat > 41 || c.Lng < -109 || c.Lng > -102 {
+			t.Fatalf("cell center %v outside rect", c)
+		}
+	}
+	if got := RectFill(41, 37, -109, -102, 4); got != nil {
+		t.Error("inverted rect should return nil")
+	}
+	if got := RectFill(37, 41, -109, -102, Resolution(-1)); got != nil {
+		t.Error("invalid resolution should return nil")
+	}
+}
+
+func TestDiscFill(t *testing.T) {
+	center := geo.LatLng{Lat: 38, Lng: -100}
+	cells := DiscFill(center, 400, 4)
+	if len(cells) == 0 {
+		t.Fatal("no cells")
+	}
+	discArea := math.Pi * 400 * 400
+	want := discArea / Resolution(4).AvgCellAreaKm2()
+	if math.Abs(float64(len(cells))-want)/want > 0.25 {
+		t.Errorf("DiscFill returned %d cells, want ≈%.0f", len(cells), want)
+	}
+	for _, id := range cells {
+		if geo.DistanceKm(center, id.LatLng()) > 400 {
+			t.Fatalf("cell %v outside disc", id)
+		}
+	}
+	// A disc smaller than one cell still returns the center cell.
+	tiny := DiscFill(center, 1, 4)
+	if len(tiny) > 1 {
+		t.Errorf("tiny disc returned %d cells", len(tiny))
+	}
+	if DiscFill(center, -1, 4) != nil {
+		t.Error("negative radius should return nil")
+	}
+}
+
+func TestDiscFillGrowsWithRadius(t *testing.T) {
+	center := geo.LatLng{Lat: 38, Lng: -100}
+	small := DiscFill(center, 200, 4)
+	big := DiscFill(center, 500, 4)
+	if len(big) <= len(small) {
+		t.Errorf("disc did not grow: %d -> %d", len(small), len(big))
+	}
+	// All small-disc cells appear in the big disc.
+	inBig := map[CellID]bool{}
+	for _, id := range big {
+		inBig[id] = true
+	}
+	for _, id := range small {
+		if !inBig[id] {
+			t.Fatalf("cell %v in small disc missing from big disc", id)
+		}
+	}
+}
+
+func TestParentChild(t *testing.T) {
+	fine := LatLngToCell(geo.LatLng{Lat: 40, Lng: -100}, 4)
+	parent, err := fine.ParentAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent.Resolution() != 2 {
+		t.Fatalf("parent resolution = %d", parent.Resolution())
+	}
+	// The fine cell's center maps into the parent.
+	if LatLngToCell(fine.LatLng(), 2) != parent {
+		t.Error("parent does not contain child center")
+	}
+	// Children of the parent at the fine resolution include the cell.
+	children, err := parent.ChildrenAt(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ch := range children {
+		if ch == fine {
+			found = true
+		}
+		if back, _ := ch.ParentAt(2); back != parent {
+			t.Fatalf("child %v maps to parent %v, want %v", ch, back, parent)
+		}
+	}
+	if !found {
+		t.Error("children missing the original fine cell")
+	}
+	// Roughly 7^2 children across two resolution steps (generous
+	// bounds: distortion varies cell sizes).
+	if len(children) < 25 || len(children) > 90 {
+		t.Errorf("got %d children across 2 levels, want ≈49", len(children))
+	}
+	// Errors.
+	if _, err := fine.ParentAt(5); err == nil {
+		t.Error("finer parent should fail")
+	}
+	if _, err := fine.ChildrenAt(2); err == nil {
+		t.Error("coarser children should fail")
+	}
+	same, err := fine.ChildrenAt(4)
+	if err != nil || len(same) != 1 || same[0] != fine {
+		t.Errorf("self children = %v, %v", same, err)
+	}
+}

@@ -1,0 +1,168 @@
+package linkbudget
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"leodivide/internal/geo"
+)
+
+func TestSlantRange(t *testing.T) {
+	// Directly overhead: slant range equals altitude.
+	if got := SlantRangeKm(550, 90); math.Abs(got-550) > 0.01 {
+		t.Errorf("slant at 90° = %v, want 550", got)
+	}
+	// At the horizon: sqrt((re+h)² − re²) ≈ 2,704 km for 550 km.
+	re := geo.EarthRadiusKm
+	want := math.Sqrt((re+550)*(re+550) - re*re)
+	if got := SlantRangeKm(550, 0); math.Abs(got-want) > 1 {
+		t.Errorf("slant at 0° = %v, want %v", got, want)
+	}
+	// Monotone decreasing in elevation.
+	prev := math.Inf(1)
+	for el := 0.0; el <= 90; el += 5 {
+		s := SlantRangeKm(550, el)
+		if s >= prev {
+			t.Fatalf("slant range not decreasing at %v°", el)
+		}
+		prev = s
+	}
+}
+
+func TestFSPL(t *testing.T) {
+	// Canonical check: 1,000 km at 11.7 GHz → 92.45 + 20log10(11700)
+	// ≈ 173.8 dB.
+	if got := FSPLdB(1000, 11.7); math.Abs(got-173.81) > 0.05 {
+		t.Errorf("FSPL = %v, want ≈173.81", got)
+	}
+	// Doubling distance adds 6.02 dB.
+	d1 := FSPLdB(800, 11.7)
+	d2 := FSPLdB(1600, 11.7)
+	if math.Abs(d2-d1-6.02) > 0.01 {
+		t.Errorf("doubling distance added %v dB", d2-d1)
+	}
+	if FSPLdB(0, 11.7) != 0 || FSPLdB(100, 0) != 0 {
+		t.Error("degenerate FSPL should be 0")
+	}
+}
+
+func TestModCodTable(t *testing.T) {
+	table := DVBS2XTable()
+	for i := 1; i < len(table); i++ {
+		if table[i].EsN0dB <= table[i-1].EsN0dB {
+			t.Fatalf("MODCOD thresholds not ascending at %s", table[i].Name)
+		}
+		if table[i].EfficiencyBpsHz <= table[i-1].EfficiencyBpsHz {
+			t.Fatalf("MODCOD efficiencies not ascending at %s", table[i].Name)
+		}
+	}
+}
+
+func TestBestModCod(t *testing.T) {
+	if _, ok := BestModCod(-10); ok {
+		t.Error("link should not close at -10 dB")
+	}
+	mc, ok := BestModCod(1.0)
+	if !ok || mc.Name != "QPSK 1/2" {
+		t.Errorf("BestModCod(1.0) = %v, %v", mc.Name, ok)
+	}
+	mc, ok = BestModCod(50)
+	if !ok || mc.Name != "256APSK 5/6" {
+		t.Errorf("BestModCod(50) = %v", mc.Name)
+	}
+}
+
+// Property: achievable efficiency is monotone in C/N.
+func TestModCodMonotoneProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a := -5 + float64(aRaw)/255*30
+		bb := a + float64(bRaw)/255*10
+		ea, eb := 0.0, 0.0
+		if mc, ok := BestModCod(a); ok {
+			ea = mc.EfficiencyBpsHz
+		}
+		if mc, ok := BestModCod(bb); ok {
+			eb = mc.EfficiencyBpsHz
+		}
+		return eb >= ea
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStarlinkBudgetReproducesPaperEfficiency(t *testing.T) {
+	// The elevation-weighted mean efficiency over the 25° visibility
+	// cone should land on the paper's adopted ~4.5 b/Hz.
+	b := StarlinkKuDownlink()
+	eff, err := b.MeanEfficiency(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eff-4.5) > 0.35 {
+		t.Errorf("mean efficiency = %.2f b/Hz, want ≈4.5 (paper's estimate)", eff)
+	}
+	// Efficiency improves toward zenith.
+	if b.EfficiencyAt(90) <= b.EfficiencyAt(25) {
+		t.Error("efficiency should improve with elevation")
+	}
+}
+
+func TestRainMarginDegrades(t *testing.T) {
+	clear := StarlinkKuDownlink()
+	rainy := clear
+	rainy.RainMarginDB = 6
+	effClear, _ := clear.MeanEfficiency(25)
+	effRain, _ := rainy.MeanEfficiency(25)
+	if effRain >= effClear {
+		t.Errorf("rain margin did not degrade efficiency: %v vs %v", effRain, effClear)
+	}
+}
+
+func TestHigherShellDegrades(t *testing.T) {
+	low := StarlinkKuDownlink()
+	high := low
+	high.AltitudeKm = 1200
+	effLow, _ := low.MeanEfficiency(25)
+	effHigh, _ := high.MeanEfficiency(25)
+	if effHigh >= effLow {
+		t.Errorf("higher shell did not degrade efficiency: %v vs %v", effHigh, effLow)
+	}
+}
+
+func TestBudgetValidate(t *testing.T) {
+	bad := StarlinkKuDownlink()
+	bad.AltitudeKm = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero altitude should fail")
+	}
+	bad = StarlinkKuDownlink()
+	bad.BandwidthMHz = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	if _, err := StarlinkKuDownlink().MeanEfficiency(95); err == nil {
+		t.Error("bad elevation mask should fail")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	lines := StarlinkKuDownlink().Breakdown(40)
+	if len(lines) != 12 {
+		t.Fatalf("breakdown has %d lines", len(lines))
+	}
+	byItem := map[string]float64{}
+	for _, l := range lines {
+		byItem[l.Item] = l.Value
+	}
+	// Internal consistency: C/N = C/N0 − 10log10(B) − margins.
+	want := byItem["C/N0"] - 10*math.Log10(byItem["channel bandwidth"]*1e6) -
+		byItem["implementation margin"] - byItem["rain margin"]
+	if math.Abs(byItem["C/N"]-want) > 1e-9 {
+		t.Errorf("C/N inconsistent: %v vs %v", byItem["C/N"], want)
+	}
+	if byItem["spectral efficiency"] <= 0 {
+		t.Error("link should close at 40°")
+	}
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// LineChart renders an (x, y) series as an ASCII chart for terminal
+// output — enough to see a CDF's knee or a stepped curve's staircase
+// without leaving the CLI.
+type LineChart struct {
+	Title         string
+	Width, Height int
+	XLabel        string
+	YLabel        string
+	// LogX plots x on a log10 axis (useful for long-tail CDFs).
+	LogX bool
+}
+
+// NewLineChart returns a chart with sensible terminal dimensions.
+func NewLineChart(title string) *LineChart {
+	return &LineChart{Title: title, Width: 72, Height: 18}
+}
+
+// Render draws the series.
+func (c *LineChart) Render(w io.Writer, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("report: chart series length mismatch: %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return fmt.Errorf("report: chart needs at least 2 points, got %d", len(xs))
+	}
+	width, height := c.Width, c.Height
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	tx := func(x float64) float64 {
+		if c.LogX {
+			if x <= 0 {
+				x = 1e-12
+			}
+			return math.Log10(x)
+		}
+		return x
+	}
+	xlo, xhi := tx(xs[0]), tx(xs[0])
+	ylo, yhi := ys[0], ys[0]
+	for i := range xs {
+		x, y := tx(xs[i]), ys[i]
+		xlo, xhi = math.Min(xlo, x), math.Max(xhi, x)
+		ylo, yhi = math.Min(ylo, y), math.Max(yhi, y)
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		col := int((tx(xs[i]) - xlo) / (xhi - xlo) * float64(width-1))
+		row := height - 1 - int((ys[i]-ylo)/(yhi-ylo)*float64(height-1))
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = '*'
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3g", yhi)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", ylo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	xloLabel := fmt.Sprintf("%.3g", xs[0])
+	xhiLabel := fmt.Sprintf("%.3g", xs[len(xs)-1])
+	pad := width - len(xloLabel) - len(xhiLabel)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", 8), xloLabel, strings.Repeat(" ", pad), xhiLabel)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", 8), c.XLabel, c.YLabel)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,133 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"leodivide/internal/demand"
+	"leodivide/internal/geo"
+	"leodivide/internal/hexgrid"
+)
+
+func sampleCells(t *testing.T) []demand.Cell {
+	t.Helper()
+	pts := []struct {
+		lat, lng float64
+		n        int
+	}{
+		{35.5, -106.3, 500}, {40, -100, 50}, {33, -90, 120}, {45, -95, 8},
+	}
+	cells := make([]demand.Cell, 0, len(pts))
+	for _, p := range pts {
+		id := hexgrid.LatLngToCell(geo.LatLng{Lat: p.lat, Lng: p.lng}, 4)
+		cells = append(cells, demand.Cell{
+			ID: id, Locations: p.n, CountyFIPS: "35001", Center: id.LatLng(),
+		})
+	}
+	return cells
+}
+
+func TestWriteCellsGeoJSON(t *testing.T) {
+	cells := sampleCells(t)
+	var buf bytes.Buffer
+	if err := WriteCellsGeoJSON(&buf, cells, 0); err != nil {
+		t.Fatal(err)
+	}
+	features, locations, err := ReadCellsGeoJSONCount(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if features != len(cells) {
+		t.Errorf("features = %d, want %d", features, len(cells))
+	}
+	if locations != 678 {
+		t.Errorf("total locations = %d, want 678", locations)
+	}
+	out := buf.String()
+	for _, want := range []string{"FeatureCollection", "Polygon", "county_fips", "demand_gbps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("geojson missing %q", want)
+		}
+	}
+}
+
+func TestWriteCellsGeoJSONCap(t *testing.T) {
+	cells := sampleCells(t)
+	var buf bytes.Buffer
+	if err := WriteCellsGeoJSON(&buf, cells, 2); err != nil {
+		t.Fatal(err)
+	}
+	features, locations, err := ReadCellsGeoJSONCount(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if features != 2 {
+		t.Errorf("capped features = %d, want 2", features)
+	}
+	// The cap keeps the densest cells (500 + 120).
+	if locations != 620 {
+		t.Errorf("capped locations = %d, want 620", locations)
+	}
+}
+
+func TestReadCellsGeoJSONErrors(t *testing.T) {
+	if _, _, err := ReadCellsGeoJSONCount(strings.NewReader("not json")); err == nil {
+		t.Error("invalid json should fail")
+	}
+	if _, _, err := ReadCellsGeoJSONCount(strings.NewReader(`{"type":"Feature"}`)); err == nil {
+		t.Error("wrong type should fail")
+	}
+}
+
+func TestWriteGatewaysGeoJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteGatewaysGeoJSON(&buf,
+		[]string{"a", "b"},
+		[]geo.LatLng{{Lat: 40, Lng: -100}, {Lat: 30, Lng: -90}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"Point"`) {
+		t.Error("gateway geojson missing points")
+	}
+	if err := WriteGatewaysGeoJSON(&buf, []string{"a"}, nil); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	xs := []float64{1, 10, 100, 1000}
+	ys := []float64{0.1, 0.5, 0.9, 1.0}
+	var buf bytes.Buffer
+	c := NewLineChart("CDF")
+	c.LogX = true
+	c.XLabel = "locations/cell"
+	c.YLabel = "P"
+	if err := c.Render(&buf, xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CDF") || !strings.Contains(out, "*") {
+		t.Errorf("chart output missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "locations/cell") {
+		t.Error("chart missing x label")
+	}
+	// Errors.
+	if err := c.Render(&buf, xs, ys[:2]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := c.Render(&buf, xs[:1], ys[:1]); err == nil {
+		t.Error("single point should fail")
+	}
+}
+
+func TestLineChartFlatSeries(t *testing.T) {
+	// A constant series must not divide by zero.
+	var buf bytes.Buffer
+	c := NewLineChart("flat")
+	if err := c.Render(&buf, []float64{1, 2, 3}, []float64{5, 5, 5}); err != nil {
+		t.Fatal(err)
+	}
+}

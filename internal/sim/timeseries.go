@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"leodivide/internal/demand"
+)
+
+// EpochStats is the measurement of one simulation snapshot.
+type EpochStats struct {
+	// TimeSec is the snapshot time after epoch.
+	TimeSec float64
+	// CoveredFraction is the fraction of demand cells with ≥1 visible
+	// satellite.
+	CoveredFraction float64
+	// ServedFraction is the fraction of cells whose beam requirement
+	// the allocator met.
+	ServedFraction float64
+	// MeanVisible is the mean visible-satellite count per cell.
+	MeanVisible float64
+	// BeamUtilization is the fraction of the constellation's beam
+	// cell-slots consumed by the allocation.
+	BeamUtilization float64
+	// Handovers counts cells whose serving satellite changed since the
+	// previous epoch (0 at the first epoch).
+	Handovers int
+}
+
+// RunSeries runs the simulation and returns per-epoch measurements,
+// including beam utilization and satellite handover counts — the
+// dynamics a static sizing model cannot see.
+func RunSeries(cfg Config, cells []demand.Cell) ([]EpochStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("sim: no demand cells")
+	}
+	orbits, err := cfg.orbits()
+	if err != nil {
+		return nil, err
+	}
+	totalSlots := float64(len(orbits)) * float64(cfg.Beams.BeamsPerSatellite) * cfg.Spread
+
+	out := make([]EpochStats, 0, cfg.Epochs)
+	prevServer := make([]int, len(cells))
+	for i := range prevServer {
+		prevServer[i] = -1
+	}
+	for e := 0; e < cfg.Epochs; e++ {
+		t := cfg.StepSeconds * float64(e)
+		snap := snapshotWithMask(orbits, t, cfg.MinElevationDeg)
+		visible := visibleSats(snap, cells, cfg.MinElevationDeg)
+		visible = filterByGateway(cfg, snap, visible)
+		assignment, used := allocateAssign(cfg, cells, visible, len(snap))
+
+		covered, served, totalVisible, handovers := 0, 0, 0, 0
+		for i := range cells {
+			if len(visible[i]) > 0 {
+				covered++
+			}
+			totalVisible += len(visible[i])
+			if assignment[i] >= 0 {
+				served++
+				if e > 0 && prevServer[i] != assignment[i] {
+					handovers++
+				}
+			}
+		}
+		copy(prevServer, assignment)
+		out = append(out, EpochStats{
+			TimeSec:         t,
+			CoveredFraction: float64(covered) / float64(len(cells)),
+			ServedFraction:  float64(served) / float64(len(cells)),
+			MeanVisible:     float64(totalVisible) / float64(len(cells)),
+			BeamUtilization: used / totalSlots,
+			Handovers:       handovers,
+		})
+	}
+	return out, nil
+}
+
+// allocateAssign is allocate with per-cell assignment bookkeeping: it
+// returns, for each cell, the serving satellite index (-1 when unmet)
+// and the total cell-slots consumed.
+func allocateAssign(cfg Config, cells []demand.Cell, visible [][]int, nsats int) ([]int, float64) {
+	slots := make([]float64, nsats)
+	perSat := float64(cfg.Beams.BeamsPerSatellite) * cfg.Spread
+	for i := range slots {
+		slots[i] = perSat
+	}
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	sortByDemandDesc(order, cells)
+	assignment := make([]int, len(cells))
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	consumed := 0.0
+	for _, ci := range order {
+		b, ok := cfg.Beams.BeamsForCell(cells[ci].Locations, cfg.Oversub)
+		need := float64(b) * cfg.Spread
+		if b == 1 {
+			need = 1
+		}
+		if !ok {
+			need = float64(cfg.Beams.MaxBeamsPerCell) * cfg.Spread
+		}
+		best, bestFree := -1, 0.0
+		for _, si := range visible[ci] {
+			if slots[si] > bestFree {
+				best, bestFree = si, slots[si]
+			}
+		}
+		if best >= 0 && bestFree >= need {
+			slots[best] -= need
+			consumed += need
+			if ok {
+				assignment[ci] = best
+			}
+		}
+	}
+	return assignment, consumed
+}
+
+// LatitudeBand is coverage measured within one latitude band.
+type LatitudeBand struct {
+	LatLoDeg, LatHiDeg float64
+	Cells              int
+	CoveredFraction    float64
+}
+
+// CoverageByLatitude measures, at the first epoch, the fraction of
+// cells with at least one visible satellite per latitude band — the
+// view that makes the Alaska coverage cliff of an inclined shell
+// visible.
+func CoverageByLatitude(cfg Config, cells []demand.Cell, bandDeg float64) ([]LatitudeBand, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("sim: no demand cells")
+	}
+	if bandDeg <= 0 {
+		bandDeg = 5
+	}
+	orbits, err := cfg.orbits()
+	if err != nil {
+		return nil, err
+	}
+	snap := snapshotWithMask(orbits, 0, cfg.MinElevationDeg)
+	visible := visibleSats(snap, cells, cfg.MinElevationDeg)
+
+	type agg struct{ cells, covered int }
+	bands := make(map[int]*agg)
+	for i, c := range cells {
+		key := int(c.Center.Lat / bandDeg)
+		if c.Center.Lat < 0 {
+			key--
+		}
+		a := bands[key]
+		if a == nil {
+			a = &agg{}
+			bands[key] = a
+		}
+		a.cells++
+		if len(visible[i]) > 0 {
+			a.covered++
+		}
+	}
+	keys := make([]int, 0, len(bands))
+	for k := range bands {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]LatitudeBand, 0, len(keys))
+	for _, k := range keys {
+		a := bands[k]
+		out = append(out, LatitudeBand{
+			LatLoDeg:        float64(k) * bandDeg,
+			LatHiDeg:        float64(k+1) * bandDeg,
+			Cells:           a.cells,
+			CoveredFraction: float64(a.covered) / float64(a.cells),
+		})
+	}
+	return out, nil
+}

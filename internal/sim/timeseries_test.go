@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+
+	"leodivide/internal/demand"
+	"leodivide/internal/geo"
+	"leodivide/internal/hexgrid"
+)
+
+func TestRunSeries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shell = smallShell(396, 18)
+	cfg.Epochs = 5
+	series, err := RunSeries(cfg, testCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("got %d epochs", len(series))
+	}
+	for i, e := range series {
+		if e.CoveredFraction < 0 || e.CoveredFraction > 1 {
+			t.Errorf("epoch %d: covered %v", i, e.CoveredFraction)
+		}
+		if e.ServedFraction > e.CoveredFraction+1e-9 {
+			t.Errorf("epoch %d: served > covered", i)
+		}
+		if e.BeamUtilization < 0 || e.BeamUtilization > 1 {
+			t.Errorf("epoch %d: utilization %v", i, e.BeamUtilization)
+		}
+		if i == 0 && e.Handovers != 0 {
+			t.Errorf("first epoch has %d handovers", e.Handovers)
+		}
+		if e.TimeSec != cfg.StepSeconds*float64(i) {
+			t.Errorf("epoch %d: time %v", i, e.TimeSec)
+		}
+	}
+	// With 6-minute steps on a 96-minute orbit, serving satellites
+	// change: some handovers must appear after the first epoch.
+	total := 0
+	for _, e := range series[1:] {
+		total += e.Handovers
+	}
+	if total == 0 {
+		t.Error("no handovers across 30 minutes of LEO motion")
+	}
+}
+
+func TestRunSeriesConsistentWithRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shell = smallShell(396, 18)
+	cfg.Epochs = 3
+	series, err := RunSeries(cfg, testCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, testCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 0.0
+	for _, e := range series {
+		mean += e.ServedFraction
+	}
+	mean /= float64(len(series))
+	if diff := mean - res.MeanServedFraction; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("series mean served %v != Run mean %v", mean, res.MeanServedFraction)
+	}
+}
+
+func TestRunSeriesValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 0
+	if _, err := RunSeries(cfg, testCells()); err == nil {
+		t.Error("invalid config should fail")
+	}
+	if _, err := RunSeries(DefaultConfig(), nil); err == nil {
+		t.Error("no cells should fail")
+	}
+}
+
+func TestCoverageByLatitude(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shell = smallShell(396, 18)
+	// Cells from 28N to 70N: the 53° shell covers the south, not the
+	// far north.
+	var cells []demand.Cell
+	id := 1
+	for lat := 28.0; lat <= 70; lat += 2 {
+		for lng := -150.0; lng <= -80; lng += 10 {
+			cells = append(cells, demand.Cell{
+				ID: hexgrid.CellID(id), Locations: 100,
+				Center: geo.LatLng{Lat: lat, Lng: lng},
+			})
+			id++
+		}
+	}
+	bands, err := CoverageByLatitude(cfg, cells, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bands) < 4 {
+		t.Fatalf("got %d bands", len(bands))
+	}
+	totalCells := 0
+	for i, b := range bands {
+		totalCells += b.Cells
+		if b.CoveredFraction < 0 || b.CoveredFraction > 1 {
+			t.Errorf("band %d fraction %v", i, b.CoveredFraction)
+		}
+		if i > 0 && b.LatLoDeg <= bands[i-1].LatLoDeg {
+			t.Error("bands not sorted")
+		}
+	}
+	if totalCells != len(cells) {
+		t.Errorf("bands cover %d cells, want %d", totalCells, len(cells))
+	}
+	// The 60-70N band must be far worse covered than the 30-40N band.
+	var south, north float64 = -1, -1
+	for _, b := range bands {
+		if b.LatLoDeg == 30 {
+			south = b.CoveredFraction
+		}
+		if b.LatLoDeg == 60 {
+			north = b.CoveredFraction
+		}
+	}
+	if south < 0 || north < 0 {
+		t.Fatal("expected bands missing")
+	}
+	if north >= south {
+		t.Errorf("no coverage cliff: 30N=%v 60N=%v", south, north)
+	}
+	if _, err := CoverageByLatitude(cfg, nil, 10); err == nil {
+		t.Error("no cells should fail")
+	}
+}

@@ -1,0 +1,200 @@
+// Package traffic models the time dimension behind the paper's P2:
+// capacity is sized by *peak* demand, and residential broadband demand
+// peaks in the local evening. The package provides a diurnal demand
+// profile, timezone-aware per-cell demand at any UTC hour, and the
+// analysis of whether time-zone staggering relieves a LEO
+// constellation (it barely does: a satellite's footprint spans roughly
+// one time zone, so the cells it serves peak together).
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"leodivide/internal/demand"
+)
+
+// DiurnalProfile maps local hour (0-23) to a demand multiplier with
+// mean 1 over the day. The default shape follows residential broadband
+// measurements: a deep overnight trough, a daytime shoulder, and an
+// evening busy hour around 21:00 local.
+type DiurnalProfile [24]float64
+
+// DefaultProfile returns the residential evening-peak shape.
+func DefaultProfile() DiurnalProfile {
+	raw := [24]float64{
+		0.35, 0.25, 0.20, 0.18, 0.18, 0.22, // 00-05
+		0.35, 0.55, 0.75, 0.85, 0.90, 0.95, // 06-11
+		1.00, 1.00, 1.00, 1.05, 1.15, 1.30, // 12-17
+		1.55, 1.80, 2.00, 2.10, 1.80, 1.20, // 18-23
+	}
+	var p DiurnalProfile
+	sum := 0.0
+	for _, v := range raw {
+		sum += v
+	}
+	for i, v := range raw {
+		p[i] = v * 24 / sum
+	}
+	return p
+}
+
+// Validate reports whether the profile is usable: positive everywhere
+// and mean ≈ 1.
+func (p DiurnalProfile) Validate() error {
+	sum := 0.0
+	for h, v := range p {
+		if v <= 0 {
+			return fmt.Errorf("traffic: nonpositive multiplier %v at hour %d", v, h)
+		}
+		sum += v
+	}
+	if math.Abs(sum/24-1) > 0.01 {
+		return fmt.Errorf("traffic: profile mean %v, want 1", sum/24)
+	}
+	return nil
+}
+
+// PeakFactor returns the profile's busy-hour multiplier.
+func (p DiurnalProfile) PeakFactor() float64 {
+	peak := p[0]
+	for _, v := range p[1:] {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// PeakHour returns the local hour of the busy-hour.
+func (p DiurnalProfile) PeakHour() int {
+	best, peak := 0, p[0]
+	for h, v := range p {
+		if v > peak {
+			best, peak = h, v
+		}
+	}
+	return best
+}
+
+// LocalHour converts a UTC hour to the solar local hour at a longitude
+// (15° per hour).
+func LocalHour(utcHour float64, lngDeg float64) float64 {
+	h := math.Mod(utcHour+lngDeg/15+48, 24)
+	return h
+}
+
+// At returns the multiplier at a fractional local hour, interpolating
+// between hourly samples.
+func (p DiurnalProfile) At(localHour float64) float64 {
+	h := math.Mod(localHour+24, 24)
+	lo := int(h) % 24
+	hi := (lo + 1) % 24
+	frac := h - math.Floor(h)
+	return p[lo]*(1-frac) + p[hi]*frac
+}
+
+// CellDemandAt returns a cell's instantaneous demand multiplier at a
+// UTC hour, using the cell's longitude for the local clock.
+func CellDemandAt(p DiurnalProfile, c demand.Cell, utcHour float64) float64 {
+	return p.At(LocalHour(utcHour, c.Center.Lng))
+}
+
+// NationalCurve sums instantaneous demand over all cells for each UTC
+// hour step, returning (utcHour, totalDemandGbps) samples. Time-zone
+// staggering flattens this national curve relative to any single
+// cell's curve.
+func NationalCurve(p DiurnalProfile, cells []demand.Cell, steps int) ([]float64, []float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if steps < 2 {
+		steps = 24
+	}
+	hours := make([]float64, steps)
+	totals := make([]float64, steps)
+	for s := 0; s < steps; s++ {
+		utc := 24 * float64(s) / float64(steps)
+		hours[s] = utc
+		total := 0.0
+		for _, c := range cells {
+			total += c.DemandGbps() * CellDemandAt(p, c, utc)
+		}
+		totals[s] = total
+	}
+	return hours, totals, nil
+}
+
+// PeakToMean returns the ratio of a curve's maximum to its mean.
+func PeakToMean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum, peak := 0.0, values[0]
+	for _, v := range values {
+		sum += v
+		if v > peak {
+			peak = v
+		}
+	}
+	mean := sum / float64(len(values))
+	if mean == 0 {
+		return 0
+	}
+	return peak / mean
+}
+
+// StaggerAnalysis quantifies how much time-zone staggering helps at
+// different aggregation scopes.
+type StaggerAnalysis struct {
+	// CellPeakToMean is a single cell's peak-to-mean ratio (the profile
+	// peak factor — no relief).
+	CellPeakToMean float64
+	// FootprintPeakToMean is the ratio over one satellite footprint
+	// (cells within ±footprintHalfWidthDeg of longitude) — marginal
+	// relief, because a footprint spans about one time zone.
+	FootprintPeakToMean float64
+	// NationalPeakToMean is the ratio over all cells — the relief LEO
+	// capacity cannot exploit, since satellites cannot move capacity
+	// across the country instantaneously.
+	NationalPeakToMean float64
+}
+
+// AnalyzeStagger computes the three ratios. footprintHalfWidthDeg is
+// the longitude half-width of a satellite footprint (≈8.5° for 550 km
+// at a 25° mask).
+func AnalyzeStagger(p DiurnalProfile, cells []demand.Cell, footprintHalfWidthDeg float64) (StaggerAnalysis, error) {
+	if err := p.Validate(); err != nil {
+		return StaggerAnalysis{}, err
+	}
+	if len(cells) == 0 {
+		return StaggerAnalysis{}, fmt.Errorf("traffic: no cells")
+	}
+	out := StaggerAnalysis{CellPeakToMean: p.PeakFactor()}
+
+	// Footprint scope: cells within the half-width of the densest cell.
+	densest := cells[0]
+	for _, c := range cells[1:] {
+		if c.Locations > densest.Locations {
+			densest = c
+		}
+	}
+	var footprint []demand.Cell
+	for _, c := range cells {
+		if math.Abs(c.Center.Lng-densest.Center.Lng) <= footprintHalfWidthDeg {
+			footprint = append(footprint, c)
+		}
+	}
+	_, fpCurve, err := NationalCurve(p, footprint, 96)
+	if err != nil {
+		return StaggerAnalysis{}, err
+	}
+	out.FootprintPeakToMean = PeakToMean(fpCurve)
+
+	_, natCurve, err := NationalCurve(p, cells, 96)
+	if err != nil {
+		return StaggerAnalysis{}, err
+	}
+	out.NationalPeakToMean = PeakToMean(natCurve)
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"leodivide/internal/demand"
+	"leodivide/internal/geo"
+	"leodivide/internal/hexgrid"
+)
+
+func TestDefaultProfile(t *testing.T) {
+	p := DefaultProfile()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Evening peak, overnight trough.
+	if h := p.PeakHour(); h < 18 || h > 22 {
+		t.Errorf("peak hour = %d, want evening", h)
+	}
+	if p.PeakFactor() < 1.5 || p.PeakFactor() > 3 {
+		t.Errorf("peak factor = %v, want ~2", p.PeakFactor())
+	}
+	if p[3] > 0.5 {
+		t.Errorf("overnight multiplier = %v, want deep trough", p[3])
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	var zero DiurnalProfile
+	if err := zero.Validate(); err == nil {
+		t.Error("zero profile should fail")
+	}
+	bad := DefaultProfile()
+	for i := range bad {
+		bad[i] = 2 // mean 2, not 1
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("unnormalized profile should fail")
+	}
+}
+
+func TestLocalHour(t *testing.T) {
+	// 12:00 UTC at longitude -90 is 06:00 local solar time.
+	if got := LocalHour(12, -90); math.Abs(got-6) > 1e-9 {
+		t.Errorf("LocalHour(12, -90) = %v, want 6", got)
+	}
+	if got := LocalHour(0, -120); math.Abs(got-16) > 1e-9 {
+		t.Errorf("LocalHour(0, -120) = %v, want 16", got)
+	}
+	if got := LocalHour(23, 30); math.Abs(got-1) > 1e-9 {
+		t.Errorf("LocalHour(23, 30) = %v, want 1", got)
+	}
+}
+
+// Property: At interpolates within the hourly bracket and is periodic.
+func TestAtProperty(t *testing.T) {
+	p := DefaultProfile()
+	f := func(raw uint16) bool {
+		h := float64(raw) / 65535 * 24
+		v := p.At(h)
+		lo, hi := p[int(h)%24], p[(int(h)+1)%24]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if v < lo-1e-9 || v > hi+1e-9 {
+			return false
+		}
+		return math.Abs(p.At(h)-p.At(h+24)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func stripCells() []demand.Cell {
+	// Cells spread across the CONUS longitude span at one latitude.
+	var cells []demand.Cell
+	id := 1
+	for lng := -124.0; lng <= -68; lng += 2 {
+		cells = append(cells, demand.Cell{
+			ID:        hexgrid.CellID(id),
+			Locations: 500,
+			Center:    geo.LatLng{Lat: 39, Lng: lng},
+		})
+		id++
+	}
+	return cells
+}
+
+func TestNationalCurveFlatterThanCell(t *testing.T) {
+	p := DefaultProfile()
+	cells := stripCells()
+	_, curve, err := NationalCurve(p, cells, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	national := PeakToMean(curve)
+	single := p.PeakFactor()
+	if national >= single {
+		t.Errorf("national peak-to-mean %v not flatter than single-cell %v", national, single)
+	}
+	// The mean national demand equals the sum of cell means.
+	sum := 0.0
+	for _, v := range curve {
+		sum += v
+	}
+	mean := sum / float64(len(curve))
+	want := 0.0
+	for _, c := range cells {
+		want += c.DemandGbps()
+	}
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Errorf("mean national demand %v, want ≈%v", mean, want)
+	}
+}
+
+func TestAnalyzeStagger(t *testing.T) {
+	p := DefaultProfile()
+	cells := stripCells()
+	a, err := AnalyzeStagger(p, cells, 8.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper-relevant ordering: a cell gets no relief, a satellite
+	// footprint (≈1 time zone) almost none, the nation some — but LEO
+	// capacity cannot pool nationally.
+	if !(a.NationalPeakToMean < a.FootprintPeakToMean &&
+		a.FootprintPeakToMean <= a.CellPeakToMean+1e-9) {
+		t.Errorf("stagger ordering violated: %+v", a)
+	}
+	// Footprint relief is marginal (<10% of the cell peak factor).
+	if a.FootprintPeakToMean < 0.9*a.CellPeakToMean {
+		t.Errorf("footprint relief implausibly large: %+v", a)
+	}
+	if _, err := AnalyzeStagger(p, nil, 8.5); err == nil {
+		t.Error("no cells should fail")
+	}
+}
+
+func TestPeakToMean(t *testing.T) {
+	if got := PeakToMean([]float64{1, 1, 1, 5}); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("PeakToMean = %v, want 2.5", got)
+	}
+	if PeakToMean(nil) != 0 {
+		t.Error("empty PeakToMean should be 0")
+	}
+	if PeakToMean([]float64{0, 0}) != 0 {
+		t.Error("zero PeakToMean should be 0")
+	}
+}

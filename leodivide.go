@@ -1,0 +1,457 @@
+// Package leodivide reproduces the analysis of "Anyone, Anywhere, not
+// Everyone, Everywhere: Starlink Doesn't End the Digital Divide"
+// (HotNets 2025): an analytical model coupling the peak demand density
+// of un(der)served US broadband locations with the physical and
+// regulatory limits of LEO access networks, plus the companion
+// affordability analysis.
+//
+// The package is the public facade over the internal substrates
+// (geodesy, geospatial grid, orbits, spectrum, beams, demand, synthetic
+// datasets, affordability). A typical session:
+//
+//	ds, err := leodivide.GenerateDataset()       // synthetic national map
+//	m := leodivide.NewModel()
+//	t1 := m.Table1(ds)                           // single-satellite capacity
+//	t2 := m.Table2(ds)                           // constellation sizing
+//	f4 := m.Fig4(ds)                             // affordability
+//
+// Every experiment method corresponds to a table or figure of the
+// paper; see EXPERIMENTS.md for the paper-vs-measured record.
+package leodivide
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"leodivide/internal/afford"
+	"leodivide/internal/bdc"
+	"leodivide/internal/census"
+	"leodivide/internal/core"
+	"leodivide/internal/demand"
+	"leodivide/internal/hexgrid"
+	"leodivide/internal/spectrum"
+	"leodivide/internal/stats"
+	"leodivide/internal/usgeo"
+)
+
+// Dataset is a synthetic national broadband dataset: per-cell
+// un(der)served location counts plus county median incomes, calibrated
+// to the paper's published statistics.
+type Dataset struct {
+	// Cells are the demand cells (service-grid cells with at least one
+	// un(der)served location).
+	Cells []demand.Cell
+	// Incomes is the county income table, weighted by location counts.
+	Incomes *census.Table
+	// Resolution is the service-cell grid resolution.
+	Resolution hexgrid.Resolution
+	// Seed reproduces the dataset.
+	Seed int64
+
+	dist *demand.Distribution
+}
+
+// Option adjusts dataset generation.
+type Option func(*genOptions)
+
+type genOptions struct {
+	seed          int64
+	scale         float64
+	cfg           bdc.GenConfig
+	incomeAnchors []census.QuantileAnchor
+}
+
+// WithSeed sets the generation seed (default 1).
+func WithSeed(seed int64) Option {
+	return func(o *genOptions) { o.seed = seed }
+}
+
+// WithScale shrinks the dataset to the given fraction of the national
+// total (default 1.0). Peak cells scale too, so distribution shape is
+// preserved; headline counts scale proportionally.
+func WithScale(scale float64) Option {
+	return func(o *genOptions) { o.scale = scale }
+}
+
+// WithGenConfig replaces the calibrated BDC generator configuration
+// entirely (advanced).
+func WithGenConfig(cfg bdc.GenConfig) Option {
+	return func(o *genOptions) { o.cfg = cfg }
+}
+
+// WithIncomeAnchors replaces the calibrated income quantile anchors.
+func WithIncomeAnchors(anchors []census.QuantileAnchor) Option {
+	return func(o *genOptions) { o.incomeAnchors = anchors }
+}
+
+// GenerateDataset synthesizes the calibrated national dataset.
+func GenerateDataset(opts ...Option) (*Dataset, error) {
+	o := genOptions{
+		seed:          1,
+		scale:         1,
+		cfg:           bdc.DefaultGenConfig(),
+		incomeAnchors: census.DefaultIncomeAnchors(),
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.scale <= 0 || o.scale > 1 {
+		return nil, fmt.Errorf("leodivide: scale must be in (0,1], got %v", o.scale)
+	}
+	cfg := o.cfg
+	cfg.Seed = o.seed
+	if o.scale < 1 {
+		cfg.TotalLocations = int(float64(cfg.TotalLocations) * o.scale)
+		peaks := make([]bdc.PeakCell, len(cfg.Peaks))
+		copy(peaks, cfg.Peaks)
+		for i := range peaks {
+			peaks[i].Locations = int(float64(peaks[i].Locations) * o.scale)
+			if peaks[i].Locations < 1 {
+				peaks[i].Locations = 1
+			}
+		}
+		cfg.Peaks = peaks
+	}
+	cells, err := bdc.GenerateCells(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := demand.NewDistribution(cells)
+	if err != nil {
+		return nil, err
+	}
+	incomes, err := assignIncomes(dist, o.incomeAnchors, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Cells:      cells,
+		Incomes:    incomes,
+		Resolution: cfg.Resolution,
+		Seed:       o.seed,
+		dist:       dist,
+	}, nil
+}
+
+// assignIncomes distributes county incomes using a deterministic
+// poverty ordering: state rural weight (a proxy for rural poverty) plus
+// a per-county hash jitter.
+func assignIncomes(dist *demand.Distribution, anchors []census.QuantileAnchor, seed int64) (*census.Table, error) {
+	weights := dist.CountyWeights()
+	cw := make([]census.CountyWeight, 0, len(weights))
+	for fips, w := range weights {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d:%s", seed, fips)
+		jitter := float64(h.Sum64()%10000) / 10000
+		cw = append(cw, census.CountyWeight{
+			FIPS:        fips,
+			StateAbbr:   stateOfFIPS(fips),
+			Weight:      float64(w),
+			PovertyRank: jitter,
+		})
+	}
+	sort.Slice(cw, func(i, j int) bool { return cw[i].FIPS < cw[j].FIPS })
+	return census.AssignIncomes(cw, anchors)
+}
+
+// stateOfFIPS maps a county FIPS prefix to a state abbreviation via the
+// usgeo tables; unknown prefixes return "".
+func stateOfFIPS(fips string) string {
+	if len(fips) < 2 {
+		return ""
+	}
+	for _, s := range statesByFIPS() {
+		if s.fips == fips[:2] {
+			return s.abbr
+		}
+	}
+	return ""
+}
+
+type stateFIPS struct{ fips, abbr string }
+
+var stateFIPSCache []stateFIPS
+
+func statesByFIPS() []stateFIPS {
+	if stateFIPSCache == nil {
+		for _, s := range usgeo.States() {
+			stateFIPSCache = append(stateFIPSCache, stateFIPS{s.FIPS, s.Abbr})
+		}
+	}
+	return stateFIPSCache
+}
+
+// Distribution returns the per-cell demand distribution.
+func (d *Dataset) Distribution() *demand.Distribution { return d.dist }
+
+// TotalLocations returns the national un(der)served location count.
+func (d *Dataset) TotalLocations() int { return d.dist.TotalLocations() }
+
+// NumCells returns the number of demand cells.
+func (d *Dataset) NumCells() int { return d.dist.NumCells() }
+
+// Model is the public capacity-and-affordability model.
+type Model struct {
+	// Capacity is the underlying capacity model; adjust fields for
+	// ablations.
+	Capacity core.Model
+	// AffordShare is the affordability threshold as a share of monthly
+	// income (default 2%).
+	AffordShare float64
+	// MaxOversub is the acceptable oversubscription cap (default the
+	// FCC fixed-wireless 20:1).
+	MaxOversub float64
+}
+
+// NewModel returns the model with the paper's parameters.
+func NewModel() Model {
+	return Model{
+		Capacity:    core.NewModel(),
+		AffordShare: afford.DefaultAffordabilityShare,
+		MaxOversub:  spectrum.FCCFixedWirelessOversubscription,
+	}
+}
+
+// Calibrated returns a copy whose constellation sizing is pinned to the
+// paper's fitted effective cell count (for like-for-like Table 2
+// comparisons).
+func (m Model) Calibrated() Model {
+	m.Capacity = m.Capacity.Calibrated()
+	return m
+}
+
+// Fig1Result is the per-cell density distribution of Figure 1.
+type Fig1Result struct {
+	Summary    stats.Summary
+	MaxCell    int
+	P90, P99   int
+	TotalCells int
+	TotalLocs  int
+	// CDF is the cumulative distribution sampled for plotting.
+	CDF []stats.Point
+	// Gini quantifies the demand concentration driving the paper's P2:
+	// how unevenly locations spread over cells.
+	Gini float64
+	// Lorenz is the matching Lorenz curve.
+	Lorenz []stats.Point
+}
+
+// Fig1 computes the Figure 1 distribution.
+func (m Model) Fig1(d *Dataset) (Fig1Result, error) {
+	dist := d.Distribution()
+	sum, err := dist.Summary()
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	samples := make([]float64, 0, dist.NumCells())
+	for _, c := range dist.Cells() {
+		samples = append(samples, float64(c.Locations))
+	}
+	gini, err := stats.Gini(samples)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	lorenz, err := stats.Lorenz(samples, 100)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	return Fig1Result{
+		Summary:    sum,
+		MaxCell:    dist.Peak().Locations,
+		P90:        dist.Quantile(0.90),
+		P99:        dist.Quantile(0.99),
+		TotalCells: dist.NumCells(),
+		TotalLocs:  dist.TotalLocations(),
+		CDF:        dist.CDF().Series(200),
+		Gini:       gini,
+		Lorenz:     lorenz,
+	}, nil
+}
+
+// Table1 computes the single-satellite capacity model of Table 1.
+func (m Model) Table1(d *Dataset) core.CapacityTable {
+	return m.Capacity.Capacity(d.Distribution())
+}
+
+// Finding1 computes the oversubscription analysis behind Finding 1.
+func (m Model) Finding1(d *Dataset) core.OversubAnalysis {
+	return m.Capacity.Oversubscription(d.Distribution(), m.MaxOversub)
+}
+
+// Table2Result is the Table 2 reproduction plus the paper's reference
+// values for comparison.
+type Table2Result struct {
+	Rows []core.SizeRow
+	// PaperFullService and PaperCapped are the constellation sizes the
+	// paper reports for the same beamspread factors (for EXPERIMENTS.md
+	// style comparison).
+	PaperFullService map[float64]int
+	PaperCapped      map[float64]int
+}
+
+// PaperTable2Spreads are the beamspread factors of the paper's Table 2.
+var PaperTable2Spreads = []float64{1, 2, 5, 10, 15}
+
+// Table2 computes constellation sizes for the paper's beamspread
+// factors under both deployment scenarios.
+func (m Model) Table2(d *Dataset) Table2Result {
+	return Table2Result{
+		Rows: m.Capacity.SizeTable(d.Distribution(), PaperTable2Spreads, m.MaxOversub),
+		PaperFullService: map[float64]int{
+			1: 79287, 2: 40611, 5: 16486, 10: 8284, 15: 5532,
+		},
+		PaperCapped: map[float64]int{
+			1: 80567, 2: 41261, 5: 16750, 10: 8417, 15: 5621,
+		},
+	}
+}
+
+// Fig2Result is the served-fraction surface of Figure 2.
+type Fig2Result struct {
+	Spreads, Oversubs []float64
+	// Fraction[i][j] is the fraction of demand cells servable at
+	// Spreads[i], Oversubs[j] with a single spread beam per cell.
+	Fraction [][]float64
+}
+
+// Fig2 computes the Figure 2 surface over the paper's axes
+// (beamspread 2..14, oversubscription 5..30).
+func (m Model) Fig2(d *Dataset) Fig2Result {
+	spreads := []float64{2, 4, 6, 8, 10, 12, 14}
+	oversubs := []float64{5, 10, 15, 20, 25, 30}
+	return Fig2Result{
+		Spreads:  spreads,
+		Oversubs: oversubs,
+		Fraction: m.Capacity.ServedFractionGrid(d.Distribution(), spreads, oversubs, false),
+	}
+}
+
+// Fig3Result is one diminishing-returns curve of Figure 3.
+type Fig3Result struct {
+	Spread  float64
+	Oversub float64
+	Points  []core.ReturnsPoint
+	Steps   []core.StepCost
+	// FloorUnserved is the unserved count that no constellation size
+	// can reduce at this oversubscription (the paper's "last ~5k
+	// locations").
+	FloorUnserved int
+}
+
+// Fig3 computes the diminishing-returns curves for the paper's
+// beamspread factors at the model's oversubscription cap.
+func (m Model) Fig3(d *Dataset, spreads ...float64) []Fig3Result {
+	if len(spreads) == 0 {
+		spreads = PaperTable2Spreads
+	}
+	dist := d.Distribution()
+	floor := dist.ExcessAbove(m.Capacity.Beams.MaxServableLocations(m.MaxOversub))
+	out := make([]Fig3Result, 0, len(spreads))
+	for _, s := range spreads {
+		pts := m.Capacity.DiminishingReturns(dist, s, m.MaxOversub)
+		out = append(out, Fig3Result{
+			Spread:        s,
+			Oversub:       m.MaxOversub,
+			Points:        pts,
+			Steps:         core.StepCosts(pts),
+			FloorUnserved: floor,
+		})
+	}
+	return out
+}
+
+// Fig4Result is the affordability analysis of Figure 4 / Finding 4.
+type Fig4Result struct {
+	Results []afford.Result
+	// Curves are the Figure 4 series per plan option.
+	Curves map[string][]afford.CurvePoint
+	// ZeroShares record where each plan's curve reaches zero.
+	ZeroShares map[string]float64
+	// TotalLocations is the dataset total.
+	TotalLocations float64
+}
+
+// Fig4 computes the affordability comparison across the paper's plans.
+func (m Model) Fig4(d *Dataset) (Fig4Result, error) {
+	in, err := afford.NewInput(d.Incomes)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	options := afford.PaperComparison()
+	res := Fig4Result{
+		Results:        in.Comparison(options, m.AffordShare),
+		Curves:         make(map[string][]afford.CurvePoint, len(options)),
+		ZeroShares:     make(map[string]float64, len(options)),
+		TotalLocations: in.TotalLocations(),
+	}
+	for _, opt := range options {
+		name := planLabel(opt)
+		res.Curves[name] = in.Curve(opt.Plan, opt.Subsidy, 0.055, 110)
+		res.ZeroShares[name] = in.ZeroShare(opt.Plan, opt.Subsidy)
+	}
+	return res, nil
+}
+
+func planLabel(opt afford.PlanOption) string {
+	if opt.Subsidy != nil {
+		return opt.Plan.Name + " w/ " + opt.Subsidy.Name
+	}
+	return opt.Plan.Name
+}
+
+// AffordabilityInput exposes the location-weighted income distribution
+// for custom policy analyses (see examples/policydesign).
+func (m Model) AffordabilityInput(d *Dataset) (*afford.Input, error) {
+	return afford.NewInput(d.Incomes)
+}
+
+// Findings aggregates the paper's four findings in one structure.
+type Findings struct {
+	F1 core.OversubAnalysis
+	// F2: satellites needed at beamspread <2 to stay within acceptable
+	// oversubscription.
+	F2SatellitesAtSpread2  int
+	F2CurrentConstellation int
+	// F3: cost of the final tranche of servable locations.
+	F3 []core.StepCost
+	// F4: locations unable to afford Starlink Residential.
+	F4Unaffordable         float64
+	F4UnaffordableFraction float64
+}
+
+// CurrentStarlinkSatellites is the approximate deployed constellation
+// size the paper cites.
+const CurrentStarlinkSatellites = 8000
+
+// RunFindings evaluates all four findings.
+func (m Model) RunFindings(d *Dataset) (Findings, error) {
+	f4, err := m.Fig4(d)
+	if err != nil {
+		return Findings{}, err
+	}
+	var starlink afford.Result
+	for _, r := range f4.Results {
+		if r.Plan.Name == afford.StarlinkResidential().Name && r.Subsidy == nil {
+			starlink = r
+		}
+	}
+	capped := m.Capacity.Size(d.Distribution(), core.CappedOversub, 2, m.MaxOversub)
+	fig3 := m.Fig3(d, 10)
+	var lastSteps []core.StepCost
+	if len(fig3) > 0 {
+		steps := fig3[0].Steps
+		if len(steps) > 3 {
+			steps = steps[len(steps)-3:]
+		}
+		lastSteps = steps
+	}
+	return Findings{
+		F1:                     m.Finding1(d),
+		F2SatellitesAtSpread2:  capped.Satellites,
+		F2CurrentConstellation: CurrentStarlinkSatellites,
+		F3:                     lastSteps,
+		F4Unaffordable:         starlink.UnaffordableLocations,
+		F4UnaffordableFraction: starlink.UnaffordableFraction,
+	}, nil
+}

@@ -1,0 +1,121 @@
+package leodivide
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"leodivide/internal/bdc"
+	"leodivide/internal/census"
+	"leodivide/internal/demand"
+	"leodivide/internal/hexgrid"
+)
+
+// Dataset persistence: a saved dataset is a directory holding the
+// per-cell CSV, the county income CSV, and a small metadata file, so
+// an analysis can be re-run later (or by someone else) on exactly the
+// same inputs without regenerating them.
+
+const (
+	datasetMetaFile    = "dataset.json"
+	datasetCellsFile   = "cells.csv"
+	datasetIncomesFile = "incomes.csv"
+)
+
+type datasetMeta struct {
+	Seed       int64 `json:"seed"`
+	Resolution int   `json:"resolution"`
+	Locations  int   `json:"locations"`
+	Cells      int   `json:"cells"`
+}
+
+// Save writes the dataset into dir (created if needed).
+func (d *Dataset) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	meta := datasetMeta{
+		Seed:       d.Seed,
+		Resolution: int(d.Resolution),
+		Locations:  d.TotalLocations(),
+		Cells:      len(d.Cells),
+	}
+	metaBytes, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, datasetMetaFile), metaBytes, 0o644); err != nil {
+		return err
+	}
+	cellsFile, err := os.Create(filepath.Join(dir, datasetCellsFile))
+	if err != nil {
+		return err
+	}
+	defer cellsFile.Close()
+	if err := bdc.WriteCellsCSV(cellsFile, d.Cells); err != nil {
+		return err
+	}
+	incomesFile, err := os.Create(filepath.Join(dir, datasetIncomesFile))
+	if err != nil {
+		return err
+	}
+	defer incomesFile.Close()
+	return d.Incomes.WriteCSV(incomesFile)
+}
+
+// LoadDataset reads a dataset saved with Save, validating that the
+// files agree with the metadata.
+func LoadDataset(dir string) (*Dataset, error) {
+	metaBytes, err := os.ReadFile(filepath.Join(dir, datasetMetaFile))
+	if err != nil {
+		return nil, fmt.Errorf("leodivide: reading metadata: %w", err)
+	}
+	var meta datasetMeta
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return nil, fmt.Errorf("leodivide: parsing metadata: %w", err)
+	}
+	res := hexgrid.Resolution(meta.Resolution)
+	if !res.Valid() {
+		return nil, fmt.Errorf("leodivide: invalid resolution %d in metadata", meta.Resolution)
+	}
+
+	cellsFile, err := os.Open(filepath.Join(dir, datasetCellsFile))
+	if err != nil {
+		return nil, err
+	}
+	defer cellsFile.Close()
+	cells, err := bdc.ReadCellsCSV(cellsFile)
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) != meta.Cells {
+		return nil, fmt.Errorf("leodivide: %d cells on disk, metadata says %d", len(cells), meta.Cells)
+	}
+
+	incomesFile, err := os.Open(filepath.Join(dir, datasetIncomesFile))
+	if err != nil {
+		return nil, err
+	}
+	defer incomesFile.Close()
+	incomes, err := census.ReadCSV(incomesFile)
+	if err != nil {
+		return nil, err
+	}
+
+	dist, err := demand.NewDistribution(cells)
+	if err != nil {
+		return nil, err
+	}
+	if dist.TotalLocations() != meta.Locations {
+		return nil, fmt.Errorf("leodivide: %d locations on disk, metadata says %d",
+			dist.TotalLocations(), meta.Locations)
+	}
+	return &Dataset{
+		Cells:      cells,
+		Incomes:    incomes,
+		Resolution: res,
+		Seed:       meta.Seed,
+		dist:       dist,
+	}, nil
+}

@@ -1,0 +1,85 @@
+package leodivide
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds, err := GenerateDataset(WithSeed(5), WithScale(0.03))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := ds.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != 5 || back.Resolution != ds.Resolution {
+		t.Errorf("metadata drifted: %+v", back)
+	}
+	if back.TotalLocations() != ds.TotalLocations() || back.NumCells() != ds.NumCells() {
+		t.Errorf("dataset shape drifted: %d/%d vs %d/%d",
+			back.TotalLocations(), back.NumCells(), ds.TotalLocations(), ds.NumCells())
+	}
+	for i := range ds.Cells {
+		if ds.Cells[i].ID != back.Cells[i].ID || ds.Cells[i].Locations != back.Cells[i].Locations {
+			t.Fatalf("cell %d drifted", i)
+		}
+	}
+	// The loaded dataset produces identical analysis results.
+	m := NewModel()
+	a := m.Finding1(ds)
+	b := m.Finding1(back)
+	if a != b {
+		t.Errorf("Finding1 drifted: %+v vs %+v", a, b)
+	}
+	fa, err := m.Fig4(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := m.Fig4(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fa.Results {
+		if math.Abs(fa.Results[i].UnaffordableLocations-fb.Results[i].UnaffordableLocations) > 0.5 {
+			t.Errorf("Fig4 drifted for %s", fa.Results[i].Plan.Name)
+		}
+	}
+}
+
+func TestLoadDatasetErrors(t *testing.T) {
+	if _, err := LoadDataset(t.TempDir()); err == nil {
+		t.Error("empty dir should fail")
+	}
+	// Corrupt metadata.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, datasetMetaFile), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDataset(dir); err == nil {
+		t.Error("corrupt metadata should fail")
+	}
+	// Metadata/file mismatch.
+	ds, err := GenerateDataset(WithSeed(6), WithScale(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir2 := t.TempDir()
+	if err := ds.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir2, datasetMetaFile),
+		[]byte(`{"seed":6,"resolution":5,"locations":1,"cells":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDataset(dir2); err == nil {
+		t.Error("cell-count mismatch should fail")
+	}
+}
