@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-parallel fmt check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The full reproduction benchmarks (one per paper table/figure).
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Serial vs pooled comparison for the parallel execution engine.
+bench-parallel:
+	$(GO) test -bench BenchmarkParallelSpeedup -benchtime 5x -run '^$$' .
+
+fmt:
+	gofmt -l -w .
+
+check: build vet test

@@ -7,6 +7,7 @@ package leodivide
 // the reproduction run recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"testing"
 
 	"leodivide/internal/core"
@@ -30,7 +31,7 @@ func BenchmarkFig1CellDensityCDF(b *testing.B) {
 	var r Fig1Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = m.Fig1(ds)
+		r, err = m.Fig1(context.Background(), ds)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -48,7 +49,11 @@ func BenchmarkTable1CapacityModel(b *testing.B) {
 	m := NewModel()
 	var c core.CapacityTable
 	for i := 0; i < b.N; i++ {
-		c = m.Table1(ds)
+		var err error
+		c, err = m.Table1(context.Background(), ds)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(c.MaxCellCapacityGbps, "cell-Gbps(paper=17.3)")
 	b.ReportMetric(c.PeakCellDemandGbps, "peak-Gbps(paper=599.8)")
@@ -63,7 +68,11 @@ func BenchmarkFinding1Oversubscription(b *testing.B) {
 	m := NewModel()
 	var o core.OversubAnalysis
 	for i := 0; i < b.N; i++ {
-		o = m.Finding1(ds)
+		var err error
+		o, err = m.Finding1(context.Background(), ds)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(o.LocationsInCellsAboveCap), "locs-above(paper=22428)")
 	b.ReportMetric(float64(o.ExcessLocations), "excess(paper=5128)")
@@ -78,7 +87,11 @@ func BenchmarkTable2ConstellationSize(b *testing.B) {
 	m := NewModel().Calibrated()
 	var r Table2Result
 	for i := 0; i < b.N; i++ {
-		r = m.Table2(ds)
+		var err error
+		r, err = m.Table2(context.Background(), ds)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(r.Rows[0].FullServiceSats), "s1-full(paper=79287)")
 	b.ReportMetric(float64(r.Rows[1].FullServiceSats), "s2-full(paper=40611)")
@@ -93,7 +106,11 @@ func BenchmarkFig2ServedFractionGrid(b *testing.B) {
 	m := NewModel()
 	var r Fig2Result
 	for i := 0; i < b.N; i++ {
-		r = m.Fig2(ds)
+		var err error
+		r, err = m.Fig2(context.Background(), ds)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(r.Fraction[len(r.Spreads)-1][0], "min-frac(paper~0.36)")
 	b.ReportMetric(r.Fraction[0][len(r.Oversubs)-1], "max-frac(paper~0.99)")
@@ -107,7 +124,11 @@ func BenchmarkFig3DiminishingReturns(b *testing.B) {
 	m := NewModel()
 	var rs []Fig3Result
 	for i := 0; i < b.N; i++ {
-		rs = m.Fig3(ds)
+		var err error
+		rs, err = m.Fig3(context.Background(), ds)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	last := rs[len(rs)-1]
 	b.ReportMetric(float64(last.FloorUnserved), "floor(paper=5103)")
@@ -125,7 +146,7 @@ func BenchmarkFig4AffordabilityCDF(b *testing.B) {
 	var r Fig4Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = m.Fig4(ds)
+		r, err = m.Fig4(context.Background(), ds)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,7 +168,7 @@ func BenchmarkSimCoverage(b *testing.B) {
 	var res sim.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = sim.Run(cfg, ds.Cells)
+		res, err = sim.Run(context.Background(), cfg, ds.Cells)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -197,7 +218,7 @@ func ratio(n, base int) float64 {
 // calibrated national dataset.
 func BenchmarkGenerateDataset(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := GenerateDataset(WithSeed(int64(i + 1))); err != nil {
+		if _, err := GenerateDataset(context.Background(), WithSeed(int64(i+1))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -211,7 +232,7 @@ func BenchmarkFleetAssessment(b *testing.B) {
 	var r FleetsResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = m.AssessFleets(ds)
+		r, err = m.AssessFleets(context.Background(), ds)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -228,7 +249,7 @@ func BenchmarkRefinedAffordability(b *testing.B) {
 	var r RefinedFig4Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = m.Fig4Refined(ds, 0, 3)
+		r, err = m.Fig4Refined(context.Background(), ds, 0, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -244,7 +265,7 @@ func BenchmarkBusyHour(b *testing.B) {
 	var r BusyHourResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = m.BusyHour(ds)
+		r, err = m.BusyHour(context.Background(), ds)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -260,7 +281,7 @@ func BenchmarkEconomics(b *testing.B) {
 	var r EconomicsResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = m.Economics(ds)
+		r, err = m.Economics(context.Background(), ds)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -62,7 +63,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	cells, err := bdc.GenerateCells(cfg)
+	cells, err := bdc.GenerateCells(context.Background(), cfg)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@
 //
 // Commands:
 //
+//	experiments list every registered experiment
 //	fig1      per-cell density distribution (Figure 1)
 //	table1    single-satellite capacity model (Table 1)
 //	table2    constellation sizing (Table 2)
@@ -25,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -60,6 +62,7 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "dataset generation seed")
 	scale := fs.Float64("scale", 1.0, "dataset scale in (0,1]")
 	calibrated := fs.Bool("calibrated", false, "pin effective cells to the paper's fitted value")
+	parallelism := fs.Int("parallelism", 0, "worker bound for generation and experiments (0 = all CPUs, 1 = serial)")
 	locCSV := fs.String("locations-csv", "", "gen: also write per-location CSV to this path (scaled)")
 	locScale := fs.Float64("locations-scale", 0.01, "gen: per-location expansion scale")
 	exportDir := fs.String("dir", "export", "export: output directory for GeoJSON/CSV files")
@@ -71,90 +74,119 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("missing command")
 	}
 	cmd := fs.Arg(0)
+	ctx := context.Background()
 
-	ds, err := leodivide.GenerateDataset(
-		leodivide.WithSeed(*seed), leodivide.WithScale(*scale))
-	if err != nil {
-		return err
-	}
-	m := leodivide.NewModel()
+	m := leodivide.NewModel().Parallelism(*parallelism)
 	if *calibrated {
 		m = m.Calibrated()
 	}
+	if cmd == "experiments" {
+		return runExperimentList(w, m)
+	}
+
+	ds, err := leodivide.GenerateDataset(ctx,
+		leodivide.WithSeed(*seed), leodivide.WithScale(*scale),
+		leodivide.WithParallelism(*parallelism))
+	if err != nil {
+		return err
+	}
 
 	switch cmd {
-	case "fig1":
-		return runFig1(w, m, ds)
-	case "table1":
-		return runTable1(w, m, ds)
-	case "table2":
-		return runTable2(w, m, ds)
-	case "fig2":
-		return runFig2(w, m, ds)
-	case "fig3":
-		return runFig3(w, m, ds)
-	case "fig4":
-		return runFig4(w, m, ds)
-	case "findings":
-		return runFindings(w, m, ds)
-	case "simcheck":
-		return runSimCheck(w, ds)
-	case "ablate":
-		return runAblate(w, m, ds)
-	case "fleets":
-		return runFleets(w, m, ds)
-	case "linkbudget":
-		return runLinkBudget(w)
-	case "refined":
-		return runRefined(w, m, ds)
-	case "states":
-		return runStates(w, m, ds)
-	case "busyhour":
-		return runBusyHour(w, m, ds)
 	case "stability":
-		return runStability(w, m)
-	case "econ":
-		return runEcon(w, m, ds)
-	case "latency":
-		return runLatency(w)
+		return runStability(ctx, w, m)
 	case "export":
-		return runExport(w, m, ds, *exportDir)
+		return runExport(ctx, w, m, ds, *exportDir)
 	case "gen":
 		return runGen(w, ds, *seed, *locCSV, *locScale)
 	case "all":
-		for _, f := range []func() error{
-			func() error { return runFig1(w, m, ds) },
-			func() error { return runTable1(w, m, ds) },
-			func() error { return runTable2(w, m, ds) },
-			func() error { return runFig2(w, m, ds) },
-			func() error { return runFig3(w, m, ds) },
-			func() error { return runFig4(w, m, ds) },
-			func() error { return runFindings(w, m, ds) },
-			func() error { return runSimCheck(w, ds) },
-			func() error { return runAblate(w, m, ds) },
-			func() error { return runFleets(w, m, ds) },
-			func() error { return runRefined(w, m, ds) },
-			func() error { return runLinkBudget(w) },
-			func() error { return runStates(w, m, ds) },
-			func() error { return runLatency(w) },
-			func() error { return runBusyHour(w, m, ds) },
-			func() error { return runEcon(w, m, ds) },
-		} {
-			if err := f(); err != nil {
+		for _, name := range allOrder {
+			if err := runOne(ctx, w, m, ds, name); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q", cmd)
+		return runOne(ctx, w, m, ds, cmd)
 	}
 }
 
-func runFig1(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
-	r, err := m.Fig1(ds)
-	if err != nil {
+// allOrder is the presentation order of `leodivide all`.
+var allOrder = []string{
+	"fig1", "table1", "table2", "fig2", "fig3", "fig4", "findings",
+	"simcheck", "ablate", "fleets", "refined", "linkbudget", "states",
+	"latency", "busyhour", "econ",
+}
+
+// renderer turns one experiment's result (the registry's `any`) back
+// into the report tables the CLI prints.
+type renderer func(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error
+
+// renderers maps registry experiment names to their presentation. Every
+// registry entry must have one — TestRegistryCoversRenderers enforces
+// the pairing, which is what keeps CLI and library from drifting.
+var renderers = map[string]renderer{
+	"fig1":     renderFig1,
+	"table1":   renderTable1,
+	"table2":   renderTable2,
+	"fig2":     renderFig2,
+	"fig3":     renderFig3,
+	"fig4":     renderFig4,
+	"findings": renderFindings,
+	"fleets":   renderFleets,
+	"refined":  renderRefined,
+	"busyhour": renderBusyHour,
+	"econ":     renderEcon,
+}
+
+// runOne dispatches one subcommand: registry experiments run through
+// Model.Experiments and their renderer; the CLI-only analyses
+// (simulator cross-check, ablations, link budget, state report,
+// latency) keep dedicated paths.
+func runOne(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, name string) error {
+	if exp, ok := m.ExperimentByName(name); ok {
+		render, ok := renderers[name]
+		if !ok {
+			return fmt.Errorf("experiment %q has no renderer", name)
+		}
+		v, err := exp.Run(ctx, ds)
+		if err != nil {
+			return err
+		}
+		return render(ctx, w, m, ds, v)
+	}
+	switch name {
+	case "simcheck":
+		return runSimCheck(ctx, w, ds)
+	case "ablate":
+		return runAblate(w, m, ds)
+	case "linkbudget":
+		return runLinkBudget(w)
+	case "states":
+		return runStates(w, m, ds)
+	case "latency":
+		return runLatency(w)
+	default:
+		return fmt.Errorf("unknown command %q", name)
+	}
+}
+
+func runExperimentList(w io.Writer, m leodivide.Model) error {
+	t := report.NewTable("Registered experiments", "name", "description")
+	for _, e := range m.Experiments() {
+		t.AddRow(e.Name, e.Description)
+	}
+	if _, err := t.WriteTo(w); err != nil {
 		return err
+	}
+	fmt.Fprintln(w, "CLI-only analyses: simcheck, ablate, linkbudget, states, latency, stability, export, gen.")
+	return nil
+}
+
+func renderFig1(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
+	r, ok := v.(leodivide.Fig1Result)
+	if !ok {
+		return fmt.Errorf("fig1: unexpected result type %T", v)
 	}
 	t := report.NewTable("Figure 1 — un(der)served locations per service cell",
 		"statistic", "value", "paper")
@@ -176,8 +208,11 @@ func runFig1(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
 	return report.Series(w, "fig1-cdf locations/cell vs cumulative probability", xs, ys)
 }
 
-func runTable1(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
-	c := m.Table1(ds)
+func renderTable1(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
+	c, ok := v.(core.CapacityTable)
+	if !ok {
+		return fmt.Errorf("table1: unexpected result type %T", v)
+	}
 	t := report.NewTable("Table 1 — Starlink single-satellite capacity model",
 		"parameter", "value", "paper")
 	t.AddRow("UT downlink spectrum (MHz)", c.UTDownlinkMHz, 3850)
@@ -191,8 +226,11 @@ func runTable1(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
 	return err
 }
 
-func runTable2(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
-	r := m.Table2(ds)
+func renderTable2(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
+	r, ok := v.(leodivide.Table2Result)
+	if !ok {
+		return fmt.Errorf("table2: unexpected result type %T", v)
+	}
 	t := report.NewTable("Table 2 — constellation size vs beamspread",
 		"beamspread", "full service", "paper", "max 20:1", "paper ")
 	for _, row := range r.Rows {
@@ -203,15 +241,22 @@ func runTable2(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
 	return err
 }
 
-func runFig2(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
-	r := m.Fig2(ds)
+func renderFig2(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
+	r, ok := v.(leodivide.Fig2Result)
+	if !ok {
+		return fmt.Errorf("fig2: unexpected result type %T", v)
+	}
 	return report.Heatmap(w,
 		"Figure 2 — fraction of US demand cells served (rows: beamspread, cols: oversubscription)",
 		r.Spreads, r.Oversubs, r.Fraction)
 }
 
-func runFig3(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
-	for _, res := range m.Fig3(ds) {
+func renderFig3(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
+	results, ok := v.([]leodivide.Fig3Result)
+	if !ok {
+		return fmt.Errorf("fig3: unexpected result type %T", v)
+	}
+	for _, res := range results {
 		t := report.NewTable(
 			fmt.Sprintf("Figure 3 — diminishing returns (beamspread %g, oversub %g:1, unservable floor %d)",
 				res.Spread, res.Oversub, res.FloorUnserved),
@@ -226,10 +271,10 @@ func runFig3(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
 	return nil
 }
 
-func runFig4(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
-	r, err := m.Fig4(ds)
-	if err != nil {
-		return err
+func renderFig4(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
+	r, ok := v.(leodivide.Fig4Result)
+	if !ok {
+		return fmt.Errorf("fig4: unexpected result type %T", v)
 	}
 	t := report.NewTable("Figure 4 / Finding 4 — affordability at 2% of income",
 		"plan", "monthly", "income threshold", "unaffordable locations", "fraction")
@@ -267,10 +312,10 @@ func label(r afford.Result) string {
 	return r.Plan.Name
 }
 
-func runFindings(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
-	f, err := m.RunFindings(ds)
-	if err != nil {
-		return err
+func renderFindings(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
+	f, ok := v.(leodivide.Findings)
+	if !ok {
+		return fmt.Errorf("findings: unexpected result type %T", v)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "F1: full service needs %.1f:1 oversubscription; at %g:1, %d locations (%.2f%%) live in cells above the cap and %d locations (%.2f%% of total) cannot be served (served fraction %.4f; paper: 99.89%%).\n",
@@ -287,13 +332,13 @@ func runFindings(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
 	}
 	fmt.Fprintf(&b, "F4: %.0f of %d locations (%.1f%%) cannot afford Starlink Residential (paper: 3.5M of 4.7M, 74.5%%).\n",
 		f.F4Unaffordable, ds.TotalLocations(), 100*f.F4UnaffordableFraction)
-	_, err = io.WriteString(w, b.String())
+	_, err := io.WriteString(w, b.String())
 	return err
 }
 
-func runSimCheck(w io.Writer, ds *leodivide.Dataset) error {
+func runSimCheck(ctx context.Context, w io.Writer, ds *leodivide.Dataset) error {
 	cfg := sim.DefaultConfig()
-	res, err := sim.Run(cfg, ds.Cells)
+	res, err := sim.Run(ctx, cfg, ds.Cells)
 	if err != nil {
 		return err
 	}
@@ -302,7 +347,7 @@ func runSimCheck(w io.Writer, ds *leodivide.Dataset) error {
 	for _, gw := range usgeo.GatewaySites() {
 		bent.Gateways = append(bent.Gateways, gw.Pos)
 	}
-	resBent, err := sim.Run(bent, ds.Cells)
+	resBent, err := sim.Run(ctx, bent, ds.Cells)
 	if err != nil {
 		return err
 	}
@@ -324,12 +369,12 @@ func runSimCheck(w io.Writer, ds *leodivide.Dataset) error {
 	}
 
 	// Dynamics over half an orbit: utilization and handover churn.
-	series, err := sim.RunSeries(cfg, ds.Cells)
+	series, err := sim.RunSeries(ctx, cfg, ds.Cells)
 	if err != nil {
 		return err
 	}
 	// Coverage by latitude: the inclined shell's Alaska cliff.
-	bands, err := sim.CoverageByLatitude(cfg, ds.Cells, 10)
+	bands, err := sim.CoverageByLatitude(ctx, cfg, ds.Cells, 10)
 	if err != nil {
 		return err
 	}
@@ -419,10 +464,10 @@ func runAblate(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
 	return err
 }
 
-func runFleets(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
-	r, err := m.AssessFleets(ds)
-	if err != nil {
-		return err
+func renderFleets(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
+	r, ok := v.(leodivide.FleetsResult)
+	if !ok {
+		return fmt.Errorf("fleets: unexpected result type %T", v)
 	}
 	print := func(a core.FleetAssessment) {
 		t := report.NewTable(
@@ -444,10 +489,10 @@ func runFleets(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
 	return nil
 }
 
-func runRefined(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
-	r, err := m.Fig4Refined(ds, 0, 3)
-	if err != nil {
-		return err
+func renderRefined(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
+	r, ok := v.(leodivide.RefinedFig4Result)
+	if !ok {
+		return fmt.Errorf("refined: unexpected result type %T", v)
 	}
 	t := report.NewTable(
 		fmt.Sprintf("Refined affordability — within-county lognormal dispersion (σ=%.2f, household of %d)",
@@ -572,7 +617,7 @@ func runLatency(w io.Writer) error {
 	return nil
 }
 
-func runExport(w io.Writer, m leodivide.Model, ds *leodivide.Dataset, dir string) error {
+func runExport(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -608,7 +653,7 @@ func runExport(w io.Writer, m leodivide.Model, ds *leodivide.Dataset, dir string
 	}
 	// Figure data bundles, one CSV per figure, for external plotting.
 	if err := writeFile("fig1_cdf.csv", func(out io.Writer) error {
-		r, err := m.Fig1(ds)
+		r, err := m.Fig1(ctx, ds)
 		if err != nil {
 			return err
 		}
@@ -622,7 +667,10 @@ func runExport(w io.Writer, m leodivide.Model, ds *leodivide.Dataset, dir string
 		return err
 	}
 	if err := writeFile("fig2_grid.csv", func(out io.Writer) error {
-		r := m.Fig2(ds)
+		r, err := m.Fig2(ctx, ds)
+		if err != nil {
+			return err
+		}
 		t := report.NewTable("", append([]string{"beamspread"}, labelsOf(r.Oversubs)...)...)
 		for i, spread := range r.Spreads {
 			row := make([]interface{}, 0, len(r.Oversubs)+1)
@@ -632,25 +680,29 @@ func runExport(w io.Writer, m leodivide.Model, ds *leodivide.Dataset, dir string
 			}
 			t.AddRow(row...)
 		}
-		_, err := io.WriteString(out, t.CSV())
+		_, err = io.WriteString(out, t.CSV())
 		return err
 	}); err != nil {
 		return err
 	}
 	if err := writeFile("fig3_curves.csv", func(out io.Writer) error {
 		t := report.NewTable("", "beamspread", "cap", "unserved", "satellites")
-		for _, res := range m.Fig3(ds) {
+		curves, err := m.Fig3(ctx, ds)
+		if err != nil {
+			return err
+		}
+		for _, res := range curves {
 			for _, p := range res.Points {
 				t.AddRow(res.Spread, p.CapLocations, p.UnservedLocations, p.Satellites)
 			}
 		}
-		_, err := io.WriteString(out, t.CSV())
+		_, err = io.WriteString(out, t.CSV())
 		return err
 	}); err != nil {
 		return err
 	}
 	if err := writeFile("fig4_curves.csv", func(out io.Writer) error {
-		r, err := m.Fig4(ds)
+		r, err := m.Fig4(ctx, ds)
 		if err != nil {
 			return err
 		}
@@ -677,10 +729,10 @@ func labelsOf(xs []float64) []string {
 	return out
 }
 
-func runBusyHour(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
-	r, err := m.BusyHour(ds)
-	if err != nil {
-		return err
+func renderBusyHour(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
+	r, ok := v.(leodivide.BusyHourResult)
+	if !ok {
+		return fmt.Errorf("busyhour: unexpected result type %T", v)
 	}
 	t := report.NewTable("Busy hour — the time dimension of P2",
 		"quantity", "value")
@@ -722,7 +774,7 @@ func runBusyHour(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
 	}
 
 	// Service quality over the day: the evening peak sweeping westward.
-	points, err := m.Capacity.ServedFractionOverDay(traffic.DefaultProfile(), ds.Cells, r.Spread, m.MaxOversub, 24)
+	points, err := m.Capacity.ServedFractionOverDay(ctx, traffic.DefaultProfile(), ds.Cells, r.Spread, m.MaxOversub, 24)
 	if err != nil {
 		return err
 	}
@@ -732,10 +784,10 @@ func runBusyHour(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
 	return nil
 }
 
-func runEcon(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
-	r, err := m.Economics(ds)
-	if err != nil {
-		return err
+func renderEcon(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
+	r, ok := v.(leodivide.EconomicsResult)
+	if !ok {
+		return fmt.Errorf("econ: unexpected result type %T", v)
 	}
 	t := report.NewTable(
 		fmt.Sprintf("Constellation economics — $%.1fM per satellite all-in, %g-year life (capped 20:1 scenarios)",
@@ -764,8 +816,8 @@ func runEcon(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
 	return nil
 }
 
-func runStability(w io.Writer, m leodivide.Model) error {
-	r, err := m.Stability(5, 0.25)
+func runStability(ctx context.Context, w io.Writer, m leodivide.Model) error {
+	r, err := m.Stability(ctx, 5, 0.25)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"leodivide"
+)
+
+// TestRegistryCoversRenderers enforces the registry↔CLI pairing both
+// ways: every registered experiment has a renderer (so `leodivide
+// <name>` works), every renderer corresponds to a registered experiment
+// (no dead presentation code), and every registry name appears in the
+// `all` ordering.
+func TestRegistryCoversRenderers(t *testing.T) {
+	m := leodivide.NewModel()
+	registered := make(map[string]bool)
+	for _, e := range m.Experiments() {
+		registered[e.Name] = true
+		if _, ok := renderers[e.Name]; !ok {
+			t.Errorf("experiment %q has no CLI renderer", e.Name)
+		}
+		if e.Description == "" {
+			t.Errorf("experiment %q has no description", e.Name)
+		}
+	}
+	for name := range renderers {
+		if !registered[name] {
+			t.Errorf("renderer %q has no registry entry", name)
+		}
+	}
+	inAll := make(map[string]bool, len(allOrder))
+	for _, name := range allOrder {
+		inAll[name] = true
+	}
+	for name := range registered {
+		if !inAll[name] {
+			t.Errorf("experiment %q missing from the `all` ordering", name)
+		}
+	}
+}
+
+// TestExperimentsCommand checks the registry listing subcommand.
+func TestExperimentsCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"experiments"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, e := range leodivide.NewModel().Experiments() {
+		if !strings.Contains(out, e.Name) {
+			t.Errorf("experiments listing missing %q", e.Name)
+		}
+	}
+	if !strings.Contains(out, "simcheck") {
+		t.Error("experiments listing should mention the CLI-only analyses")
+	}
+}
+
+// TestParallelismFlagMatchesSerial: the -parallelism flag must not
+// change output, per the engine's determinism contract.
+func TestParallelismFlagMatchesSerial(t *testing.T) {
+	var serial, pooled bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-parallelism", "1", "table2"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "0.05", "-parallelism", "8", "table2"}, &pooled); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != pooled.String() {
+		t.Error("table2 output differs between -parallelism 1 and 8")
+	}
+}

@@ -1,0 +1,126 @@
+package leodivide
+
+// The determinism suite: the contract of the parallel engine is that
+// every artifact is byte-identical at every worker count. These tests
+// pin that contract by generating datasets and running the headline
+// experiments at Parallelism(1) (exact serial) and Parallelism(8) and
+// requiring deep equality, across several seeds.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestGenerateDatasetDeterministicAcrossParallelism proves dataset
+// synthesis is worker-count independent: identical cells (IDs,
+// locations, county assignment, centers) and identical county income
+// tables at 1 vs 8 workers, for several seeds.
+func TestGenerateDatasetDeterministicAcrossParallelism(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{1, 2, 3} {
+		serial, err := GenerateDataset(ctx, WithSeed(seed), WithScale(0.05), WithParallelism(1))
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		par, err := GenerateDataset(ctx, WithSeed(seed), WithScale(0.05), WithParallelism(8))
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		if len(serial.Cells) != len(par.Cells) {
+			t.Fatalf("seed %d: cell count %d (serial) != %d (parallel)",
+				seed, len(serial.Cells), len(par.Cells))
+		}
+		for i := range serial.Cells {
+			if !reflect.DeepEqual(serial.Cells[i], par.Cells[i]) {
+				t.Fatalf("seed %d: cell %d differs: serial %+v parallel %+v",
+					seed, i, serial.Cells[i], par.Cells[i])
+			}
+		}
+		if !reflect.DeepEqual(serial.Incomes.Counties(), par.Incomes.Counties()) {
+			t.Fatalf("seed %d: county income tables differ", seed)
+		}
+	}
+}
+
+// TestExperimentsDeterministicAcrossParallelism proves the analysis
+// pipeline is worker-count independent: Fig2, Table2 and Fig3 results
+// are deeply equal at 1 vs 8 workers over the same dataset.
+func TestExperimentsDeterministicAcrossParallelism(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{1, 2, 3} {
+		ds, err := GenerateDataset(ctx, WithSeed(seed), WithScale(0.05))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		serial := NewModel().Parallelism(1)
+		par := NewModel().Parallelism(8)
+
+		f2s, err := serial.Fig2(ctx, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2p, err := par.Fig2(ctx, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(f2s, f2p) {
+			t.Fatalf("seed %d: Fig2 differs between worker counts", seed)
+		}
+
+		t2s, err := serial.Table2(ctx, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2p, err := par.Table2(ctx, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(t2s, t2p) {
+			t.Fatalf("seed %d: Table2 differs between worker counts", seed)
+		}
+
+		f3s, err := serial.Fig3(ctx, ds, 5, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f3p, err := par.Fig3(ctx, ds, 5, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(f3s, f3p) {
+			t.Fatalf("seed %d: Fig3 differs between worker counts", seed)
+		}
+	}
+}
+
+// TestFig4DeterministicAcrossParallelism pins the affordability curves
+// (the remaining parallelized experiment) the same way.
+func TestFig4DeterministicAcrossParallelism(t *testing.T) {
+	ctx := context.Background()
+	ds, err := GenerateDataset(ctx, WithSeed(2), WithScale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewModel().Parallelism(1).Fig4(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewModel().Parallelism(8).Fig4(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Fig4 differs between worker counts")
+	}
+}
+
+// TestGenerateDatasetCancellation: a pre-cancelled context aborts
+// generation with context.Canceled instead of returning a dataset.
+func TestGenerateDatasetCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GenerateDataset(ctx, WithSeed(1), WithScale(0.05)); err == nil {
+		t.Fatal("expected error from cancelled context")
+	}
+}

@@ -1,6 +1,7 @@
 package leodivide_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,18 +11,24 @@ import (
 // The calibrated dataset reproduces every statistic the paper publishes
 // about the National Broadband Map.
 func Example_quickstart() {
-	ds, err := leodivide.GenerateDataset(leodivide.WithSeed(1))
+	ds, err := leodivide.GenerateDataset(context.Background(), leodivide.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
 	m := leodivide.NewModel()
 
-	t1 := m.Table1(ds)
+	t1, err := m.Table1(context.Background(), ds)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("peak cell locations:", t1.PeakCellLocations)
 	fmt.Printf("peak demand: %.1f Gbps over %.1f Gbps capacity\n",
 		t1.PeakCellDemandGbps, t1.MaxCellCapacityGbps)
 
-	f1 := m.Finding1(ds)
+	f1, err := m.Finding1(context.Background(), ds)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("locations unservable at 20:1:", f1.ExcessLocations)
 	// Output:
 	// peak cell locations: 5998
@@ -31,11 +38,14 @@ func Example_quickstart() {
 
 // Calibrated sizing reproduces the paper's Table 2 within rounding.
 func ExampleModel_Table2() {
-	ds, err := leodivide.GenerateDataset(leodivide.WithSeed(1))
+	ds, err := leodivide.GenerateDataset(context.Background(), leodivide.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	t2 := leodivide.NewModel().Calibrated().Table2(ds)
+	t2, err := leodivide.NewModel().Calibrated().Table2(context.Background(), ds)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, row := range t2.Rows {
 		within := relDiff(row.FullServiceSats, t2.PaperFullService[row.Spread]) < 0.005
 		fmt.Printf("beamspread %2.0f within 0.5%% of paper: %v\n", row.Spread, within)
@@ -50,11 +60,11 @@ func ExampleModel_Table2() {
 
 // The affordability analysis reproduces Finding 4.
 func ExampleModel_Fig4() {
-	ds, err := leodivide.GenerateDataset(leodivide.WithSeed(1))
+	ds, err := leodivide.GenerateDataset(context.Background(), leodivide.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	f4, err := leodivide.NewModel().Fig4(ds)
+	f4, err := leodivide.NewModel().Fig4(context.Background(), ds)
 	if err != nil {
 		log.Fatal(err)
 	}

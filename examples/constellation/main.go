@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,8 @@ import (
 )
 
 func main() {
-	ds, err := leodivide.GenerateDataset(leodivide.WithSeed(1))
+	ctx := context.Background()
+	ds, err := leodivide.GenerateDataset(ctx, leodivide.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +61,7 @@ func main() {
 	cfg.Spread = best.spread
 	cfg.Oversub = m.MaxOversub
 	cfg.Epochs = 8
-	res, err := sim.Run(cfg, ds.Cells)
+	res, err := sim.Run(ctx, cfg, ds.Cells)
 	if err != nil {
 		log.Fatal(err)
 	}

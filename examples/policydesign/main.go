@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ import (
 )
 
 func main() {
-	ds, err := leodivide.GenerateDataset(leodivide.WithSeed(1))
+	ds, err := leodivide.GenerateDataset(context.Background(), leodivide.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,10 +11,11 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The dataset is the synthetic National Broadband Map: ~4.67M
 	// un(der)served locations aggregated into ~27k service cells, with
 	// county median incomes attached.
-	ds, err := leodivide.GenerateDataset(leodivide.WithSeed(1))
+	ds, err := leodivide.GenerateDataset(ctx, leodivide.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -23,14 +25,20 @@ func main() {
 	m := leodivide.NewModel()
 
 	// Table 1: what one satellite can deliver to one cell.
-	t1 := m.Table1(ds)
+	t1, err := m.Table1(ctx, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("single-satellite capacity: %.1f Gbps per cell (%.0f MHz x %.1f b/Hz)\n",
 		t1.MaxCellCapacityGbps, t1.UTDownlinkMHz, t1.SpectralEfficiencyBpsPerHz)
 	fmt.Printf("peak cell: %d locations demanding %.1f Gbps -> %.1f:1 oversubscription for full service\n\n",
 		t1.PeakCellLocations, t1.PeakCellDemandGbps, t1.MaxOversubscription)
 
 	// Table 2: how many satellites universal service takes.
-	t2 := m.Table2(ds)
+	t2, err := m.Table2(ctx, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("constellation size by beamspread factor (full service / capped 20:1):")
 	for _, row := range t2.Rows {
 		fmt.Printf("  beamspread %2.0f: %6d / %6d satellites\n",
@@ -39,7 +47,7 @@ func main() {
 	fmt.Println()
 
 	// The findings.
-	f, err := m.RunFindings(ds)
+	f, err := m.RunFindings(ctx, ds)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,7 +33,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds, err := leodivide.GenerateDataset(leodivide.WithSeed(1))
+	ctx := context.Background()
+	ds, err := leodivide.GenerateDataset(ctx, leodivide.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +75,10 @@ func main() {
 	// How much of the state a single spread beam per cell serves, at a
 	// few beamspread factors (the current-constellation regime).
 	fmt.Println("fraction of state cells servable with one spread beam per cell:")
-	grid := m.Capacity.ServedFractionGrid(dist, []float64{2, 5, 10}, []float64{m.MaxOversub}, false)
+	grid, err := m.Capacity.ServedFractionGrid(ctx, dist, []float64{2, 5, 10}, []float64{m.MaxOversub}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i, s := range []float64{2, 5, 10} {
 		fmt.Printf("  beamspread %2.0f: %.1f%%\n", s, 100*grid[i][0])
 	}

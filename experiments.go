@@ -1,0 +1,117 @@
+package leodivide
+
+// The experiment registry: one authoritative list of every runner the
+// facade exposes, so the CLI, library consumers and documentation can
+// enumerate the same set and none can drift. Each entry wraps a typed
+// Model method in the uniform (ctx, *Dataset) (any, error) shape; the
+// typed methods remain the primary API for programmatic use.
+
+import "context"
+
+// Experiment is one named, runnable experiment of the pipeline.
+type Experiment struct {
+	// Name is the registry key, matching the CLI subcommand.
+	Name string
+	// Description is a one-line summary shown by `leodivide experiments`.
+	Description string
+	// Run evaluates the experiment. The concrete result type is the
+	// corresponding Model method's result (e.g. Table2Result for
+	// "table2").
+	Run func(ctx context.Context, d *Dataset) (any, error)
+}
+
+// Experiments returns the registry of the model's experiment runners in
+// presentation order. Every entry delegates to the uniform
+// (ctx, *Dataset) (Result, error) methods, so cancellation and the
+// Parallelism knob apply uniformly.
+func (m Model) Experiments() []Experiment {
+	return []Experiment{
+		{
+			Name:        "fig1",
+			Description: "per-cell density distribution (Figure 1)",
+			Run: func(ctx context.Context, d *Dataset) (any, error) {
+				return m.Fig1(ctx, d)
+			},
+		},
+		{
+			Name:        "table1",
+			Description: "single-satellite capacity model (Table 1)",
+			Run: func(ctx context.Context, d *Dataset) (any, error) {
+				return m.Table1(ctx, d)
+			},
+		},
+		{
+			Name:        "table2",
+			Description: "constellation sizing vs beamspread (Table 2)",
+			Run: func(ctx context.Context, d *Dataset) (any, error) {
+				return m.Table2(ctx, d)
+			},
+		},
+		{
+			Name:        "fig2",
+			Description: "beamspread × oversubscription served fraction (Figure 2)",
+			Run: func(ctx context.Context, d *Dataset) (any, error) {
+				return m.Fig2(ctx, d)
+			},
+		},
+		{
+			Name:        "fig3",
+			Description: "diminishing returns over the demand tail (Figure 3)",
+			Run: func(ctx context.Context, d *Dataset) (any, error) {
+				return m.Fig3(ctx, d)
+			},
+		},
+		{
+			Name:        "fig4",
+			Description: "affordability at 2% of income (Figure 4)",
+			Run: func(ctx context.Context, d *Dataset) (any, error) {
+				return m.Fig4(ctx, d)
+			},
+		},
+		{
+			Name:        "findings",
+			Description: "the paper's four findings (F1–F4)",
+			Run: func(ctx context.Context, d *Dataset) (any, error) {
+				return m.RunFindings(ctx, d)
+			},
+		},
+		{
+			Name:        "fleets",
+			Description: "assess the authorized Gen1/Gen2 fleets against the requirement",
+			Run: func(ctx context.Context, d *Dataset) (any, error) {
+				return m.AssessFleets(ctx, d)
+			},
+		},
+		{
+			Name:        "refined",
+			Description: "affordability with income dispersion and Lifeline eligibility",
+			Run: func(ctx context.Context, d *Dataset) (any, error) {
+				return m.Fig4Refined(ctx, d, 0, 3)
+			},
+		},
+		{
+			Name:        "busyhour",
+			Description: "diurnal demand: staggering and busy-hour throughput",
+			Run: func(ctx context.Context, d *Dataset) (any, error) {
+				return m.BusyHour(ctx, d)
+			},
+		},
+		{
+			Name:        "econ",
+			Description: "constellation economics: capex and per-location cost",
+			Run: func(ctx context.Context, d *Dataset) (any, error) {
+				return m.Economics(ctx, d)
+			},
+		},
+	}
+}
+
+// ExperimentByName looks an experiment up in the registry.
+func (m Model) ExperimentByName(name string) (Experiment, bool) {
+	for _, e := range m.Experiments() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -6,6 +6,8 @@ package leodivide
 // as FLEET and REFINED.
 
 import (
+	"context"
+
 	"leodivide/internal/afford"
 	"leodivide/internal/constellation"
 	"leodivide/internal/core"
@@ -23,13 +25,13 @@ type FleetsResult struct {
 // (29,988) against the capped-oversubscription sizing requirement at
 // the paper's beamspread factors: an extension answering "does the
 // full Gen2 authorization reach the >40,000-satellite bar?"
-func (m Model) AssessFleets(d *Dataset) (FleetsResult, error) {
+func (m Model) AssessFleets(ctx context.Context, d *Dataset) (FleetsResult, error) {
 	dist := d.Distribution()
-	gen1, err := m.Capacity.AssessFleet(dist, constellation.StarlinkGen1(), PaperTable2Spreads, m.MaxOversub)
+	gen1, err := m.Capacity.AssessFleet(ctx, dist, constellation.StarlinkGen1(), PaperTable2Spreads, m.MaxOversub)
 	if err != nil {
 		return FleetsResult{}, err
 	}
-	gen2, err := m.Capacity.AssessFleet(dist, constellation.StarlinkGen2(), PaperTable2Spreads, m.MaxOversub)
+	gen2, err := m.Capacity.AssessFleet(ctx, dist, constellation.StarlinkGen2(), PaperTable2Spreads, m.MaxOversub)
 	if err != nil {
 		return FleetsResult{}, err
 	}
@@ -58,7 +60,10 @@ type RefinedFig4Result struct {
 // Fig4Refined runs the affordability analysis with within-county
 // income dispersion and eligibility-aware Lifeline. sigmaLog <= 0
 // selects the default (0.55); householdSize <= 0 selects 3.
-func (m Model) Fig4Refined(d *Dataset, sigmaLog float64, householdSize int) (RefinedFig4Result, error) {
+func (m Model) Fig4Refined(ctx context.Context, d *Dataset, sigmaLog float64, householdSize int) (RefinedFig4Result, error) {
+	if err := ctx.Err(); err != nil {
+		return RefinedFig4Result{}, err
+	}
 	if householdSize <= 0 {
 		householdSize = 3
 	}
@@ -108,7 +113,10 @@ type BusyHourResult struct {
 // BusyHour analyses the diurnal dimension of P2: how much (little)
 // time-zone staggering relieves a LEO constellation, and what per-user
 // throughput the busy hour leaves in dense cells.
-func (m Model) BusyHour(d *Dataset) (BusyHourResult, error) {
+func (m Model) BusyHour(ctx context.Context, d *Dataset) (BusyHourResult, error) {
+	if err := ctx.Err(); err != nil {
+		return BusyHourResult{}, err
+	}
 	profile := traffic.DefaultProfile()
 	stagger, err := traffic.AnalyzeStagger(profile, d.Cells, 8.5)
 	if err != nil {
@@ -149,7 +157,7 @@ type EconomicsResult struct {
 // Economics converts satellite counts into dollars: constellation
 // capex, sustaining cost per served location, and the per-location
 // price of the diminishing-returns tail.
-func (m Model) Economics(d *Dataset) (EconomicsResult, error) {
+func (m Model) Economics(ctx context.Context, d *Dataset) (EconomicsResult, error) {
 	cost := econ.DefaultCostModel()
 	dist := d.Distribution()
 	served := dist.TotalLocations() -
@@ -163,7 +171,10 @@ func (m Model) Economics(d *Dataset) (EconomicsResult, error) {
 		}
 		out.Scenarios = append(out.Scenarios, sc)
 	}
-	fig3 := m.Fig3(d, 10)
+	fig3, err := m.Fig3(ctx, d, 10)
+	if err != nil {
+		return EconomicsResult{}, err
+	}
 	if len(fig3) > 0 {
 		tail, err := cost.PriceSteps(fig3[0].Steps)
 		if err != nil {

@@ -1,13 +1,14 @@
 package leodivide
 
 import (
+	"context"
 	"math"
 	"testing"
 )
 
 func TestAssessFleets(t *testing.T) {
 	m := NewModel()
-	r, err := m.AssessFleets(fullDataset(t))
+	r, err := m.AssessFleets(context.Background(), fullDataset(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestAssessFleets(t *testing.T) {
 
 func TestFig4Refined(t *testing.T) {
 	m := NewModel()
-	r, err := m.Fig4Refined(fullDataset(t), 0, 0)
+	r, err := m.Fig4Refined(context.Background(), fullDataset(t), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestFig4Refined(t *testing.T) {
 
 func TestBusyHour(t *testing.T) {
 	m := NewModel()
-	r, err := m.BusyHour(fullDataset(t))
+	r, err := m.BusyHour(context.Background(), fullDataset(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestBusyHour(t *testing.T) {
 
 func TestEconomics(t *testing.T) {
 	m := NewModel()
-	r, err := m.Economics(fullDataset(t))
+	r, err := m.Economics(context.Background(), fullDataset(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestEconomics(t *testing.T) {
 
 func TestFig1Gini(t *testing.T) {
 	m := NewModel()
-	r, err := m.Fig1(fullDataset(t))
+	r, err := m.Fig1(context.Background(), fullDataset(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestFig1Gini(t *testing.T) {
 
 func TestStability(t *testing.T) {
 	m := NewModel()
-	r, err := m.Stability(3, 0.05)
+	r, err := m.Stability(context.Background(), 3, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestStability(t *testing.T) {
 	if r.ServedFractionAt20.StdDev > 1e-3 {
 		t.Errorf("served fraction should be pinned, stddev = %v", r.ServedFractionAt20.StdDev)
 	}
-	if _, err := m.Stability(1, 0.05); err == nil {
+	if _, err := m.Stability(context.Background(), 1, 0.05); err == nil {
 		t.Error("single seed should fail")
 	}
 }

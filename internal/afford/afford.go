@@ -7,11 +7,13 @@
 package afford
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"leodivide/internal/census"
+	"leodivide/internal/par"
 	"leodivide/internal/stats"
 )
 
@@ -204,6 +206,32 @@ func (in *Input) Comparison(pairs []PlanOption, share float64) []Result {
 type PlanOption struct {
 	Plan    Plan
 	Subsidy *Subsidy
+}
+
+// PlanCurves bundles everything Figure 4 needs for one plan option: the
+// point evaluation at the affordability threshold, the full share curve,
+// and the share at which the curve reaches zero.
+type PlanCurves struct {
+	Option    PlanOption
+	Result    Result
+	Curve     []CurvePoint
+	ZeroShare float64
+}
+
+// EvaluateCurves computes the Figure 4 bundle for each plan option
+// concurrently (bounded by workers; see par.Workers), returning results
+// in option order. Each option's evaluation is a pure read of the
+// weighted CDF, so output is identical at every worker count.
+func (in *Input) EvaluateCurves(ctx context.Context, options []PlanOption, share, maxShare float64, n, workers int) ([]PlanCurves, error) {
+	return par.Map(ctx, workers, len(options), func(i int) (PlanCurves, error) {
+		opt := options[i]
+		return PlanCurves{
+			Option:    opt,
+			Result:    in.Evaluate(opt.Plan, opt.Subsidy, share),
+			Curve:     in.Curve(opt.Plan, opt.Subsidy, maxShare, n),
+			ZeroShare: in.ZeroShare(opt.Plan, opt.Subsidy),
+		}, nil
+	})
 }
 
 // PaperComparison returns the four plan/subsidy pairs of Figure 4.

@@ -13,6 +13,7 @@
 package bdc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -22,6 +23,7 @@ import (
 	"leodivide/internal/demand"
 	"leodivide/internal/geo"
 	"leodivide/internal/hexgrid"
+	"leodivide/internal/par"
 	"leodivide/internal/usgeo"
 )
 
@@ -54,6 +56,13 @@ type GenConfig struct {
 	BodyAnchors []QuantileAnchor
 	// Peaks are the pinned head cells.
 	Peaks []PeakCell
+	// Parallelism bounds the worker count for the RNG-free phases of
+	// generation (grid enumeration, county resolution). 0 means one
+	// worker per CPU; 1 is the serial path. The generated dataset is
+	// identical at every setting: all seeded-RNG decisions run on a
+	// single goroutine in a fixed order, and parallel shards are
+	// collected in canonical order.
+	Parallelism int
 }
 
 // DefaultGenConfig returns the paper-calibrated configuration.
@@ -227,7 +236,10 @@ func gcd(a, b int) int {
 // every cell's location count, county and center. This is the fast path
 // the capacity model consumes; per-location records are produced by
 // GenerateLocations.
-func GenerateCells(cfg GenConfig) ([]demand.Cell, error) {
+//
+// Generation fans out over cfg.Parallelism workers but is byte-identical
+// to the serial path at every worker count (see GenConfig.Parallelism).
+func GenerateCells(ctx context.Context, cfg GenConfig) ([]demand.Cell, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -262,7 +274,10 @@ func GenerateCells(cfg GenConfig) ([]demand.Cell, error) {
 
 	// Sample body cell sites state by state, proportional to rural
 	// weight, rejecting duplicates and off-frame centers.
-	sites := sampleSites(rng, cfg.Resolution, len(counts), used)
+	sites, err := sampleSites(ctx, rng, cfg.Resolution, len(counts), used, cfg.Parallelism)
+	if err != nil {
+		return nil, err
+	}
 	if len(sites) < len(counts) {
 		return nil, fmt.Errorf("bdc: sampled only %d of %d body cells", len(sites), len(counts))
 	}
@@ -287,11 +302,17 @@ type site struct {
 }
 
 // sampleSites draws n distinct grid cells across the US, weighted by
-// state rural weight.
-func sampleSites(rng *rand.Rand, res hexgrid.Resolution, n int, used map[hexgrid.CellID]bool) []site {
+// state rural weight. All RNG decisions (pool shuffles) run serially in
+// state order; only the RNG-free county resolution fans out, collected
+// in the serial emission order. A shortfall returns (nil, nil) so the
+// caller can report it with context.
+func sampleSites(ctx context.Context, rng *rand.Rand, res hexgrid.Resolution, n int, used map[hexgrid.CellID]bool, workers int) ([]site, error) {
 	states := usgeo.States()
 	totalWeight := usgeo.TotalRuralWeight()
-	byState := usCells(res)
+	byState, err := usCells(ctx, res, workers)
+	if err != nil {
+		return nil, err
+	}
 
 	// Shuffled per-state pools, minus already-used cells.
 	pools := make([][]hexgrid.CellID, len(states))
@@ -308,7 +329,7 @@ func sampleSites(rng *rand.Rand, res hexgrid.Resolution, n int, used map[hexgrid
 		totalCapacity += len(pool)
 	}
 	if totalCapacity < n {
-		return nil // caller reports the shortfall
+		return nil, nil // caller reports the shortfall
 	}
 
 	// Per-state targets proportional to rural weight, capped by pool
@@ -350,20 +371,32 @@ func sampleSites(rng *rand.Rand, res hexgrid.Resolution, n int, used map[hexgrid
 		}
 	}
 
-	sites := make([]site, 0, n)
+	// Flatten the selected cells in the serial emission order (state by
+	// state), then resolve counties — the expensive, RNG-free step — in
+	// parallel, each result landing in its emission slot.
+	type pick struct {
+		id    hexgrid.CellID
+		state int
+	}
+	picks := make([]pick, 0, n)
+	counties := make([][]usgeo.County, len(states))
 	for i, s := range states {
-		counties := usgeo.Counties(s)
+		if targets[i] > 0 {
+			counties[i] = usgeo.Counties(s)
+		}
 		for _, id := range pools[i][:targets[i]] {
-			center := id.LatLng()
-			county, ok := countyFor(counties, center)
-			if !ok {
-				county = nearestCounty(counties, center)
-			}
-			used[id] = true
-			sites = append(sites, site{id: id, countyFIPS: county.FIPS})
+			picks = append(picks, pick{id: id, state: i})
 		}
 	}
-	return sites
+	return par.Map(ctx, workers, len(picks), func(k int) (site, error) {
+		p := picks[k]
+		center := p.id.LatLng()
+		county, ok := countyFor(counties[p.state], center)
+		if !ok {
+			county = nearestCounty(counties[p.state], center)
+		}
+		return site{id: p.id, countyFIPS: county.FIPS}, nil
+	})
 }
 
 // usCells enumerates every grid cell whose center falls inside a US
@@ -375,26 +408,41 @@ var (
 	usCellsCache = make(map[hexgrid.Resolution]map[string][]hexgrid.CellID)
 )
 
-func usCells(res hexgrid.Resolution) map[string][]hexgrid.CellID {
+func usCells(ctx context.Context, res hexgrid.Resolution, workers int) (map[string][]hexgrid.CellID, error) {
 	usCellsMu.Lock()
 	defer usCellsMu.Unlock()
 	if m, ok := usCellsCache[res]; ok {
-		return m
+		return m, nil
+	}
+	// Enumerate the 20 icosahedron faces concurrently; concatenating the
+	// face shards in face order reproduces hexgrid.ForEachCell's exact
+	// per-state bucket ordering.
+	shards, err := par.Map(ctx, workers, 20, func(f int) (map[string][]hexgrid.CellID, error) {
+		shard := make(map[string][]hexgrid.CellID)
+		hexgrid.ForEachCellOnFace(res, f, func(id hexgrid.CellID) {
+			center := id.LatLng()
+			// Quick reject: the US (including the trimmed Alaska frame
+			// and Hawaii) lies inside this box.
+			if center.Lat < 18 || center.Lat > 67 || center.Lng < -169 || center.Lng > -66 {
+				return
+			}
+			if s, ok := usgeo.StateAt(center); ok {
+				shard[s.Abbr] = append(shard[s.Abbr], id)
+			}
+		})
+		return shard, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	m := make(map[string][]hexgrid.CellID)
-	hexgrid.ForEachCell(res, func(id hexgrid.CellID) {
-		center := id.LatLng()
-		// Quick reject: the US (including the trimmed Alaska frame and
-		// Hawaii) lies inside this box.
-		if center.Lat < 18 || center.Lat > 67 || center.Lng < -169 || center.Lng > -66 {
-			return
+	for _, shard := range shards {
+		for abbr, ids := range shard {
+			m[abbr] = append(m[abbr], ids...)
 		}
-		if s, ok := usgeo.StateAt(center); ok {
-			m[s.Abbr] = append(m[s.Abbr], id)
-		}
-	})
+	}
 	usCellsCache[res] = m
-	return m
+	return m, nil
 }
 
 func countyFor(counties []usgeo.County, p geo.LatLng) (usgeo.County, bool) {

@@ -1,6 +1,8 @@
 package bdc
 
 import (
+	"context"
+
 	"bytes"
 	"math"
 	"strings"
@@ -82,7 +84,7 @@ func TestBodyCountsExactTotal(t *testing.T) {
 
 func TestGenerateCellsCalibration(t *testing.T) {
 	cfg := DefaultGenConfig()
-	cells, err := GenerateCells(cfg)
+	cells, err := GenerateCells(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,11 +128,11 @@ func TestGenerateCellsCalibration(t *testing.T) {
 
 func TestGenerateCellsDeterminism(t *testing.T) {
 	cfg := smallConfig()
-	a, err := GenerateCells(cfg)
+	a, err := GenerateCells(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := GenerateCells(cfg)
+	b, err := GenerateCells(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +145,7 @@ func TestGenerateCellsDeterminism(t *testing.T) {
 		}
 	}
 	cfg.Seed = 2
-	c, err := GenerateCells(cfg)
+	c, err := GenerateCells(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +161,7 @@ func TestGenerateCellsDeterminism(t *testing.T) {
 }
 
 func TestGenerateCellsDistinctIDs(t *testing.T) {
-	cells, err := GenerateCells(smallConfig())
+	cells, err := GenerateCells(context.Background(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +179,7 @@ func TestGenerateLocationsStayInCell(t *testing.T) {
 	cfg.TotalLocations = 5000
 	cfg.Peaks = cfg.Peaks[:1]
 	cfg.Peaks[0].Locations = 300
-	cells, err := GenerateCells(cfg)
+	cells, err := GenerateCells(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +219,7 @@ func TestGenerateLocationsStayInCell(t *testing.T) {
 
 func TestGenerateLocationsScale(t *testing.T) {
 	cfg := smallConfig()
-	cells, err := GenerateCells(cfg)
+	cells, err := GenerateCells(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +242,7 @@ func TestGenerateLocationsScale(t *testing.T) {
 
 func TestLocationsCSVRoundTrip(t *testing.T) {
 	cfg := smallConfig()
-	cells, err := GenerateCells(cfg)
+	cells, err := GenerateCells(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +276,7 @@ func TestLocationsCSVRoundTrip(t *testing.T) {
 }
 
 func TestCellsCSVRoundTrip(t *testing.T) {
-	cells, err := GenerateCells(smallConfig())
+	cells, err := GenerateCells(context.Background(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +331,7 @@ func TestValidateCatchesDuplicates(t *testing.T) {
 
 func TestPeaksPlacedAtAnchors(t *testing.T) {
 	cfg := DefaultGenConfig()
-	cells, err := GenerateCells(cfg)
+	cells, err := GenerateCells(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +370,7 @@ func TestGeneratorInvariantProperty(t *testing.T) {
 					cfg.Peaks[i].Locations = 1
 				}
 			}
-			cells, err := GenerateCells(cfg)
+			cells, err := GenerateCells(context.Background(), cfg)
 			if err != nil {
 				t.Fatalf("total=%d seed=%d: %v", total, seed, err)
 			}

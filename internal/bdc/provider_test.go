@@ -1,6 +1,8 @@
 package bdc
 
 import (
+	"context"
+
 	"bytes"
 	"strings"
 	"testing"
@@ -14,7 +16,7 @@ func testLocations(t *testing.T) []demand.Location {
 	cfg.TotalLocations = 3000
 	cfg.Peaks = cfg.Peaks[:1]
 	cfg.Peaks[0].Locations = 200
-	cells, err := GenerateCells(cfg)
+	cells, err := GenerateCells(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"leodivide/internal/demand"
+	"leodivide/internal/par"
 	"leodivide/internal/traffic"
 )
 
@@ -22,7 +24,7 @@ type DailyPoint struct {
 // in one spread beam at the oversubscription cap. The resulting curve
 // shows national service quality sagging as the evening peak sweeps
 // westward across the time zones.
-func (m Model) ServedFractionOverDay(p traffic.DiurnalProfile, cells []demand.Cell,
+func (m Model) ServedFractionOverDay(ctx context.Context, p traffic.DiurnalProfile, cells []demand.Cell,
 	spread, maxOversub float64, steps int) ([]DailyPoint, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -34,10 +36,10 @@ func (m Model) ServedFractionOverDay(p traffic.DiurnalProfile, cells []demand.Ce
 		steps = 24
 	}
 	// A cell is served at multiplier k iff k·L ≤ L1(ρ, s): the diurnal
-	// multiplier effectively scales the cell's location count.
+	// multiplier effectively scales the cell's location count. Each UTC
+	// step scans every cell, so the sweep fans out over steps.
 	limit := float64(m.Beams.MaxLocationsUnderSpread(maxOversub, spread))
-	out := make([]DailyPoint, 0, steps)
-	for s := 0; s < steps; s++ {
+	return par.Map(ctx, m.Parallelism, steps, func(s int) (DailyPoint, error) {
 		utc := 24 * float64(s) / float64(steps)
 		served := 0
 		for _, c := range cells {
@@ -46,12 +48,11 @@ func (m Model) ServedFractionOverDay(p traffic.DiurnalProfile, cells []demand.Ce
 				served++
 			}
 		}
-		out = append(out, DailyPoint{
+		return DailyPoint{
 			UTCHour:            utc,
 			ServedCellFraction: float64(served) / float64(len(cells)),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // DailySummary condenses the daily curve.

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+
 	"leodivide/internal/constellation"
 	"leodivide/internal/demand"
 	"leodivide/internal/orbit"
+	"leodivide/internal/par"
 )
 
 // FleetAssessment compares a real multi-shell fleet against the
@@ -37,7 +40,7 @@ type FleetRow struct {
 // AssessFleet evaluates whether a fleet's satellite density at the
 // binding demand cell meets the capped-oversubscription sizing
 // requirement across beamspread factors.
-func (m Model) AssessFleet(d *demand.Distribution, fleet constellation.Fleet,
+func (m Model) AssessFleet(ctx context.Context, d *demand.Distribution, fleet constellation.Fleet,
 	spreads []float64, maxOversub float64) (FleetAssessment, error) {
 	if err := fleet.Validate(); err != nil {
 		return FleetAssessment{}, err
@@ -59,13 +62,18 @@ func (m Model) AssessFleet(d *demand.Distribution, fleet constellation.Fleet,
 		EquivalentSatellites: equiv,
 		BindingLatDeg:        lat,
 	}
-	for _, s := range spreads {
+	rows, err := par.Map(ctx, m.Parallelism, len(spreads), func(i int) (FleetRow, error) {
+		s := spreads[i]
 		req := m.Size(d, CappedOversub, s, maxOversub).Satellites
-		out.Rows = append(out.Rows, FleetRow{
+		return FleetRow{
 			Spread:             s,
 			RequiredSatellites: req,
 			CoverageRatio:      float64(equiv) / float64(req),
-		})
+		}, nil
+	})
+	if err != nil {
+		return FleetAssessment{}, err
 	}
+	out.Rows = rows
 	return out, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"leodivide/internal/constellation"
@@ -11,7 +13,7 @@ func TestAssessFleet(t *testing.T) {
 	d := paperDist(t)
 	spreads := []float64{2, 10, 15}
 
-	gen1, err := m.AssessFleet(d, constellation.StarlinkGen1(), spreads, 20)
+	gen1, err := m.AssessFleet(context.Background(), d, constellation.StarlinkGen1(), spreads, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +37,7 @@ func TestAssessFleet(t *testing.T) {
 		}
 	}
 
-	gen2, err := m.AssessFleet(d, constellation.StarlinkGen2(), spreads, 20)
+	gen2, err := m.AssessFleet(context.Background(), d, constellation.StarlinkGen2(), spreads, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +48,7 @@ func TestAssessFleet(t *testing.T) {
 	}
 
 	// Invalid fleet errors.
-	if _, err := m.AssessFleet(d, constellation.Fleet{Name: "x"}, spreads, 20); err == nil {
+	if _, err := m.AssessFleet(context.Background(), d, constellation.Fleet{Name: "x"}, spreads, 20); err == nil {
 		t.Error("invalid fleet should fail")
 	}
 }

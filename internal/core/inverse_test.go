@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"leodivide/internal/demand"
@@ -183,7 +185,7 @@ func TestServedFractionOverDay(t *testing.T) {
 			id++
 		}
 	}
-	points, err := m.ServedFractionOverDay(profile, cells, 10, 20, 48)
+	points, err := m.ServedFractionOverDay(context.Background(), profile, cells, 10, 20, 48)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,11 +207,11 @@ func TestServedFractionOverDay(t *testing.T) {
 		}
 	}
 	// Errors.
-	if _, err := m.ServedFractionOverDay(profile, nil, 10, 20, 24); err == nil {
+	if _, err := m.ServedFractionOverDay(context.Background(), profile, nil, 10, 20, 24); err == nil {
 		t.Error("no cells should fail")
 	}
 	var zero traffic.DiurnalProfile
-	if _, err := m.ServedFractionOverDay(zero, cells, 10, 20, 24); err == nil {
+	if _, err := m.ServedFractionOverDay(context.Background(), zero, cells, 10, 20, 24); err == nil {
 		t.Error("invalid profile should fail")
 	}
 }

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -25,6 +26,7 @@ import (
 	"leodivide/internal/geo"
 	"leodivide/internal/hexgrid"
 	"leodivide/internal/orbit"
+	"leodivide/internal/par"
 	"leodivide/internal/spectrum"
 )
 
@@ -74,6 +76,13 @@ type Model struct {
 	// CalibrationLatDeg is the reference latitude for the calibrated
 	// effective cell count.
 	CalibrationLatDeg float64
+	// Parallelism bounds the worker count for the sweep methods
+	// (SizeTable, ServedFractionGrid, DiminishingReturns, AssessFleet,
+	// ServedFractionOverDay). 0 means one worker per CPU; 1 is the exact
+	// serial path. Every sweep point is an independent pure function of
+	// the model and dataset and lands in an index-ordered slot, so
+	// results are identical at every setting.
+	Parallelism int
 }
 
 // PaperEffectiveCells is the effective global cell count implied by the
@@ -311,21 +320,21 @@ type SizeRow struct {
 }
 
 // SizeTable reproduces Table 2: constellation sizes for both scenarios
-// across beamspread factors.
-func (m Model) SizeTable(d *demand.Distribution, spreads []float64, maxOversub float64) []SizeRow {
-	out := make([]SizeRow, 0, len(spreads))
-	for _, s := range spreads {
+// across beamspread factors. Rows are computed concurrently under the
+// model's Parallelism and returned in spread order.
+func (m Model) SizeTable(ctx context.Context, d *demand.Distribution, spreads []float64, maxOversub float64) ([]SizeRow, error) {
+	return par.Map(ctx, m.Parallelism, len(spreads), func(i int) (SizeRow, error) {
+		s := spreads[i]
 		full := m.Size(d, FullService, s, 0)
 		capped := m.Size(d, CappedOversub, s, maxOversub)
-		out = append(out, SizeRow{
+		return SizeRow{
 			Spread:               s,
 			FullServiceSats:      full.Satellites,
 			CappedOversubSats:    capped.Satellites,
 			FullServiceBinding:   full.BindingCell,
 			CappedOversubBinding: capped.BindingCell,
-		})
-	}
-	return out
+		}, nil
+	})
 }
 
 // ServedFractionGrid reproduces Figure 2: for each (beamspread,
@@ -333,9 +342,11 @@ func (m Model) SizeTable(d *demand.Distribution, spreads []float64, maxOversub f
 // With multiBeam false (the paper's current-constellation reading),
 // each cell gets a single s-way-spread beam; with multiBeam true, up to
 // the per-cell beam cap of s-way-spread beams.
-func (m Model) ServedFractionGrid(d *demand.Distribution, spreads, oversubs []float64, multiBeam bool) [][]float64 {
-	out := make([][]float64, len(spreads))
-	for i, s := range spreads {
+// Rows (one per beamspread) are computed concurrently under the model's
+// Parallelism and returned in axis order.
+func (m Model) ServedFractionGrid(ctx context.Context, d *demand.Distribution, spreads, oversubs []float64, multiBeam bool) ([][]float64, error) {
+	return par.Map(ctx, m.Parallelism, len(spreads), func(i int) ([]float64, error) {
+		s := spreads[i]
 		row := make([]float64, len(oversubs))
 		for j, o := range oversubs {
 			maxLoc := m.Beams.MaxLocationsUnderSpread(o, s)
@@ -344,9 +355,8 @@ func (m Model) ServedFractionGrid(d *demand.Distribution, spreads, oversubs []fl
 			}
 			row[j] = d.FractionOfCellsAtMost(maxLoc)
 		}
-		out[i] = row
-	}
-	return out
+		return row, nil
+	})
 }
 
 // ReturnsPoint is one point of the Figure-3 diminishing-returns curve.
@@ -368,9 +378,18 @@ type ReturnsPoint struct {
 // of serving more locations. The curve is stepped: satellites jump only
 // when the cap crosses a per-beam boundary and pins another beam on the
 // binding cell.
-func (m Model) DiminishingReturns(d *demand.Distribution, spread, oversub float64) []ReturnsPoint {
+//
+// The t-sweep fans out over the model's Parallelism: every cap value's
+// (unserved, satellites) pair is an independent pure evaluation, and the
+// serial skip-if-unchanged emission is equivalent to run-compressing the
+// full precomputed sequence, so the curve is identical at every worker
+// count.
+func (m Model) DiminishingReturns(ctx context.Context, d *demand.Distribution, spread, oversub float64) ([]ReturnsPoint, error) {
 	hardCap := m.Beams.MaxServableLocations(oversub)
 	perBeam := m.Beams.LocationsPerBeam(oversub)
+	if perBeam > hardCap {
+		return nil, nil
+	}
 
 	// The paper's narrative sizes every point of the sweep against the
 	// same peak cell, with only its beam requirement changing as the cap
@@ -385,9 +404,8 @@ func (m Model) DiminishingReturns(d *demand.Distribution, spread, oversub float6
 		}
 	}
 
-	var out []ReturnsPoint
-	lastUnserved, lastSats := -1, -1
-	for t := perBeam; t <= hardCap; t++ {
+	raw, err := par.Map(ctx, m.Parallelism, hardCap-perBeam+1, func(i int) (ReturnsPoint, error) {
+		t := perBeam + i
 		unserved := d.ExcessAbove(t)
 		b, _ := m.Beams.BeamsForCell(t, oversub)
 		var sats int
@@ -396,18 +414,27 @@ func (m Model) DiminishingReturns(d *demand.Distribution, spread, oversub float6
 		} else {
 			sats = m.sizeWithCap(d, spread, oversub, t).Satellites
 		}
-		if unserved == lastUnserved && sats == lastSats {
-			continue
-		}
-		out = append(out, ReturnsPoint{
+		return ReturnsPoint{
 			CapLocations:      t,
 			UnservedLocations: unserved,
 			Satellites:        sats,
 			PeakBeams:         b,
-		})
-		lastUnserved, lastSats = unserved, sats
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+
+	var out []ReturnsPoint
+	lastUnserved, lastSats := -1, -1
+	for _, p := range raw {
+		if p.UnservedLocations == lastUnserved && p.Satellites == lastSats {
+			continue
+		}
+		out = append(out, p)
+		lastUnserved, lastSats = p.UnservedLocations, p.Satellites
+	}
+	return out, nil
 }
 
 // StepCost summarizes one step of the diminishing-returns curve: how

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"testing"
 	"testing/quick"
@@ -170,7 +172,10 @@ func TestSizeMonotonicityProperty(t *testing.T) {
 func TestSizeTable(t *testing.T) {
 	m := NewModel()
 	d := paperDist(t)
-	rows := m.SizeTable(d, []float64{1, 2, 5, 10, 15}, 20)
+	rows, err := m.SizeTable(context.Background(), d, []float64{1, 2, 5, 10, 15}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 5 {
 		t.Fatalf("got %d rows", len(rows))
 	}
@@ -189,7 +194,10 @@ func TestServedFractionGrid(t *testing.T) {
 	d := paperDist(t)
 	spreads := []float64{2, 8, 14}
 	oversubs := []float64{5, 15, 30}
-	grid := m.ServedFractionGrid(d, spreads, oversubs, false)
+	grid, err := m.ServedFractionGrid(context.Background(), d, spreads, oversubs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range spreads {
 		for j := range oversubs {
 			v := grid[i][j]
@@ -207,7 +215,10 @@ func TestServedFractionGrid(t *testing.T) {
 		}
 	}
 	// Multi-beam serving strictly dominates single-beam.
-	multi := m.ServedFractionGrid(d, spreads, oversubs, true)
+	multi, err := m.ServedFractionGrid(context.Background(), d, spreads, oversubs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range spreads {
 		for j := range oversubs {
 			if multi[i][j] < grid[i][j] {
@@ -220,7 +231,10 @@ func TestServedFractionGrid(t *testing.T) {
 func TestDiminishingReturns(t *testing.T) {
 	m := NewModel()
 	d := paperDist(t)
-	pts := m.DiminishingReturns(d, 10, 20)
+	pts, err := m.DiminishingReturns(context.Background(), d, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) == 0 {
 		t.Fatal("no points")
 	}

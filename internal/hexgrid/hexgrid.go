@@ -403,16 +403,25 @@ func (c CellID) Ring(k int) []CellID {
 // Enumeration is O(total cells) and intended for the coarse resolutions;
 // at resolution 5 the globe has about 2 million cells.
 func ForEachCell(r Resolution, fn func(CellID)) {
-	n := r.Subdivisions()
 	for f := 0; f < 20; f++ {
-		for i := 0; i <= n; i++ {
-			for j := 0; i+j <= n; j++ {
-				id := canonicalize(r, f, i, j)
-				if id.Face() == f {
-					fi, fj := id.Coords()
-					if fi == i && fj == j {
-						fn(id)
-					}
+		ForEachCellOnFace(r, f, fn)
+	}
+}
+
+// ForEachCellOnFace enumerates the cells whose canonical representation
+// lives on one icosahedron face (0..19), in ascending (i, j) order. The
+// 20 face shards are disjoint and together cover the globe, so callers
+// can enumerate faces concurrently and concatenate the shards in face
+// order to reproduce ForEachCell's exact visit order.
+func ForEachCellOnFace(r Resolution, face int, fn func(CellID)) {
+	n := r.Subdivisions()
+	for i := 0; i <= n; i++ {
+		for j := 0; i+j <= n; j++ {
+			id := canonicalize(r, face, i, j)
+			if id.Face() == face {
+				fi, fj := id.Coords()
+				if fi == i && fj == j {
+					fn(id)
 				}
 			}
 		}

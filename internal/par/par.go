@@ -1,0 +1,157 @@
+// Package par is the repo's deterministic fan-out engine: a small
+// bounded worker pool used to parallelize the experiment pipeline's hot
+// loops (dataset generation, the Fig2/Table2/Fig3 sweeps, simulator
+// epochs) without changing any output.
+//
+// Design rules that make parallel output byte-identical to serial:
+//
+//   - Work is indexed 0..n-1 and results land in index-order slots, so
+//     collection order never depends on goroutine scheduling.
+//   - workers == 1 runs the loop inline on the calling goroutine — the
+//     exact serial path, no goroutines at all.
+//   - When several iterations fail, the error of the smallest index is
+//     returned, matching what the serial loop would have reported.
+//   - A panicking iteration is captured and re-panicked on the calling
+//     goroutine with the original value and stack, so `go test` failures
+//     read the same as serial ones.
+package par
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a parallelism knob: n >= 1 is used as-is; zero or
+// negative mean "one worker per available CPU" (runtime.GOMAXPROCS).
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// capture is a recovered panic plus the stack of the goroutine it
+// escaped from.
+type capture struct {
+	value any
+	stack []byte
+}
+
+// ForEach runs fn(0..n-1) on at most workers goroutines and waits for
+// completion. workers <= 0 selects Workers(0); workers == 1 runs
+// serially inline. The first error by index order is returned; a
+// context cancellation observed before an iteration starts stops the
+// sweep and reports ctx.Err() unless an iteration error outranks it.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		mu      sync.Mutex
+		errIdx  = n // smallest failing index seen so far
+		err     error
+		caught  *capture
+		wg      sync.WaitGroup
+		ctxDone = false
+	)
+	record := func(i int, e error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, err = i, e
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					mu.Lock()
+					ctxDone = true
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							buf := make([]byte, 64<<10)
+							buf = buf[:runtime.Stack(buf, false)]
+							mu.Lock()
+							if caught == nil {
+								caught = &capture{value: r, stack: buf}
+							}
+							mu.Unlock()
+							stop.Store(true)
+						}
+					}()
+					if e := fn(i); e != nil {
+						record(i, e)
+					}
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if caught != nil {
+		panic(fmt.Sprintf("par: worker panic: %v\n%s", caught.value, caught.stack))
+	}
+	if err != nil {
+		return err
+	}
+	if ctxDone {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Map runs fn(0..n-1) under ForEach's pool and returns the results in
+// index order. On error the partial results are discarded.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(i int) error {
+		v, e := fn(i)
+		if e != nil {
+			return e
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", got)
+	}
+	if got := Workers(-3); got != Workers(0) {
+		t.Errorf("Workers(-3) = %d, want %d", got, Workers(0))
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := Map(context.Background(), workers, 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("Map(n=0) = %v, %v; want nil, nil", out, err)
+	}
+}
+
+func TestForEachWorkerBound(t *testing.T) {
+	const workers = 3
+	var active, peak atomic.Int64
+	err := ForEach(context.Background(), workers, 64, func(i int) error {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		active.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent iterations, want <= %d", p, workers)
+	}
+}
+
+func TestForEachSmallestErrorWins(t *testing.T) {
+	// Every iteration fails; index 0 is always dispatched first, so its
+	// error must be the one reported at any worker count.
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(context.Background(), workers, 50, func(i int) error {
+			return fmt.Errorf("iteration %d failed", i)
+		})
+		if err == nil || err.Error() != "iteration 0 failed" {
+			t.Errorf("workers=%d: err = %v, want iteration 0 failed", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsAfterError(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 2, 10000, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := calls.Load(); n == 10000 {
+		t.Errorf("error did not short-circuit the sweep (%d calls)", n)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		err := ForEach(ctx, workers, 100000, func(i int) error {
+			if calls.Add(1) == 10 {
+				cancel()
+			}
+			time.Sleep(10 * time.Microsecond)
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := calls.Load(); n == 100000 {
+			t.Errorf("workers=%d: cancellation did not stop the sweep", workers)
+		}
+	}
+}
+
+func TestForEachPanicPropagation(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("workers=%d: panic did not propagate", workers)
+					return
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, "deliberate test panic") {
+					t.Errorf("workers=%d: panic message %q lost the original value", workers, msg)
+				}
+			}()
+			_ = ForEach(context.Background(), workers, 32, func(i int) error {
+				if i == 5 {
+					panic("deliberate test panic")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+func TestForEachSerialPanicUnwrapped(t *testing.T) {
+	// workers == 1 is the inline serial path: the panic is the caller's
+	// own, not wrapped.
+	defer func() {
+		if r := recover(); r != "plain" {
+			t.Errorf("serial panic = %v, want plain", r)
+		}
+	}()
+	_ = ForEach(context.Background(), 1, 3, func(i int) error {
+		if i == 1 {
+			panic("plain")
+		}
+		return nil
+	})
+}

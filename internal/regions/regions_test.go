@@ -1,6 +1,8 @@
 package regions
 
 import (
+	"context"
+
 	"testing"
 
 	"leodivide/internal/bdc"
@@ -16,7 +18,7 @@ func testData(t *testing.T) ([]demand.Cell, *census.Table) {
 	cfg.Peaks = []bdc.PeakCell{
 		{Locations: 4000, Anchor: geo.LatLng{Lat: 35.5, Lng: -106.3}},
 	}
-	cells, err := bdc.GenerateCells(cfg)
+	cells, err := bdc.GenerateCells(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"leodivide/internal/demand"
 	"leodivide/internal/geo"
 	"leodivide/internal/orbit"
+	"leodivide/internal/par"
 )
 
 // Config parameterizes a simulation run.
@@ -46,6 +48,12 @@ type Config struct {
 	// GatewayElevationDeg is the minimum elevation at the gateway
 	// (gateway antennas track lower than user terminals).
 	GatewayElevationDeg float64
+	// Parallelism bounds the worker count for the per-epoch geometry
+	// (satellite propagation, per-cell visibility). 0 means one worker
+	// per CPU; 1 is the serial path. Results are identical at every
+	// setting: each satellite/cell lands in an index-ordered slot and
+	// the greedy beam allocator stays serial.
+	Parallelism int
 }
 
 // DefaultConfig returns a one-orbit sweep of Starlink's principal shell
@@ -105,7 +113,7 @@ type Result struct {
 
 // Run propagates the shell and evaluates coverage and beam allocation
 // over the demand cells at each epoch.
-func Run(cfg Config, cells []demand.Cell) (Result, error) {
+func Run(ctx context.Context, cfg Config, cells []demand.Cell) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -124,8 +132,14 @@ func Run(cfg Config, cells []demand.Cell) (Result, error) {
 
 	for e := 0; e < cfg.Epochs; e++ {
 		t := cfg.StepSeconds * float64(e)
-		snap := snapshotWithMask(orbits, t, cfg.MinElevationDeg)
-		visible := visibleSats(snap, cells, cfg.MinElevationDeg)
+		snap, err := snapshotWithMask(ctx, orbits, t, cfg.MinElevationDeg, cfg.Parallelism)
+		if err != nil {
+			return Result{}, err
+		}
+		visible, err := visibleSats(ctx, snap, cells, cfg.MinElevationDeg, cfg.Parallelism)
+		if err != nil {
+			return Result{}, err
+		}
 		visible = filterByGateway(cfg, snap, visible)
 		covered := 0
 		totalVisible := 0
@@ -175,23 +189,23 @@ func (c Config) orbits() ([]orbit.CircularOrbit, error) {
 	return c.Shell.Orbits()
 }
 
-func snapshotWithMask(orbits []orbit.CircularOrbit, t, minElev float64) []satPos {
-	out := make([]satPos, len(orbits))
-	for i, o := range orbits {
+func snapshotWithMask(ctx context.Context, orbits []orbit.CircularOrbit, t, minElev float64, workers int) ([]satPos, error) {
+	return par.Map(ctx, workers, len(orbits), func(i int) (satPos, error) {
+		o := orbits[i]
 		ecef := orbit.ECIToECEF(o.PositionECI(t), t)
-		out[i] = satPos{
+		return satPos{
 			ecef:     ecef,
 			sub:      ecef.LatLng(),
 			covAngle: coverageAngleFor(o.AltitudeKm, minElev),
-		}
-	}
-	return out
+		}, nil
+	})
 }
 
 // visibleSats returns, per demand cell, the indices of satellites above
 // the elevation mask, using a latitude/longitude bucket index to avoid
-// the all-pairs scan.
-func visibleSats(sats []satPos, cells []demand.Cell, minElev float64) [][]int {
+// the all-pairs scan. The bucket index is built once serially; the
+// per-cell scans fan out over workers, each writing its own slot.
+func visibleSats(ctx context.Context, sats []satPos, cells []demand.Cell, minElev float64, workers int) ([][]int, error) {
 	// The bucket scan reach must cover the widest footprint present.
 	covAngle := 0.0
 	for _, s := range sats {
@@ -221,7 +235,8 @@ func visibleSats(sats []satPos, cells []demand.Cell, minElev float64) [][]int {
 	reachDeg := geo.Degrees(covAngle) + bucketDeg
 	steps := int(math.Ceil(reachDeg / bucketDeg))
 	out := make([][]int, len(cells))
-	for ci, c := range cells {
+	err := par.ForEach(ctx, workers, len(cells), func(ci int) error {
+		c := cells[ci]
 		var vis []int
 		baseLat := c.Center.Lat
 		for di := -steps; di <= steps; di++ {
@@ -252,8 +267,12 @@ func visibleSats(sats []satPos, cells []demand.Cell, minElev float64) [][]int {
 		sort.Ints(vis)
 		vis = dedupe(vis)
 		out[ci] = vis
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 func dedupe(a []int) []int {

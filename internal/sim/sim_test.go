@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"testing"
 
 	"leodivide/internal/constellation"
@@ -42,7 +44,7 @@ func TestRunBasics(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Shell = smallShell(396, 18) // quarter-density shell for speed
 	cfg.Epochs = 4
-	res, err := Run(cfg, testCells())
+	res, err := Run(context.Background(), cfg, testCells())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,11 +78,11 @@ func TestMoreSatellitesMoreCoverage(t *testing.T) {
 	small.Epochs = 3
 	big := small
 	big.Shell = smallShell(1080, 36)
-	rs, err := Run(small, cells)
+	rs, err := Run(context.Background(), small, cells)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := Run(big, cells)
+	rb, err := Run(context.Background(), big, cells)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +102,7 @@ func TestFullShellCoversConus(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.Epochs = 4
-	res, err := Run(cfg, testCells())
+	res, err := Run(context.Background(), cfg, testCells())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,25 +117,25 @@ func TestValidation(t *testing.T) {
 	cells := testCells()
 	bad := DefaultConfig()
 	bad.Epochs = 0
-	if _, err := Run(bad, cells); err == nil {
+	if _, err := Run(context.Background(), bad, cells); err == nil {
 		t.Error("zero epochs should fail")
 	}
 	bad = DefaultConfig()
 	bad.StepSeconds = 0
-	if _, err := Run(bad, cells); err == nil {
+	if _, err := Run(context.Background(), bad, cells); err == nil {
 		t.Error("zero step should fail")
 	}
 	bad = DefaultConfig()
 	bad.MinElevationDeg = 95
-	if _, err := Run(bad, cells); err == nil {
+	if _, err := Run(context.Background(), bad, cells); err == nil {
 		t.Error("bad elevation should fail")
 	}
 	bad = DefaultConfig()
 	bad.Shell.Total = 7 // not divisible by planes
-	if _, err := Run(bad, cells); err == nil {
+	if _, err := Run(context.Background(), bad, cells); err == nil {
 		t.Error("bad shell should fail")
 	}
-	if _, err := Run(DefaultConfig(), nil); err == nil {
+	if _, err := Run(context.Background(), DefaultConfig(), nil); err == nil {
 		t.Error("no cells should fail")
 	}
 }
@@ -155,7 +157,7 @@ func TestAllocatorPrefersFeasible(t *testing.T) {
 			Center:    geo.LatLng{Lat: 38 + float64(i%5), Lng: -100 + float64(i/5)},
 		})
 	}
-	res, err := Run(cfg, cells)
+	res, err := Run(context.Background(), cfg, cells)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,11 +176,11 @@ func TestGatewayRequirementFilters(t *testing.T) {
 	for _, gw := range usgeo.GatewaySites() {
 		gated.Gateways = append(gated.Gateways, gw.Pos)
 	}
-	rf, err := Run(free, cells)
+	rf, err := Run(context.Background(), free, cells)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rg, err := Run(gated, cells)
+	rg, err := Run(context.Background(), gated, cells)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +204,7 @@ func TestGatewayRequirementFilters(t *testing.T) {
 	none := gated
 	none.Gateways = nil
 	none.RequireGatewayVisibility = true
-	rn, err := Run(none, cells)
+	rn, err := Run(context.Background(), none, cells)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +225,7 @@ func TestFleetSimulation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Fleet = &fleet
 	cfg.Epochs = 3
-	res, err := Run(cfg, cells)
+	res, err := Run(context.Background(), cfg, cells)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +236,7 @@ func TestFleetSimulation(t *testing.T) {
 	solo := DefaultConfig()
 	solo.Shell = orbit.Walker{AltitudeKm: 550, InclinationDeg: 53, Total: 198, Planes: 18, Phasing: 1}
 	solo.Epochs = 3
-	resSolo, err := Run(solo, cells)
+	resSolo, err := Run(context.Background(), solo, cells)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +247,7 @@ func TestFleetSimulation(t *testing.T) {
 	// An invalid fleet fails validation.
 	bad := constellation.Fleet{Name: "bad"}
 	cfg.Fleet = &bad
-	if _, err := Run(cfg, cells); err == nil {
+	if _, err := Run(context.Background(), cfg, cells); err == nil {
 		t.Error("invalid fleet should fail")
 	}
 }

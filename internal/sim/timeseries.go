@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -30,7 +31,7 @@ type EpochStats struct {
 // RunSeries runs the simulation and returns per-epoch measurements,
 // including beam utilization and satellite handover counts — the
 // dynamics a static sizing model cannot see.
-func RunSeries(cfg Config, cells []demand.Cell) ([]EpochStats, error) {
+func RunSeries(ctx context.Context, cfg Config, cells []demand.Cell) ([]EpochStats, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -50,8 +51,14 @@ func RunSeries(cfg Config, cells []demand.Cell) ([]EpochStats, error) {
 	}
 	for e := 0; e < cfg.Epochs; e++ {
 		t := cfg.StepSeconds * float64(e)
-		snap := snapshotWithMask(orbits, t, cfg.MinElevationDeg)
-		visible := visibleSats(snap, cells, cfg.MinElevationDeg)
+		snap, err := snapshotWithMask(ctx, orbits, t, cfg.MinElevationDeg, cfg.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		visible, err := visibleSats(ctx, snap, cells, cfg.MinElevationDeg, cfg.Parallelism)
+		if err != nil {
+			return nil, err
+		}
 		visible = filterByGateway(cfg, snap, visible)
 		assignment, used := allocateAssign(cfg, cells, visible, len(snap))
 
@@ -137,7 +144,7 @@ type LatitudeBand struct {
 // cells with at least one visible satellite per latitude band — the
 // view that makes the Alaska coverage cliff of an inclined shell
 // visible.
-func CoverageByLatitude(cfg Config, cells []demand.Cell, bandDeg float64) ([]LatitudeBand, error) {
+func CoverageByLatitude(ctx context.Context, cfg Config, cells []demand.Cell, bandDeg float64) ([]LatitudeBand, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -151,8 +158,14 @@ func CoverageByLatitude(cfg Config, cells []demand.Cell, bandDeg float64) ([]Lat
 	if err != nil {
 		return nil, err
 	}
-	snap := snapshotWithMask(orbits, 0, cfg.MinElevationDeg)
-	visible := visibleSats(snap, cells, cfg.MinElevationDeg)
+	snap, err := snapshotWithMask(ctx, orbits, 0, cfg.MinElevationDeg, cfg.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	visible, err := visibleSats(ctx, snap, cells, cfg.MinElevationDeg, cfg.Parallelism)
+	if err != nil {
+		return nil, err
+	}
 
 	type agg struct{ cells, covered int }
 	bands := make(map[int]*agg)

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"testing"
 
 	"leodivide/internal/demand"
@@ -12,7 +14,7 @@ func TestRunSeries(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Shell = smallShell(396, 18)
 	cfg.Epochs = 5
-	series, err := RunSeries(cfg, testCells())
+	series, err := RunSeries(context.Background(), cfg, testCells())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,11 +53,11 @@ func TestRunSeriesConsistentWithRun(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Shell = smallShell(396, 18)
 	cfg.Epochs = 3
-	series, err := RunSeries(cfg, testCells())
+	series, err := RunSeries(context.Background(), cfg, testCells())
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(cfg, testCells())
+	res, err := Run(context.Background(), cfg, testCells())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,10 +74,10 @@ func TestRunSeriesConsistentWithRun(t *testing.T) {
 func TestRunSeriesValidation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Epochs = 0
-	if _, err := RunSeries(cfg, testCells()); err == nil {
+	if _, err := RunSeries(context.Background(), cfg, testCells()); err == nil {
 		t.Error("invalid config should fail")
 	}
-	if _, err := RunSeries(DefaultConfig(), nil); err == nil {
+	if _, err := RunSeries(context.Background(), DefaultConfig(), nil); err == nil {
 		t.Error("no cells should fail")
 	}
 }
@@ -96,7 +98,7 @@ func TestCoverageByLatitude(t *testing.T) {
 			id++
 		}
 	}
-	bands, err := CoverageByLatitude(cfg, cells, 10)
+	bands, err := CoverageByLatitude(context.Background(), cfg, cells, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +134,7 @@ func TestCoverageByLatitude(t *testing.T) {
 	if north >= south {
 		t.Errorf("no coverage cliff: 30N=%v 60N=%v", south, north)
 	}
-	if _, err := CoverageByLatitude(cfg, nil, 10); err == nil {
+	if _, err := CoverageByLatitude(context.Background(), cfg, nil, 10); err == nil {
 		t.Error("no cells should fail")
 	}
 }

@@ -9,20 +9,26 @@
 // (geodesy, geospatial grid, orbits, spectrum, beams, demand, synthetic
 // datasets, affordability). A typical session:
 //
-//	ds, err := leodivide.GenerateDataset()       // synthetic national map
+//	ctx := context.Background()
+//	ds, err := leodivide.GenerateDataset(ctx)     // synthetic national map
 //	m := leodivide.NewModel()
-//	t1 := m.Table1(ds)                           // single-satellite capacity
-//	t2 := m.Table2(ds)                           // constellation sizing
-//	f4 := m.Fig4(ds)                             // affordability
+//	t1, err := m.Table1(ctx, ds)                  // single-satellite capacity
+//	t2, err := m.Table2(ctx, ds)                  // constellation sizing
+//	f4, err := m.Fig4(ctx, ds)                    // affordability
 //
-// Every experiment method corresponds to a table or figure of the
-// paper; see EXPERIMENTS.md for the paper-vs-measured record.
+// Every experiment runner shares the (ctx, *Dataset) (Result, error)
+// shape, is enumerable through Model.Experiments, and fans out over
+// Model.Parallelism workers with output identical to the serial path.
+// Each runner corresponds to a table or figure of the paper; see
+// EXPERIMENTS.md for the paper-vs-measured record.
 package leodivide
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 
 	"leodivide/internal/afford"
 	"leodivide/internal/bdc"
@@ -30,6 +36,7 @@ import (
 	"leodivide/internal/core"
 	"leodivide/internal/demand"
 	"leodivide/internal/hexgrid"
+	"leodivide/internal/par"
 	"leodivide/internal/spectrum"
 	"leodivide/internal/stats"
 	"leodivide/internal/usgeo"
@@ -56,10 +63,12 @@ type Dataset struct {
 type Option func(*genOptions)
 
 type genOptions struct {
-	seed          int64
-	scale         float64
-	cfg           bdc.GenConfig
-	incomeAnchors []census.QuantileAnchor
+	seed           int64
+	scale          float64
+	cfg            bdc.GenConfig
+	incomeAnchors  []census.QuantileAnchor
+	parallelism    int
+	hasParallelism bool
 }
 
 // WithSeed sets the generation seed (default 1).
@@ -85,8 +94,17 @@ func WithIncomeAnchors(anchors []census.QuantileAnchor) Option {
 	return func(o *genOptions) { o.incomeAnchors = anchors }
 }
 
-// GenerateDataset synthesizes the calibrated national dataset.
-func GenerateDataset(opts ...Option) (*Dataset, error) {
+// WithParallelism bounds the worker count for generation (default one
+// worker per CPU; 1 reproduces the serial path). The dataset is
+// identical at every setting — parallelism only changes wall-clock time.
+func WithParallelism(n int) Option {
+	return func(o *genOptions) { o.parallelism, o.hasParallelism = n, true }
+}
+
+// GenerateDataset synthesizes the calibrated national dataset. The
+// context cancels generation early; the seed fully determines the
+// result regardless of WithParallelism.
+func GenerateDataset(ctx context.Context, opts ...Option) (*Dataset, error) {
 	o := genOptions{
 		seed:          1,
 		scale:         1,
@@ -101,6 +119,9 @@ func GenerateDataset(opts ...Option) (*Dataset, error) {
 	}
 	cfg := o.cfg
 	cfg.Seed = o.seed
+	if o.hasParallelism {
+		cfg.Parallelism = o.parallelism
+	}
 	if o.scale < 1 {
 		cfg.TotalLocations = int(float64(cfg.TotalLocations) * o.scale)
 		peaks := make([]bdc.PeakCell, len(cfg.Peaks))
@@ -113,7 +134,7 @@ func GenerateDataset(opts ...Option) (*Dataset, error) {
 		}
 		cfg.Peaks = peaks
 	}
-	cells, err := bdc.GenerateCells(cfg)
+	cells, err := bdc.GenerateCells(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +142,7 @@ func GenerateDataset(opts ...Option) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	incomes, err := assignIncomes(dist, o.incomeAnchors, o.seed)
+	incomes, err := assignIncomes(ctx, dist, o.incomeAnchors, o.seed, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -136,51 +157,56 @@ func GenerateDataset(opts ...Option) (*Dataset, error) {
 
 // assignIncomes distributes county incomes using a deterministic
 // poverty ordering: state rural weight (a proxy for rural poverty) plus
-// a per-county hash jitter.
-func assignIncomes(dist *demand.Distribution, anchors []census.QuantileAnchor, seed int64) (*census.Table, error) {
+// a per-county hash jitter. County weights are computed concurrently
+// over the sorted FIPS list, so the assignment input (and therefore the
+// table) is identical at every worker count.
+func assignIncomes(ctx context.Context, dist *demand.Distribution, anchors []census.QuantileAnchor, seed int64, workers int) (*census.Table, error) {
 	weights := dist.CountyWeights()
-	cw := make([]census.CountyWeight, 0, len(weights))
-	for fips, w := range weights {
+	fipsList := make([]string, 0, len(weights))
+	for fips := range weights {
+		fipsList = append(fipsList, fips)
+	}
+	sort.Strings(fipsList)
+	cw, err := par.Map(ctx, workers, len(fipsList), func(i int) (census.CountyWeight, error) {
+		fips := fipsList[i]
 		h := fnv.New64a()
 		fmt.Fprintf(h, "%d:%s", seed, fips)
 		jitter := float64(h.Sum64()%10000) / 10000
-		cw = append(cw, census.CountyWeight{
+		return census.CountyWeight{
 			FIPS:        fips,
 			StateAbbr:   stateOfFIPS(fips),
-			Weight:      float64(w),
+			Weight:      float64(weights[fips]),
 			PovertyRank: jitter,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(cw, func(i, j int) bool { return cw[i].FIPS < cw[j].FIPS })
 	return census.AssignIncomes(cw, anchors)
 }
 
 // stateOfFIPS maps a county FIPS prefix to a state abbreviation via the
-// usgeo tables; unknown prefixes return "".
+// usgeo tables; unknown prefixes return "". The lookup table is built
+// once under sync.Once — income assignment calls this from pool
+// workers, so unsynchronized lazy initialization would race.
 func stateOfFIPS(fips string) string {
 	if len(fips) < 2 {
 		return ""
 	}
-	for _, s := range statesByFIPS() {
-		if s.fips == fips[:2] {
-			return s.abbr
-		}
-	}
-	return ""
-}
-
-type stateFIPS struct{ fips, abbr string }
-
-var stateFIPSCache []stateFIPS
-
-func statesByFIPS() []stateFIPS {
-	if stateFIPSCache == nil {
+	stateFIPSOnce.Do(func() {
+		m := make(map[string]string)
 		for _, s := range usgeo.States() {
-			stateFIPSCache = append(stateFIPSCache, stateFIPS{s.FIPS, s.Abbr})
+			m[s.FIPS] = s.Abbr
 		}
-	}
-	return stateFIPSCache
+		stateFIPSByPrefix = m
+	})
+	return stateFIPSByPrefix[fips[:2]]
 }
+
+var (
+	stateFIPSOnce     sync.Once
+	stateFIPSByPrefix map[string]string
+)
 
 // Distribution returns the per-cell demand distribution.
 func (d *Dataset) Distribution() *demand.Distribution { return d.dist }
@@ -202,6 +228,21 @@ type Model struct {
 	// MaxOversub is the acceptable oversubscription cap (default the
 	// FCC fixed-wireless 20:1).
 	MaxOversub float64
+	// Workers bounds the worker count for facade-level fan-outs (Fig3
+	// curves, Fig4 plan curves, Stability seeds). 0 means one worker
+	// per CPU; 1 is the serial path. Set together with the capacity
+	// model's knob via Parallelism.
+	Workers int
+}
+
+// Parallelism returns a copy of the model whose experiment runners fan
+// out over at most n workers (0 = one per CPU, 1 = the exact serial
+// path). Every runner's output is identical at every setting; the knob
+// only changes wall-clock time.
+func (m Model) Parallelism(n int) Model {
+	m.Workers = n
+	m.Capacity.Parallelism = n
+	return m
 }
 
 // NewModel returns the model with the paper's parameters.
@@ -238,7 +279,7 @@ type Fig1Result struct {
 }
 
 // Fig1 computes the Figure 1 distribution.
-func (m Model) Fig1(d *Dataset) (Fig1Result, error) {
+func (m Model) Fig1(ctx context.Context, d *Dataset) (Fig1Result, error) {
 	dist := d.Distribution()
 	sum, err := dist.Summary()
 	if err != nil {
@@ -270,13 +311,19 @@ func (m Model) Fig1(d *Dataset) (Fig1Result, error) {
 }
 
 // Table1 computes the single-satellite capacity model of Table 1.
-func (m Model) Table1(d *Dataset) core.CapacityTable {
-	return m.Capacity.Capacity(d.Distribution())
+func (m Model) Table1(ctx context.Context, d *Dataset) (core.CapacityTable, error) {
+	if err := ctx.Err(); err != nil {
+		return core.CapacityTable{}, err
+	}
+	return m.Capacity.Capacity(d.Distribution()), nil
 }
 
 // Finding1 computes the oversubscription analysis behind Finding 1.
-func (m Model) Finding1(d *Dataset) core.OversubAnalysis {
-	return m.Capacity.Oversubscription(d.Distribution(), m.MaxOversub)
+func (m Model) Finding1(ctx context.Context, d *Dataset) (core.OversubAnalysis, error) {
+	if err := ctx.Err(); err != nil {
+		return core.OversubAnalysis{}, err
+	}
+	return m.Capacity.Oversubscription(d.Distribution(), m.MaxOversub), nil
 }
 
 // Table2Result is the Table 2 reproduction plus the paper's reference
@@ -295,16 +342,20 @@ var PaperTable2Spreads = []float64{1, 2, 5, 10, 15}
 
 // Table2 computes constellation sizes for the paper's beamspread
 // factors under both deployment scenarios.
-func (m Model) Table2(d *Dataset) Table2Result {
+func (m Model) Table2(ctx context.Context, d *Dataset) (Table2Result, error) {
+	rows, err := m.Capacity.SizeTable(ctx, d.Distribution(), PaperTable2Spreads, m.MaxOversub)
+	if err != nil {
+		return Table2Result{}, err
+	}
 	return Table2Result{
-		Rows: m.Capacity.SizeTable(d.Distribution(), PaperTable2Spreads, m.MaxOversub),
+		Rows: rows,
 		PaperFullService: map[float64]int{
 			1: 79287, 2: 40611, 5: 16486, 10: 8284, 15: 5532,
 		},
 		PaperCapped: map[float64]int{
 			1: 80567, 2: 41261, 5: 16750, 10: 8417, 15: 5621,
 		},
-	}
+	}, nil
 }
 
 // Fig2Result is the served-fraction surface of Figure 2.
@@ -317,14 +368,18 @@ type Fig2Result struct {
 
 // Fig2 computes the Figure 2 surface over the paper's axes
 // (beamspread 2..14, oversubscription 5..30).
-func (m Model) Fig2(d *Dataset) Fig2Result {
+func (m Model) Fig2(ctx context.Context, d *Dataset) (Fig2Result, error) {
 	spreads := []float64{2, 4, 6, 8, 10, 12, 14}
 	oversubs := []float64{5, 10, 15, 20, 25, 30}
+	fraction, err := m.Capacity.ServedFractionGrid(ctx, d.Distribution(), spreads, oversubs, false)
+	if err != nil {
+		return Fig2Result{}, err
+	}
 	return Fig2Result{
 		Spreads:  spreads,
 		Oversubs: oversubs,
-		Fraction: m.Capacity.ServedFractionGrid(d.Distribution(), spreads, oversubs, false),
-	}
+		Fraction: fraction,
+	}, nil
 }
 
 // Fig3Result is one diminishing-returns curve of Figure 3.
@@ -340,25 +395,28 @@ type Fig3Result struct {
 }
 
 // Fig3 computes the diminishing-returns curves for the paper's
-// beamspread factors at the model's oversubscription cap.
-func (m Model) Fig3(d *Dataset, spreads ...float64) []Fig3Result {
+// beamspread factors at the model's oversubscription cap, one worker
+// per spread.
+func (m Model) Fig3(ctx context.Context, d *Dataset, spreads ...float64) ([]Fig3Result, error) {
 	if len(spreads) == 0 {
 		spreads = PaperTable2Spreads
 	}
 	dist := d.Distribution()
 	floor := dist.ExcessAbove(m.Capacity.Beams.MaxServableLocations(m.MaxOversub))
-	out := make([]Fig3Result, 0, len(spreads))
-	for _, s := range spreads {
-		pts := m.Capacity.DiminishingReturns(dist, s, m.MaxOversub)
-		out = append(out, Fig3Result{
+	return par.Map(ctx, m.Workers, len(spreads), func(i int) (Fig3Result, error) {
+		s := spreads[i]
+		pts, err := m.Capacity.DiminishingReturns(ctx, dist, s, m.MaxOversub)
+		if err != nil {
+			return Fig3Result{}, err
+		}
+		return Fig3Result{
 			Spread:        s,
 			Oversub:       m.MaxOversub,
 			Points:        pts,
 			Steps:         core.StepCosts(pts),
 			FloorUnserved: floor,
-		})
-	}
-	return out
+		}, nil
+	})
 }
 
 // Fig4Result is the affordability analysis of Figure 4 / Finding 4.
@@ -373,23 +431,34 @@ type Fig4Result struct {
 }
 
 // Fig4 computes the affordability comparison across the paper's plans.
-func (m Model) Fig4(d *Dataset) (Fig4Result, error) {
+// The per-plan curves are evaluated concurrently; results are ordered
+// by effective price exactly as the serial comparison was.
+func (m Model) Fig4(ctx context.Context, d *Dataset) (Fig4Result, error) {
 	in, err := afford.NewInput(d.Incomes)
 	if err != nil {
 		return Fig4Result{}, err
 	}
 	options := afford.PaperComparison()
+	curves, err := in.EvaluateCurves(ctx, options, m.AffordShare, 0.055, 110, m.Workers)
+	if err != nil {
+		return Fig4Result{}, err
+	}
 	res := Fig4Result{
-		Results:        in.Comparison(options, m.AffordShare),
+		Results:        make([]afford.Result, 0, len(curves)),
 		Curves:         make(map[string][]afford.CurvePoint, len(options)),
 		ZeroShares:     make(map[string]float64, len(options)),
 		TotalLocations: in.TotalLocations(),
 	}
-	for _, opt := range options {
-		name := planLabel(opt)
-		res.Curves[name] = in.Curve(opt.Plan, opt.Subsidy, 0.055, 110)
-		res.ZeroShares[name] = in.ZeroShare(opt.Plan, opt.Subsidy)
+	for _, pc := range curves {
+		name := planLabel(pc.Option)
+		res.Curves[name] = pc.Curve
+		res.ZeroShares[name] = pc.ZeroShare
+		res.Results = append(res.Results, pc.Result)
 	}
+	sort.SliceStable(res.Results, func(i, j int) bool {
+		return afford.EffectiveMonthlyUSD(res.Results[i].Plan, res.Results[i].Subsidy) <
+			afford.EffectiveMonthlyUSD(res.Results[j].Plan, res.Results[j].Subsidy)
+	})
 	return res, nil
 }
 
@@ -425,8 +494,8 @@ type Findings struct {
 const CurrentStarlinkSatellites = 8000
 
 // RunFindings evaluates all four findings.
-func (m Model) RunFindings(d *Dataset) (Findings, error) {
-	f4, err := m.Fig4(d)
+func (m Model) RunFindings(ctx context.Context, d *Dataset) (Findings, error) {
+	f4, err := m.Fig4(ctx, d)
 	if err != nil {
 		return Findings{}, err
 	}
@@ -437,7 +506,10 @@ func (m Model) RunFindings(d *Dataset) (Findings, error) {
 		}
 	}
 	capped := m.Capacity.Size(d.Distribution(), core.CappedOversub, 2, m.MaxOversub)
-	fig3 := m.Fig3(d, 10)
+	fig3, err := m.Fig3(ctx, d, 10)
+	if err != nil {
+		return Findings{}, err
+	}
 	var lastSteps []core.StepCost
 	if len(fig3) > 0 {
 		steps := fig3[0].Steps
@@ -446,8 +518,12 @@ func (m Model) RunFindings(d *Dataset) (Findings, error) {
 		}
 		lastSteps = steps
 	}
+	f1, err := m.Finding1(ctx, d)
+	if err != nil {
+		return Findings{}, err
+	}
 	return Findings{
-		F1:                     m.Finding1(d),
+		F1:                     f1,
 		F2SatellitesAtSpread2:  capped.Satellites,
 		F2CurrentConstellation: CurrentStarlinkSatellites,
 		F3:                     lastSteps,

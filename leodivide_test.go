@@ -1,6 +1,7 @@
 package leodivide
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -21,7 +22,7 @@ var (
 
 func fullDataset(t testing.TB) *Dataset {
 	dsOnce.Do(func() {
-		dsFull, dsErr = GenerateDataset(WithSeed(1))
+		dsFull, dsErr = GenerateDataset(context.Background(), WithSeed(1))
 	})
 	if dsErr != nil {
 		t.Fatal(dsErr)
@@ -43,13 +44,13 @@ func TestGenerateDatasetCalibration(t *testing.T) {
 }
 
 func TestGenerateDatasetOptions(t *testing.T) {
-	if _, err := GenerateDataset(WithScale(0)); err == nil {
+	if _, err := GenerateDataset(context.Background(), WithScale(0)); err == nil {
 		t.Error("scale 0 should fail")
 	}
-	if _, err := GenerateDataset(WithScale(2)); err == nil {
+	if _, err := GenerateDataset(context.Background(), WithScale(2)); err == nil {
 		t.Error("scale 2 should fail")
 	}
-	small, err := GenerateDataset(WithSeed(3), WithScale(0.05))
+	small, err := GenerateDataset(context.Background(), WithSeed(3), WithScale(0.05))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestGenerateDatasetOptions(t *testing.T) {
 
 func TestFig1(t *testing.T) {
 	m := NewModel()
-	r, err := m.Fig1(fullDataset(t))
+	r, err := m.Fig1(context.Background(), fullDataset(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,10 @@ func TestFig1(t *testing.T) {
 
 func TestTable1(t *testing.T) {
 	m := NewModel()
-	c := m.Table1(fullDataset(t))
+	c, err := m.Table1(context.Background(), fullDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.PeakCellLocations != 5998 {
 		t.Errorf("peak = %d", c.PeakCellLocations)
 	}
@@ -100,7 +104,10 @@ func TestTable1(t *testing.T) {
 
 func TestFinding1(t *testing.T) {
 	m := NewModel()
-	f := m.Finding1(fullDataset(t))
+	f, err := m.Finding1(context.Background(), fullDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if f.LocationsInCellsAboveCap != 22428 {
 		t.Errorf("locations above cap = %d, want 22428", f.LocationsInCellsAboveCap)
 	}
@@ -117,7 +124,10 @@ func TestTable2AgainstPaper(t *testing.T) {
 	// The calibrated model reproduces the paper's Table 2 within 0.5%
 	// in both scenario columns.
 	m := NewModel().Calibrated()
-	r := m.Table2(fullDataset(t))
+	r, err := m.Table2(context.Background(), fullDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 5 {
 		t.Fatalf("got %d rows", len(r.Rows))
 	}
@@ -140,7 +150,10 @@ func TestTable2GeometricWithinBand(t *testing.T) {
 	// The uncalibrated (geometry-derived) sizes stay within 10% of the
 	// paper and preserve the 1/(1+20s) scaling exactly.
 	m := NewModel()
-	r := m.Table2(fullDataset(t))
+	r, err := m.Table2(context.Background(), fullDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, row := range r.Rows {
 		if rel(row.FullServiceSats, r.PaperFullService[row.Spread]) > 0.10 {
 			t.Errorf("spread %g: geometric %d deviates >10%% from paper %d",
@@ -162,7 +175,10 @@ func rel(got, want int) float64 {
 
 func TestFig2(t *testing.T) {
 	m := NewModel()
-	r := m.Fig2(fullDataset(t))
+	r, err := m.Fig2(context.Background(), fullDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
 	lo := r.Fraction[len(r.Spreads)-1][0]  // worst corner: spread 14, oversub 5
 	hi := r.Fraction[0][len(r.Oversubs)-1] // best corner: spread 2, oversub 30
 	if lo > 0.5 || lo < 0.2 {
@@ -175,7 +191,10 @@ func TestFig2(t *testing.T) {
 
 func TestFig3(t *testing.T) {
 	m := NewModel()
-	results := m.Fig3(fullDataset(t), 5, 10)
+	results, err := m.Fig3(context.Background(), fullDataset(t), 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != 2 {
 		t.Fatalf("got %d results", len(results))
 	}
@@ -203,7 +222,7 @@ func TestFig3(t *testing.T) {
 
 func TestFig4AgainstPaper(t *testing.T) {
 	m := NewModel()
-	r, err := m.Fig4(fullDataset(t))
+	r, err := m.Fig4(context.Background(), fullDataset(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +266,7 @@ func TestFig4AgainstPaper(t *testing.T) {
 
 func TestRunFindings(t *testing.T) {
 	m := NewModel()
-	f, err := m.RunFindings(fullDataset(t))
+	f, err := m.RunFindings(context.Background(), fullDataset(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,11 +285,11 @@ func TestRunFindings(t *testing.T) {
 }
 
 func TestDatasetDeterminism(t *testing.T) {
-	a, err := GenerateDataset(WithSeed(42), WithScale(0.02))
+	a, err := GenerateDataset(context.Background(), WithSeed(42), WithScale(0.02))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := GenerateDataset(WithSeed(42), WithScale(0.02))
+	b, err := GenerateDataset(context.Background(), WithSeed(42), WithScale(0.02))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +350,7 @@ func TestSizingValidatedBySimulator(t *testing.T) {
 		Planes:         planes,
 		Phasing:        13,
 	}
-	big, err := sim.Run(cfg, ds.Cells)
+	big, err := sim.Run(context.Background(), cfg, ds.Cells)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +364,7 @@ func TestSizingValidatedBySimulator(t *testing.T) {
 
 	small := cfg
 	small.Shell = orbit.StarlinkShell1()
-	cur, err := sim.Run(small, ds.Cells)
+	cur, err := sim.Run(context.Background(), small, ds.Cells)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,85 @@
+package leodivide
+
+// Benchmarks comparing serial (Parallelism(1)) against the default
+// worker pool (Parallelism(0) = GOMAXPROCS) on the three heaviest
+// pipeline stages. On a multi-core box the parallel variants show the
+// speedup; on a single-core box both variants measure the pool's
+// overhead floor. Run with:
+//
+//	go test -bench BenchmarkParallelSpeedup -benchtime 5x .
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+func parallelismLevels() []int {
+	levels := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		levels = append(levels, n)
+	} else {
+		// Still exercise the pooled path so its overhead is visible.
+		levels = append(levels, 4)
+	}
+	return levels
+}
+
+func BenchmarkParallelSpeedupGenerate(b *testing.B) {
+	ctx := context.Background()
+	for _, w := range parallelismLevels() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := GenerateDataset(ctx, WithSeed(1), WithParallelism(w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelSpeedupTable2(b *testing.B) {
+	ctx := context.Background()
+	ds := fullDataset(b)
+	for _, w := range parallelismLevels() {
+		m := NewModel().Calibrated().Parallelism(w)
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Table2(ctx, ds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelSpeedupFig2(b *testing.B) {
+	ctx := context.Background()
+	ds := fullDataset(b)
+	for _, w := range parallelismLevels() {
+		m := NewModel().Parallelism(w)
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Fig2(ctx, ds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelSpeedupFig3(b *testing.B) {
+	ctx := context.Background()
+	ds := fullDataset(b)
+	for _, w := range parallelismLevels() {
+		m := NewModel().Parallelism(w)
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Fig3(ctx, ds, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package leodivide
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -8,7 +9,7 @@ import (
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
-	ds, err := GenerateDataset(WithSeed(5), WithScale(0.03))
+	ds, err := GenerateDataset(context.Background(), WithSeed(5), WithScale(0.03))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,16 +35,22 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	// The loaded dataset produces identical analysis results.
 	m := NewModel()
-	a := m.Finding1(ds)
-	b := m.Finding1(back)
-	if a != b {
-		t.Errorf("Finding1 drifted: %+v vs %+v", a, b)
-	}
-	fa, err := m.Fig4(ds)
+	a, err := m.Finding1(context.Background(), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fb, err := m.Fig4(back)
+	b, err := m.Finding1(context.Background(), back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("Finding1 drifted: %+v vs %+v", a, b)
+	}
+	fa, err := m.Fig4(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := m.Fig4(context.Background(), back)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +74,7 @@ func TestLoadDatasetErrors(t *testing.T) {
 		t.Error("corrupt metadata should fail")
 	}
 	// Metadata/file mismatch.
-	ds, err := GenerateDataset(WithSeed(6), WithScale(0.02))
+	ds, err := GenerateDataset(context.Background(), WithSeed(6), WithScale(0.02))
 	if err != nil {
 		t.Fatal(err)
 	}

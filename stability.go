@@ -1,10 +1,12 @@
 package leodivide
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"leodivide/internal/core"
+	"leodivide/internal/par"
 )
 
 // StabilityResult reports how the headline findings vary across
@@ -60,29 +62,52 @@ func newStabilityStat(values []float64) StabilityStat {
 
 // Stability regenerates the dataset under nSeeds different seeds and
 // measures the dispersion of the headline results. scale shrinks the
-// datasets for speed (1.0 = full scale).
-func (m Model) Stability(nSeeds int, scale float64) (StabilityResult, error) {
+// datasets for speed (1.0 = full scale). Seeds are evaluated
+// concurrently (each is an independent generation) and collected in
+// seed order, so the statistics match the serial sweep exactly.
+func (m Model) Stability(ctx context.Context, nSeeds int, scale float64) (StabilityResult, error) {
 	if nSeeds < 2 {
 		return StabilityResult{}, fmt.Errorf("leodivide: stability needs ≥2 seeds, got %d", nSeeds)
 	}
-	var sats, unaff, served []float64
-	for seed := int64(1); seed <= int64(nSeeds); seed++ {
-		ds, err := GenerateDataset(WithSeed(seed), WithScale(scale))
+	type seedResult struct {
+		sats, unaff, served float64
+	}
+	results, err := par.Map(ctx, m.Workers, nSeeds, func(i int) (seedResult, error) {
+		seed := int64(i + 1)
+		ds, err := GenerateDataset(ctx, WithSeed(seed), WithScale(scale))
 		if err != nil {
-			return StabilityResult{}, fmt.Errorf("leodivide: seed %d: %w", seed, err)
+			return seedResult{}, fmt.Errorf("leodivide: seed %d: %w", seed, err)
 		}
 		size := m.Capacity.Size(ds.Distribution(), core.CappedOversub, 2, m.MaxOversub)
-		sats = append(sats, float64(size.Satellites))
-		f1 := m.Finding1(ds)
-		served = append(served, f1.ServedFractionAtCap)
-		f4, err := m.Fig4(ds)
+		f1, err := m.Finding1(ctx, ds)
 		if err != nil {
-			return StabilityResult{}, err
+			return seedResult{}, err
+		}
+		f4, err := m.Fig4(ctx, ds)
+		if err != nil {
+			return seedResult{}, err
+		}
+		out := seedResult{
+			sats:   float64(size.Satellites),
+			served: f1.ServedFractionAtCap,
+			unaff:  math.NaN(),
 		}
 		for _, r := range f4.Results {
 			if r.Plan.Name == "Starlink Residential" && r.Subsidy == nil {
-				unaff = append(unaff, r.UnaffordableFraction)
+				out.unaff = r.UnaffordableFraction
 			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return StabilityResult{}, err
+	}
+	var sats, unaff, served []float64
+	for _, r := range results {
+		sats = append(sats, r.sats)
+		served = append(served, r.served)
+		if !math.IsNaN(r.unaff) {
+			unaff = append(unaff, r.unaff)
 		}
 	}
 	return StabilityResult{
