@@ -21,6 +21,7 @@ import (
 	"leodivide/internal/bdc"
 	"leodivide/internal/demand"
 	"leodivide/internal/report"
+	"leodivide/internal/safeio"
 )
 
 func main() {
@@ -112,11 +113,10 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
+// writeTo writes one output artifact atomically via safeio, so a
+// failed or interrupted generation can never leave a truncated CSV
+// that downstream ingestion would half-read.
 func writeTo(dir, name string, fn func(io.Writer) error) error {
-	f, err := os.Create(filepath.Join(dir, name))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return fn(f)
+	_, err := safeio.WriteFile(filepath.Join(dir, name), fn)
+	return err
 }

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"leodivide/internal/bdc"
+	"leodivide/internal/safeio"
 )
 
 func TestBdcgenEndToEnd(t *testing.T) {
@@ -65,6 +68,31 @@ func TestBdcgenEndToEnd(t *testing.T) {
 
 	if _, err := os.Stat(filepath.Join(dir, "cells.geojson")); err != nil {
 		t.Errorf("missing geojson: %v", err)
+	}
+}
+
+// An injected write failure on any generated artifact must fail the
+// whole run and leave no partially written file at the destination.
+func TestBdcgenReportsWriteFailures(t *testing.T) {
+	boom := errors.New("disk full")
+	for _, artifact := range []string{"cells.csv", "cells.geojson", "locations.csv"} {
+		t.Run(artifact, func(t *testing.T) {
+			defer safeio.SetWriteFault(func(path string, w io.Writer) io.Writer {
+				if filepath.Base(path) == artifact {
+					return &safeio.FaultWriter{W: w, FailAfter: 8, Err: boom}
+				}
+				return w
+			})()
+			dir := t.TempDir()
+			var log bytes.Buffer
+			err := run([]string{"-out", dir, "-seed", "7", "-total", "50000", "-location-scale", "0.05"}, &log)
+			if !errors.Is(err, boom) {
+				t.Fatalf("run error = %v, want %v", err, boom)
+			}
+			if _, statErr := os.Stat(filepath.Join(dir, artifact)); !os.IsNotExist(statErr) {
+				t.Errorf("failed run left %s behind", artifact)
+			}
+		})
 	}
 }
 

@@ -45,6 +45,7 @@ import (
 	"leodivide/internal/orbit"
 	"leodivide/internal/regions"
 	"leodivide/internal/report"
+	"leodivide/internal/safeio"
 	"leodivide/internal/sim"
 	"leodivide/internal/traffic"
 	"leodivide/internal/usgeo"
@@ -547,12 +548,9 @@ func runGen(w io.Writer, ds *leodivide.Dataset, seed int64, locCSV string, locSc
 		if err != nil {
 			return err
 		}
-		f, err := os.Create(locCSV)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := bdc.WriteLocationsCSV(f, locs); err != nil {
+		if _, err := safeio.WriteFile(locCSV, func(f io.Writer) error {
+			return bdc.WriteLocationsCSV(f, locs)
+		}); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d locations to %s\n", len(locs), locCSV)
@@ -621,13 +619,11 @@ func runExport(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivid
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	// Every export artifact is written atomically with close/flush
+	// errors propagated (see internal/safeio).
 	writeFile := func(name string, fn func(io.Writer) error) error {
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		return fn(f)
+		_, err := safeio.WriteFile(filepath.Join(dir, name), fn)
+		return err
 	}
 	if err := writeFile("cells.geojson", func(out io.Writer) error {
 		return report.WriteCellsGeoJSON(out, ds.Cells, 0)

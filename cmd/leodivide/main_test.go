@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"leodivide/internal/safeio"
 )
 
 // runCmd invokes the CLI entry point with a small-scale dataset so the
@@ -181,6 +185,67 @@ func TestExportCommand(t *testing.T) {
 		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
 			t.Errorf("missing export %s: %v", name, err)
 		}
+	}
+}
+
+// TestExportReportsWriteFailures: report/export artifacts are written
+// through safeio, so an injected write error, short write, or close
+// failure on any output file must fail the export command instead of
+// leaving a truncated artifact behind a nil error.
+func TestExportReportsWriteFailures(t *testing.T) {
+	boom := errors.New("disk full")
+	for _, mode := range []struct {
+		name    string
+		install func() func()
+	}{
+		{"write error", func() func() {
+			return safeio.SetWriteFault(func(path string, w io.Writer) io.Writer {
+				if filepath.Base(path) == "fig1_cdf.csv" {
+					return &safeio.FaultWriter{W: w, FailAfter: 8, Err: boom}
+				}
+				return w
+			})
+		}},
+		{"short write", func() func() {
+			return safeio.SetWriteFault(func(path string, w io.Writer) io.Writer {
+				if filepath.Base(path) == "cells.geojson" {
+					return &safeio.FaultWriter{W: w, FailAfter: 8, Short: true}
+				}
+				return w
+			})
+		}},
+		{"close failure", func() func() {
+			return safeio.SetCloseFault(func(path string) error {
+				if strings.HasPrefix(filepath.Base(path), "cells.csv") {
+					return boom
+				}
+				return nil
+			})
+		}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			defer mode.install()()
+			var buf bytes.Buffer
+			if err := run([]string{"-scale", "0.02", "-dir", t.TempDir(), "export"}, &buf); err == nil {
+				t.Error("export swallowed the injected write failure")
+			}
+		})
+	}
+}
+
+func TestGenLocationsCSVWriteFailure(t *testing.T) {
+	boom := errors.New("disk full")
+	defer safeio.SetWriteFault(func(path string, w io.Writer) io.Writer {
+		return &safeio.FaultWriter{W: w, FailAfter: 32, Err: boom}
+	})()
+	locCSV := filepath.Join(t.TempDir(), "locations.csv")
+	var buf bytes.Buffer
+	err := run([]string{"-scale", "0.02", "-locations-csv", locCSV, "gen"}, &buf)
+	if !errors.Is(err, boom) {
+		t.Errorf("gen error = %v, want %v", err, boom)
+	}
+	if _, statErr := os.Stat(locCSV); !os.IsNotExist(statErr) {
+		t.Error("failed gen left a locations.csv behind")
 	}
 }
 

@@ -108,7 +108,7 @@ func parseLocation(rec []string) (demand.Location, error) {
 	if err != nil || up < 0 {
 		return l, fmt.Errorf("bad max_upload_mbps %q", rec[6])
 	}
-	if len(rec[4]) != 5 {
+	if !ValidFIPS(rec[4]) {
 		return l, fmt.Errorf("bad county_fips %q: want 5 digits", rec[4])
 	}
 	return demand.Location{
@@ -144,7 +144,11 @@ func WriteCellsCSV(w io.Writer, cells []demand.Cell) error {
 	return cw.Error()
 }
 
-// ReadCellsCSV parses aggregated per-cell records.
+// ReadCellsCSV parses aggregated per-cell records, enforcing the same
+// invariants the writer side guarantees: well-formed cell IDs with no
+// duplicates, coordinates on Earth, and digit-checked county FIPS. A
+// file that violates any of them — hand-edited, truncated mid-record,
+// or corrupted on disk — is rejected, never partially ingested.
 func ReadCellsCSV(r io.Reader) ([]demand.Cell, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(cellCSVHeader)
@@ -158,6 +162,7 @@ func ReadCellsCSV(r io.Reader) ([]demand.Cell, error) {
 		}
 	}
 	var out []demand.Cell
+	seen := make(map[hexgrid.CellID]int)
 	line := 1
 	for {
 		rec, err := cr.Read()
@@ -172,23 +177,53 @@ func ReadCellsCSV(r io.Reader) ([]demand.Cell, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bdc: line %d: bad cell_id %q", line, rec[0])
 		}
+		cid := hexgrid.CellID(id)
+		if !cid.Valid() {
+			return nil, fmt.Errorf("bdc: line %d: cell_id %d is not a valid cell", line, id)
+		}
+		if prev, dup := seen[cid]; dup {
+			return nil, fmt.Errorf("bdc: line %d: duplicate cell_id %d (first at line %d)", line, id, prev)
+		}
+		seen[cid] = line
 		lat, err1 := strconv.ParseFloat(rec[1], 64)
 		lng, err2 := strconv.ParseFloat(rec[2], 64)
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("bdc: line %d: bad coordinate", line)
+		}
+		center := geo.LatLng{Lat: lat, Lng: lng}
+		if !center.Valid() {
+			return nil, fmt.Errorf("bdc: line %d: coordinate %v out of range", line, center)
+		}
+		if !ValidFIPS(rec[3]) {
+			return nil, fmt.Errorf("bdc: line %d: bad county_fips %q: want 5 digits", line, rec[3])
 		}
 		n, err := strconv.Atoi(rec[4])
 		if err != nil || n < 0 {
 			return nil, fmt.Errorf("bdc: line %d: bad unserved_locations %q", line, rec[4])
 		}
 		out = append(out, demand.Cell{
-			ID:         hexgrid.CellID(id),
-			Center:     geo.LatLng{Lat: lat, Lng: lng},
+			ID:         cid,
+			Center:     center,
 			CountyFIPS: rec[3],
 			Locations:  n,
 		})
 	}
 	return out, nil
+}
+
+// ValidFIPS reports whether s is a well-formed 5-digit county FIPS
+// code. Length alone is not enough: "abcde" is 5 characters and was
+// historically accepted.
+func ValidFIPS(s string) bool {
+	if len(s) != 5 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // Validate checks a parsed location dataset for internal consistency:

@@ -1,0 +1,85 @@
+package bdc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"leodivide/internal/geo"
+	"leodivide/internal/hexgrid"
+)
+
+// testCellID returns a canonical cell id for crafting CSV fixtures.
+func testCellID(lat, lng float64) uint64 {
+	return uint64(hexgrid.LatLngToCell(geo.LatLng{Lat: lat, Lng: lng}, 5))
+}
+
+func cellsCSV(rows ...string) string {
+	return "cell_id,latitude,longitude,county_fips,unserved_locations\n" +
+		strings.Join(rows, "\n") + "\n"
+}
+
+func TestReadCellsCSVStrictIngest(t *testing.T) {
+	id := testCellID(35.5, -106.3)
+	id2 := testCellID(34.3, -89.9)
+	good := func(id uint64) string {
+		return fmt.Sprintf("%d,35.500000,-106.300000,35049,120", id)
+	}
+	cases := []struct {
+		name    string
+		input   string
+		wantErr string // substring; "" means the input must parse
+	}{
+		{"well-formed", cellsCSV(good(id), good(id2)), ""},
+		{"duplicate cell_id", cellsCSV(good(id), good(id)), "duplicate cell_id"},
+		{"invalid cell_id", cellsCSV("12345,35.5,-106.3,35049,120"), "not a valid cell"},
+		{"zero cell_id", cellsCSV("0,35.5,-106.3,35049,120"), "not a valid cell"},
+		{"latitude out of range", cellsCSV(fmt.Sprintf("%d,91.0,-106.3,35049,120", id)), "out of range"},
+		{"longitude out of range", cellsCSV(fmt.Sprintf("%d,35.5,-181.0,35049,120", id)), "out of range"},
+		{"NaN latitude", cellsCSV(fmt.Sprintf("%d,NaN,-106.3,35049,120", id)), "out of range"},
+		{"alphabetic county_fips", cellsCSV(fmt.Sprintf("%d,35.5,-106.3,abcde,120", id)), "bad county_fips"},
+		{"short county_fips", cellsCSV(fmt.Sprintf("%d,35.5,-106.3,3504,120", id)), "bad county_fips"},
+		{"negative locations", cellsCSV(fmt.Sprintf("%d,35.5,-106.3,35049,-1", id)), "bad unserved_locations"},
+		{"wrong header", "id,lat,lng,fips,n\n", "cell header"},
+		{"truncated record", cellsCSV(fmt.Sprintf("%d,35.5", id)), "wrong number of fields"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCellsCSV(strings.NewReader(tc.input))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseLocationFIPSDigits(t *testing.T) {
+	rec := func(fips string) []string {
+		return []string{"7", "35.500000", "-106.300000", "NM", fips, "25.00", "3.00", "DSL"}
+	}
+	if _, err := parseLocation(rec("35049")); err != nil {
+		t.Fatalf("digit FIPS rejected: %v", err)
+	}
+	for _, fips := range []string{"abcde", "3504x", "123456", "3504", "35 49"} {
+		if _, err := parseLocation(rec(fips)); err == nil {
+			t.Errorf("county_fips %q accepted", fips)
+		}
+	}
+}
+
+func TestValidFIPS(t *testing.T) {
+	for fips, want := range map[string]bool{
+		"00000": true, "35049": true, "99999": true,
+		"abcde": false, "3504": false, "350490": false, "": false, "3504９": false,
+	} {
+		if got := ValidFIPS(fips); got != want {
+			t.Errorf("ValidFIPS(%q) = %v, want %v", fips, got, want)
+		}
+	}
+}

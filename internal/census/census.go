@@ -265,7 +265,9 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a table written by WriteCSV.
+// ReadCSV parses a table written by WriteCSV, enforcing the writer's
+// invariants: digit-checked county FIPS codes with no duplicates,
+// positive incomes, nonnegative weights.
 func ReadCSV(r io.Reader) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(csvHeader)
@@ -279,6 +281,7 @@ func ReadCSV(r io.Reader) (*Table, error) {
 		}
 	}
 	var recs []CountyIncome
+	seen := make(map[string]int)
 	line := 1
 	for {
 		row, err := cr.Read()
@@ -289,6 +292,13 @@ func ReadCSV(r io.Reader) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("census: line %d: %w", line, err)
 		}
+		if !validFIPS(row[0]) {
+			return nil, fmt.Errorf("census: line %d: bad county_fips %q: want 5 digits", line, row[0])
+		}
+		if prev, dup := seen[row[0]]; dup {
+			return nil, fmt.Errorf("census: line %d: duplicate county_fips %q (first at line %d)", line, row[0], prev)
+		}
+		seen[row[0]] = line
 		income, err := strconv.ParseFloat(row[2], 64)
 		if err != nil || income <= 0 {
 			return nil, fmt.Errorf("census: line %d: bad income %q", line, row[2])
@@ -305,4 +315,17 @@ func ReadCSV(r io.Reader) (*Table, error) {
 		})
 	}
 	return NewTable(recs), nil
+}
+
+// validFIPS reports whether s is a 5-digit county FIPS code.
+func validFIPS(s string) bool {
+	if len(s) != 5 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
 }

@@ -221,6 +221,12 @@ func TestReadCSVErrors(t *testing.T) {
 		"county_fips,state,median_household_income_usd,unserved_locations\n01001,AL,abc,10",
 		"county_fips,state,median_household_income_usd,unserved_locations\n01001,AL,-5,10",
 		"county_fips,state,median_household_income_usd,unserved_locations\n01001,AL,50000,-1",
+		// Non-digit, short, and long FIPS codes.
+		"county_fips,state,median_household_income_usd,unserved_locations\nabcde,AL,50000,10",
+		"county_fips,state,median_household_income_usd,unserved_locations\n0100,AL,50000,10",
+		"county_fips,state,median_household_income_usd,unserved_locations\n010011,AL,50000,10",
+		// Duplicate county.
+		"county_fips,state,median_household_income_usd,unserved_locations\n01001,AL,50000,10\n01001,AL,52000,20",
 	}
 	for i, in := range cases {
 		if _, err := ReadCSV(strings.NewReader(in)); err == nil {

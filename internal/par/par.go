@@ -12,8 +12,9 @@
 //   - When several iterations fail, the error of the smallest index is
 //     returned, matching what the serial loop would have reported.
 //   - A panicking iteration is captured and re-panicked on the calling
-//     goroutine with the original value and stack, so `go test` failures
-//     read the same as serial ones.
+//     goroutine as a *Panic wrapper that preserves the original value
+//     (typed, recoverable by callers) and the worker's stack, so
+//     `go test` failures read the same as serial ones.
 package par
 
 import (
@@ -24,6 +25,27 @@ import (
 	"sync/atomic"
 )
 
+// Panic carries a worker panic across the goroutine boundary. ForEach
+// re-panics with a *Panic so the calling goroutine's recover() can get
+// back the original value — type intact — via Value, alongside the
+// stack of the worker it escaped from.
+type Panic struct {
+	// Value is the original panic value, exactly as the worker raised it.
+	Value any
+	// Stack is the panicking worker goroutine's stack trace.
+	Stack []byte
+}
+
+// String renders the panic for crash logs: the original value followed
+// by the worker stack.
+func (p *Panic) String() string {
+	return fmt.Sprintf("par: worker panic: %v\n%s", p.Value, p.Stack)
+}
+
+// Error makes *Panic usable where an error is expected (e.g. a caller
+// converting a recovered panic into a failure return).
+func (p *Panic) Error() string { return p.String() }
+
 // Workers normalizes a parallelism knob: n >= 1 is used as-is; zero or
 // negative mean "one worker per available CPU" (runtime.GOMAXPROCS).
 func Workers(n int) int {
@@ -31,13 +53,6 @@ func Workers(n int) int {
 		return n
 	}
 	return runtime.GOMAXPROCS(0)
-}
-
-// capture is a recovered panic plus the stack of the goroutine it
-// escaped from.
-type capture struct {
-	value any
-	stack []byte
 }
 
 // ForEach runs fn(0..n-1) on at most workers goroutines and waits for
@@ -71,7 +86,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 		mu      sync.Mutex
 		errIdx  = n // smallest failing index seen so far
 		err     error
-		caught  *capture
+		caught  *Panic
 		wg      sync.WaitGroup
 		ctxDone = false
 	)
@@ -109,7 +124,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 							buf = buf[:runtime.Stack(buf, false)]
 							mu.Lock()
 							if caught == nil {
-								caught = &capture{value: r, stack: buf}
+								caught = &Panic{Value: r, Stack: buf}
 							}
 							mu.Unlock()
 							stop.Store(true)
@@ -124,7 +139,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	}
 	wg.Wait()
 	if caught != nil {
-		panic(fmt.Sprintf("par: worker panic: %v\n%s", caught.value, caught.stack))
+		panic(caught)
 	}
 	if err != nil {
 		return err

@@ -150,6 +150,45 @@ func TestForEachPanicPropagation(t *testing.T) {
 	}
 }
 
+// sentinelPanic is a distinct type so the test below can prove the
+// panic value crosses the pool with its type intact, not flattened to
+// a string.
+type sentinelPanic struct{ code int }
+
+func TestForEachPanicPreservesValue(t *testing.T) {
+	original := sentinelPanic{code: 42}
+	defer func() {
+		r := recover()
+		p, ok := r.(*Panic)
+		if !ok {
+			t.Fatalf("recovered %T, want *par.Panic", r)
+		}
+		got, ok := p.Value.(sentinelPanic)
+		if !ok {
+			t.Fatalf("wrapped value is %T, want sentinelPanic", p.Value)
+		}
+		if got != original {
+			t.Errorf("wrapped value = %+v, want %+v", got, original)
+		}
+		if len(p.Stack) == 0 {
+			t.Error("worker stack was not captured")
+		}
+		if !strings.Contains(p.String(), "worker panic") {
+			t.Errorf("String() = %q", p.String())
+		}
+		if p.Error() != p.String() {
+			t.Error("Error() and String() disagree")
+		}
+	}()
+	_ = ForEach(context.Background(), 4, 16, func(i int) error {
+		if i == 3 {
+			panic(original)
+		}
+		return nil
+	})
+	t.Fatal("panic did not propagate")
+}
+
 func TestForEachSerialPanicUnwrapped(t *testing.T) {
 	// workers == 1 is the inline serial path: the panic is the caller's
 	// own, not wrapped.

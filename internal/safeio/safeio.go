@@ -1,0 +1,172 @@
+// Package safeio is the repo's hardened file I/O layer. Every number
+// the reproduction publishes rests on a pinned dataset that must
+// survive a save/load round trip exactly, so this layer guarantees two
+// properties the bare os package does not:
+//
+//   - Atomicity: WriteFile writes into a temp file in the destination
+//     directory, fsyncs it, and renames it into place, then fsyncs the
+//     directory. A crash, full disk, or failed flush leaves either the
+//     old file or the new file — never a truncated hybrid.
+//   - Loud failure: Close and Sync errors propagate; short writes are
+//     promoted to io.ErrShortWrite instead of being absorbed; reads can
+//     be verified against a SHA-256 checksum recorded at write time.
+//
+// The fault-injection seams in fault.go let tests drive every error
+// path (write error, short write, close/sync failure, read error,
+// short read) without touching the real filesystem.
+package safeio
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SHA256Hex returns the lowercase hex SHA-256 of data.
+func SHA256Hex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// strictWriter enforces the io.Writer contract on a possibly
+// misbehaving underlying writer: a short count with a nil error is
+// promoted to io.ErrShortWrite so it can never be silently absorbed by
+// downstream buffering.
+type strictWriter struct {
+	w io.Writer
+}
+
+func (s strictWriter) Write(p []byte) (int, error) {
+	n, err := s.w.Write(p)
+	if err == nil && n < len(p) {
+		return n, io.ErrShortWrite
+	}
+	return n, err
+}
+
+// WriteFile atomically writes the content produced by fn to path and
+// returns the SHA-256 of the bytes written. fn receives a writer that
+// tees into the checksum; any error from fn, from the underlying
+// writes, from Sync, from Close, or from the final rename surfaces as
+// a non-nil error, and the destination is left untouched (the temp
+// file is removed).
+func WriteFile(path string, fn func(io.Writer) error) (sumHex string, err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("safeio: creating temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+
+	h := sha256.New()
+	var w io.Writer = tmp
+	if hook := writeHook(); hook != nil {
+		w = hook(path, w)
+	}
+	w = strictWriter{io.MultiWriter(h, strictWriter{w})}
+	if err := fn(w); err != nil {
+		return "", fmt.Errorf("safeio: writing %s: %w", path, err)
+	}
+	// CreateTemp makes the file 0600; match os.Create's 0666-minus-umask
+	// so written artifacts keep their historical permissions.
+	if err := tmp.Chmod(0o644); err != nil {
+		return "", fmt.Errorf("safeio: setting mode on %s: %w", path, err)
+	}
+	if err := syncFile(tmp); err != nil {
+		return "", fmt.Errorf("safeio: syncing %s: %w", path, err)
+	}
+	if err := closeFile(tmp); err != nil {
+		return "", fmt.Errorf("safeio: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("safeio: renaming into %s: %w", path, err)
+	}
+	syncDir(dir)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// WriteFileBytes atomically writes data to path and returns its
+// SHA-256.
+func WriteFileBytes(path string, data []byte) (string, error) {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir fsyncs a directory so the rename that just happened inside
+// it is durable. Errors are ignored: some filesystems (and platforms)
+// refuse to sync directories, and by this point the data file itself
+// is already synced and in place.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// ReadFileVerified reads path fully and, when wantSum is nonempty,
+// verifies its SHA-256 against wantSum before returning the bytes. A
+// mismatch — a truncated file, a flipped byte, any post-write
+// corruption — is an error, never silently accepted.
+func ReadFileVerified(path, wantSum string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if hook := readHook(); hook != nil {
+		r = hook(path, r)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("safeio: reading %s: %w", path, err)
+	}
+	if wantSum != "" {
+		if got := SHA256Hex(data); got != wantSum {
+			return nil, fmt.Errorf("safeio: checksum mismatch for %s: file has %s, manifest says %s",
+				path, got, wantSum)
+		}
+	}
+	return data, nil
+}
+
+// HashingWriter tees writes into a SHA-256 alongside an underlying
+// writer, for callers that stream and want the digest afterwards.
+type HashingWriter struct {
+	w io.Writer
+	h hash.Hash
+	n int64
+}
+
+// NewHashingWriter wraps w.
+func NewHashingWriter(w io.Writer) *HashingWriter {
+	return &HashingWriter{w: strictWriter{w}, h: sha256.New()}
+}
+
+func (hw *HashingWriter) Write(p []byte) (int, error) {
+	n, err := hw.w.Write(p)
+	hw.h.Write(p[:n])
+	hw.n += int64(n)
+	return n, err
+}
+
+// SumHex returns the hex SHA-256 of everything written so far.
+func (hw *HashingWriter) SumHex() string { return hex.EncodeToString(hw.h.Sum(nil)) }
+
+// BytesWritten returns the number of bytes successfully written.
+func (hw *HashingWriter) BytesWritten() int64 { return hw.n }

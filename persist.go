@@ -1,8 +1,10 @@
 package leodivide
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -10,64 +12,89 @@ import (
 	"leodivide/internal/census"
 	"leodivide/internal/demand"
 	"leodivide/internal/hexgrid"
+	"leodivide/internal/safeio"
 )
 
 // Dataset persistence: a saved dataset is a directory holding the
-// per-cell CSV, the county income CSV, and a small metadata file, so
-// an analysis can be re-run later (or by someone else) on exactly the
-// same inputs without regenerating them.
+// per-cell CSV, the county income CSV, and a manifest (dataset.json)
+// recording the shape of the data plus a SHA-256 per data file. All
+// writes go through internal/safeio, so a crash, full disk, or failed
+// flush can never leave a truncated file that a later LoadDataset
+// would quietly ingest: Save either completes every file atomically or
+// reports an error, and LoadDataset verifies each file against its
+// manifest checksum before parsing a single record. See DESIGN.md §8
+// for the on-disk format.
 
 const (
 	datasetMetaFile    = "dataset.json"
 	datasetCellsFile   = "cells.csv"
 	datasetIncomesFile = "incomes.csv"
+
+	// datasetFormatVersion 2 added the per-file SHA-256 manifest.
+	// Version-1 directories (no "sha256" key) still load, without
+	// checksum verification but with full structural validation.
+	datasetFormatVersion = 2
 )
 
 type datasetMeta struct {
-	Seed       int64 `json:"seed"`
-	Resolution int   `json:"resolution"`
-	Locations  int   `json:"locations"`
-	Cells      int   `json:"cells"`
+	FormatVersion int   `json:"format_version"`
+	Seed          int64 `json:"seed"`
+	Resolution    int   `json:"resolution"`
+	Locations     int   `json:"locations"`
+	Cells         int   `json:"cells"`
+	// Checksums maps data file name to its hex SHA-256.
+	Checksums map[string]string `json:"sha256,omitempty"`
 }
 
-// Save writes the dataset into dir (created if needed).
+// Save writes the dataset into dir (created if needed). Every file is
+// written atomically; any write, flush, or close failure surfaces as a
+// non-nil error. The manifest is written last, so a directory with a
+// valid manifest always has fully written, checksummed data files.
 func (d *Dataset) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	cellsSum, err := safeio.WriteFile(filepath.Join(dir, datasetCellsFile), func(w io.Writer) error {
+		return bdc.WriteCellsCSV(w, d.Cells)
+	})
+	if err != nil {
+		return fmt.Errorf("leodivide: saving cells: %w", err)
+	}
+	incomesSum, err := safeio.WriteFile(filepath.Join(dir, datasetIncomesFile), func(w io.Writer) error {
+		return d.Incomes.WriteCSV(w)
+	})
+	if err != nil {
+		return fmt.Errorf("leodivide: saving incomes: %w", err)
+	}
 	meta := datasetMeta{
-		Seed:       d.Seed,
-		Resolution: int(d.Resolution),
-		Locations:  d.TotalLocations(),
-		Cells:      len(d.Cells),
+		FormatVersion: datasetFormatVersion,
+		Seed:          d.Seed,
+		Resolution:    int(d.Resolution),
+		Locations:     d.TotalLocations(),
+		Cells:         len(d.Cells),
+		Checksums: map[string]string{
+			datasetCellsFile:   cellsSum,
+			datasetIncomesFile: incomesSum,
+		},
 	}
 	metaBytes, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, datasetMetaFile), metaBytes, 0o644); err != nil {
-		return err
+	if _, err := safeio.WriteFileBytes(filepath.Join(dir, datasetMetaFile), append(metaBytes, '\n')); err != nil {
+		return fmt.Errorf("leodivide: saving metadata: %w", err)
 	}
-	cellsFile, err := os.Create(filepath.Join(dir, datasetCellsFile))
-	if err != nil {
-		return err
-	}
-	defer cellsFile.Close()
-	if err := bdc.WriteCellsCSV(cellsFile, d.Cells); err != nil {
-		return err
-	}
-	incomesFile, err := os.Create(filepath.Join(dir, datasetIncomesFile))
-	if err != nil {
-		return err
-	}
-	defer incomesFile.Close()
-	return d.Incomes.WriteCSV(incomesFile)
+	return nil
 }
 
-// LoadDataset reads a dataset saved with Save, validating that the
-// files agree with the metadata.
+// LoadDataset reads a dataset saved with Save. Each data file is
+// verified against its manifest SHA-256 before parsing (any corruption
+// — truncation, a single flipped byte — is a checksum mismatch), and
+// the parsed records are validated against the metadata: cell count,
+// per-cell resolution, location total, and county coverage of the
+// income table.
 func LoadDataset(dir string) (*Dataset, error) {
-	metaBytes, err := os.ReadFile(filepath.Join(dir, datasetMetaFile))
+	metaBytes, err := safeio.ReadFileVerified(filepath.Join(dir, datasetMetaFile), "")
 	if err != nil {
 		return nil, fmt.Errorf("leodivide: reading metadata: %w", err)
 	}
@@ -80,27 +107,54 @@ func LoadDataset(dir string) (*Dataset, error) {
 		return nil, fmt.Errorf("leodivide: invalid resolution %d in metadata", meta.Resolution)
 	}
 
-	cellsFile, err := os.Open(filepath.Join(dir, datasetCellsFile))
+	sumFor := func(name string) (string, error) {
+		if meta.Checksums == nil {
+			return "", nil // version-1 directory: no manifest checksums
+		}
+		sum, ok := meta.Checksums[name]
+		if !ok || sum == "" {
+			return "", fmt.Errorf("leodivide: manifest has no checksum for %s", name)
+		}
+		return sum, nil
+	}
+
+	cellsSum, err := sumFor(datasetCellsFile)
 	if err != nil {
 		return nil, err
 	}
-	defer cellsFile.Close()
-	cells, err := bdc.ReadCellsCSV(cellsFile)
+	cellsBytes, err := safeio.ReadFileVerified(filepath.Join(dir, datasetCellsFile), cellsSum)
+	if err != nil {
+		return nil, err
+	}
+	cells, err := bdc.ReadCellsCSV(bytes.NewReader(cellsBytes))
 	if err != nil {
 		return nil, err
 	}
 	if len(cells) != meta.Cells {
 		return nil, fmt.Errorf("leodivide: %d cells on disk, metadata says %d", len(cells), meta.Cells)
 	}
+	for i, c := range cells {
+		if got := c.ID.Resolution(); got != res {
+			return nil, fmt.Errorf("leodivide: cell %d has resolution %d, metadata says %d", i, got, res)
+		}
+	}
 
-	incomesFile, err := os.Open(filepath.Join(dir, datasetIncomesFile))
+	incomesSum, err := sumFor(datasetIncomesFile)
 	if err != nil {
 		return nil, err
 	}
-	defer incomesFile.Close()
-	incomes, err := census.ReadCSV(incomesFile)
+	incomesBytes, err := safeio.ReadFileVerified(filepath.Join(dir, datasetIncomesFile), incomesSum)
 	if err != nil {
 		return nil, err
+	}
+	incomes, err := census.ReadCSV(bytes.NewReader(incomesBytes))
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		if _, ok := incomes.Lookup(c.CountyFIPS); !ok {
+			return nil, fmt.Errorf("leodivide: cell %d references county %s absent from the income table", i, c.CountyFIPS)
+		}
 	}
 
 	dist, err := demand.NewDistribution(cells)

@@ -2,10 +2,16 @@ package leodivide
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"leodivide/internal/safeio"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -88,5 +94,325 @@ func TestLoadDatasetErrors(t *testing.T) {
 	}
 	if _, err := LoadDataset(dir2); err == nil {
 		t.Error("cell-count mismatch should fail")
+	}
+}
+
+// smallDataset generates a cheap dataset for persistence tests.
+func smallDataset(t *testing.T, seed int64) *Dataset {
+	t.Helper()
+	ds, err := GenerateDataset(context.Background(), WithSeed(seed), WithScale(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestSaveReportsWriteFailures is the regression suite for the
+// historical bug where Save's deferred Close discarded errors: a write
+// failure after a successful WriteCSV went unreported, leaving a
+// truncated cells.csv behind a nil error. Every artifact and every
+// failure mode (mid-write error, short write, failed flush, failed
+// close) must now surface at Save, and the destination directory must
+// not gain a manifest that would let LoadDataset succeed.
+func TestSaveReportsWriteFailures(t *testing.T) {
+	ds := smallDataset(t, 7)
+	boom := errors.New("device error")
+	artifacts := []string{datasetCellsFile, datasetIncomesFile, datasetMetaFile}
+	for _, artifact := range artifacts {
+		// The write hook sees the destination path; the sync/close hooks
+		// see the temp file (named after the destination plus a random
+		// suffix), so those match on prefix.
+		onArtifact := func(path string, f func()) {
+			if strings.HasPrefix(filepath.Base(path), artifact) {
+				f()
+			}
+		}
+		modes := []struct {
+			name    string
+			install func() func()
+			wantErr error
+		}{
+			{
+				name: "write error",
+				install: func() func() {
+					return safeio.SetWriteFault(func(path string, w io.Writer) io.Writer {
+						if filepath.Base(path) == artifact {
+							return &safeio.FaultWriter{W: w, FailAfter: 16, Err: boom}
+						}
+						return w
+					})
+				},
+				wantErr: boom,
+			},
+			{
+				name: "short write",
+				install: func() func() {
+					return safeio.SetWriteFault(func(path string, w io.Writer) io.Writer {
+						if filepath.Base(path) == artifact {
+							return &safeio.FaultWriter{W: w, FailAfter: 16, Short: true}
+						}
+						return w
+					})
+				},
+				wantErr: io.ErrShortWrite,
+			},
+			{
+				name: "sync failure",
+				install: func() func() {
+					return safeio.SetSyncFault(func(path string) error {
+						var err error
+						onArtifact(path, func() { err = boom })
+						return err
+					})
+				},
+				wantErr: boom,
+			},
+			{
+				name: "close failure",
+				install: func() func() {
+					return safeio.SetCloseFault(func(path string) error {
+						var err error
+						onArtifact(path, func() { err = boom })
+						return err
+					})
+				},
+				wantErr: boom,
+			},
+		}
+		for _, mode := range modes {
+			t.Run(artifact+"/"+mode.name, func(t *testing.T) {
+				restore := mode.install()
+				defer restore()
+				dir := t.TempDir()
+				err := ds.Save(dir)
+				if err == nil {
+					t.Fatal("Save swallowed the injected failure")
+				}
+				if !errors.Is(err, mode.wantErr) {
+					t.Errorf("Save error = %v, want %v", err, mode.wantErr)
+				}
+				restore()
+				if _, err := LoadDataset(dir); err == nil {
+					t.Error("failed Save left a loadable dataset behind")
+				}
+			})
+		}
+	}
+}
+
+func TestLoadDatasetCorruption(t *testing.T) {
+	ds := smallDataset(t, 9)
+	save := func(t *testing.T) string {
+		dir := t.TempDir()
+		if err := ds.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("single-byte flip in cells.csv", func(t *testing.T) {
+		dir := save(t)
+		path := filepath.Join(dir, datasetCellsFile)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x01
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = LoadDataset(dir)
+		if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+			t.Errorf("flipped byte not caught by checksum: %v", err)
+		}
+	})
+
+	t.Run("truncated cells.csv", func(t *testing.T) {
+		dir := save(t)
+		path := filepath.Join(dir, datasetCellsFile)
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, info.Size()/2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadDataset(dir); err == nil {
+			t.Error("truncated cells.csv loaded without error")
+		}
+	})
+
+	t.Run("single-byte flip in incomes.csv", func(t *testing.T) {
+		dir := save(t)
+		path := filepath.Join(dir, datasetIncomesFile)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x01
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = LoadDataset(dir)
+		if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+			t.Errorf("flipped byte not caught by checksum: %v", err)
+		}
+	})
+
+	t.Run("metadata resolution disagrees with cells", func(t *testing.T) {
+		dir := save(t)
+		metaPath := filepath.Join(dir, datasetMetaFile)
+		raw, err := os.ReadFile(metaPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var meta map[string]interface{}
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			t.Fatal(err)
+		}
+		meta["resolution"] = 4
+		edited, err := json.Marshal(meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(metaPath, edited, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = LoadDataset(dir)
+		if err == nil || !strings.Contains(err.Error(), "resolution") {
+			t.Errorf("resolution disagreement not caught: %v", err)
+		}
+	})
+
+	t.Run("manifest missing a checksum entry", func(t *testing.T) {
+		dir := save(t)
+		metaPath := filepath.Join(dir, datasetMetaFile)
+		raw, err := os.ReadFile(metaPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var meta map[string]interface{}
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			t.Fatal(err)
+		}
+		meta["sha256"] = map[string]string{datasetIncomesFile: "0"}
+		edited, err := json.Marshal(meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(metaPath, edited, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = LoadDataset(dir)
+		if err == nil || !strings.Contains(err.Error(), "no checksum") {
+			t.Errorf("missing manifest entry not caught: %v", err)
+		}
+	})
+
+	t.Run("injected read error", func(t *testing.T) {
+		dir := save(t)
+		boom := errors.New("read failure")
+		defer safeio.SetReadFault(func(path string, r io.Reader) io.Reader {
+			if filepath.Base(path) == datasetCellsFile {
+				return &safeio.FaultReader{R: r, FailAfter: 10, Err: boom}
+			}
+			return r
+		})()
+		if _, err := LoadDataset(dir); !errors.Is(err, boom) {
+			t.Errorf("LoadDataset error = %v, want %v", err, boom)
+		}
+	})
+
+	t.Run("injected short read", func(t *testing.T) {
+		dir := save(t)
+		defer safeio.SetReadFault(func(path string, r io.Reader) io.Reader {
+			if filepath.Base(path) == datasetCellsFile {
+				return &safeio.FaultReader{R: r, FailAfter: 10, Short: true}
+			}
+			return r
+		})()
+		if _, err := LoadDataset(dir); err == nil {
+			t.Error("short read not caught")
+		}
+	})
+}
+
+// TestSaveByteIdentical: saving the same dataset twice must produce
+// byte-identical files — the property that makes the manifest
+// checksums meaningful across machines and sessions.
+func TestSaveByteIdentical(t *testing.T) {
+	ds := smallDataset(t, 11)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if err := ds.Save(dirA); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Save(dirB); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{datasetMetaFile, datasetCellsFile, datasetIncomesFile} {
+		a, err := os.ReadFile(filepath.Join(dirA, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s differs between identical saves", name)
+		}
+	}
+	// And the manifest records the sums the files actually have.
+	raw, err := os.ReadFile(filepath.Join(dirA, datasetMetaFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta struct {
+		FormatVersion int               `json:"format_version"`
+		Checksums     map[string]string `json:"sha256"`
+	}
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.FormatVersion != datasetFormatVersion {
+		t.Errorf("format_version = %d, want %d", meta.FormatVersion, datasetFormatVersion)
+	}
+	for _, name := range []string{datasetCellsFile, datasetIncomesFile} {
+		data, err := os.ReadFile(filepath.Join(dirA, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := safeio.SHA256Hex(data); got != meta.Checksums[name] {
+			t.Errorf("manifest sum for %s is stale", name)
+		}
+	}
+}
+
+// TestLoadDatasetLegacyFormat: a version-1 directory (no checksums in
+// the manifest) still loads, with structural validation only.
+func TestLoadDatasetLegacyFormat(t *testing.T) {
+	ds := smallDataset(t, 13)
+	dir := t.TempDir()
+	if err := ds.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := json.Marshal(map[string]interface{}{
+		"seed":       ds.Seed,
+		"resolution": int(ds.Resolution),
+		"locations":  ds.TotalLocations(),
+		"cells":      len(ds.Cells),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, datasetMetaFile), legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(dir)
+	if err != nil {
+		t.Fatalf("legacy manifest rejected: %v", err)
+	}
+	if back.TotalLocations() != ds.TotalLocations() {
+		t.Error("legacy load drifted")
 	}
 }

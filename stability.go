@@ -40,6 +40,20 @@ func (s StabilityStat) RelSpread() float64 {
 	return s.StdDev / s.Mean
 }
 
+// unsubsidizedStarlinkFraction extracts Finding 4's headline number —
+// the fraction of locations that cannot afford the unsubsidized
+// Starlink Residential plan — from a Fig4 result. A comparison that
+// lacks that plan is an error: silently feeding an empty slice to
+// newStabilityStat would report Mean=NaN, Min=+Inf, Max=-Inf.
+func unsubsidizedStarlinkFraction(f4 Fig4Result) (float64, error) {
+	for _, r := range f4.Results {
+		if r.Plan.Name == "Starlink Residential" && r.Subsidy == nil {
+			return r.UnaffordableFraction, nil
+		}
+	}
+	return 0, fmt.Errorf(`no unsubsidized "Starlink Residential" plan in the affordability comparison; cannot compute Finding-4 stability`)
+}
+
 func newStabilityStat(values []float64) StabilityStat {
 	out := StabilityStat{Min: math.Inf(1), Max: math.Inf(-1)}
 	sum := 0.0
@@ -87,17 +101,15 @@ func (m Model) Stability(ctx context.Context, nSeeds int, scale float64) (Stabil
 		if err != nil {
 			return seedResult{}, err
 		}
-		out := seedResult{
+		unaff, err := unsubsidizedStarlinkFraction(f4)
+		if err != nil {
+			return seedResult{}, fmt.Errorf("leodivide: seed %d: %w", seed, err)
+		}
+		return seedResult{
 			sats:   float64(size.Satellites),
 			served: f1.ServedFractionAtCap,
-			unaff:  math.NaN(),
-		}
-		for _, r := range f4.Results {
-			if r.Plan.Name == "Starlink Residential" && r.Subsidy == nil {
-				out.unaff = r.UnaffordableFraction
-			}
-		}
-		return out, nil
+			unaff:  unaff,
+		}, nil
 	})
 	if err != nil {
 		return StabilityResult{}, err
@@ -106,9 +118,7 @@ func (m Model) Stability(ctx context.Context, nSeeds int, scale float64) (Stabil
 	for _, r := range results {
 		sats = append(sats, r.sats)
 		served = append(served, r.served)
-		if !math.IsNaN(r.unaff) {
-			unaff = append(unaff, r.unaff)
-		}
+		unaff = append(unaff, r.unaff)
 	}
 	return StabilityResult{
 		Seeds:                nSeeds,

@@ -1,0 +1,57 @@
+package leodivide
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"leodivide/internal/afford"
+)
+
+// The stability sweep must fail loudly when the affordability
+// comparison lacks the plan Finding 4 is defined over — previously an
+// empty sample slice flowed into newStabilityStat and came back as
+// Mean=NaN, Min=+Inf, Max=-Inf with a nil error.
+func TestUnsubsidizedStarlinkFractionMissingPlan(t *testing.T) {
+	cases := []Fig4Result{
+		{}, // no plans at all
+		{Results: []afford.Result{ // only a subsidized variant
+			{Plan: afford.StarlinkResidential(), Subsidy: &afford.Subsidy{Name: "Lifeline"}},
+			{Plan: afford.Plan{Name: "Spectrum 500"}},
+		}},
+	}
+	for i, f4 := range cases {
+		_, err := unsubsidizedStarlinkFraction(f4)
+		if err == nil {
+			t.Errorf("case %d: missing plan went unreported", i)
+			continue
+		}
+		if !strings.Contains(err.Error(), "Starlink Residential") {
+			t.Errorf("case %d: error %q does not name the missing plan", i, err)
+		}
+	}
+}
+
+func TestUnsubsidizedStarlinkFractionFound(t *testing.T) {
+	f4 := Fig4Result{Results: []afford.Result{
+		{Plan: afford.StarlinkResidential(), Subsidy: &afford.Subsidy{Name: "Lifeline"}, UnaffordableFraction: 0.64},
+		{Plan: afford.StarlinkResidential(), UnaffordableFraction: 0.745},
+	}}
+	got, err := unsubsidizedStarlinkFraction(f4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.745 {
+		t.Errorf("fraction = %v, want the unsubsidized plan's 0.745", got)
+	}
+}
+
+func TestNewStabilityStatDefined(t *testing.T) {
+	s := newStabilityStat([]float64{2, 4})
+	if s.Mean != 3 || s.Min != 2 || s.Max != 4 {
+		t.Errorf("stat = %+v", s)
+	}
+	if math.IsNaN(s.Mean) || math.IsInf(s.Min, 0) || math.IsInf(s.Max, 0) {
+		t.Errorf("stat degenerate: %+v", s)
+	}
+}
