@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-parallel fmt check
+.PHONY: build test race vet bench bench-parallel bench-json fmt check
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,17 @@ bench:
 # Serial vs pooled comparison for the parallel execution engine.
 bench-parallel:
 	$(GO) test -bench BenchmarkParallelSpeedup -benchtime 5x -run '^$$' .
+
+# Machine-readable bench report (internal/benchfmt schema). Override
+# BENCH_SCALE / BENCH_WORKERS / BENCH_OUT for other sweeps; CI runs
+# this at small scale and validates the artifact with `bench -check`.
+BENCH_SCALE ?= 0.05
+BENCH_WORKERS ?= 1,2
+BENCH_OUT ?= BENCH_latest.json
+bench-json:
+	$(GO) run ./cmd/leodivide -scale $(BENCH_SCALE) bench \
+		-workers $(BENCH_WORKERS) -out $(BENCH_OUT)
+	$(GO) run ./cmd/leodivide bench -check $(BENCH_OUT)
 
 fmt:
 	gofmt -l -w .

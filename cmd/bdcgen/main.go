@@ -20,6 +20,7 @@ import (
 
 	"leodivide/internal/bdc"
 	"leodivide/internal/demand"
+	"leodivide/internal/obs"
 	"leodivide/internal/report"
 	"leodivide/internal/safeio"
 )
@@ -39,8 +40,15 @@ func run(args []string, w io.Writer) error {
 	locScale := fs.Float64("location-scale", 0.01, "fraction of locations to expand into per-location records")
 	providers := fs.Bool("providers", false, "also emit provider-availability records")
 	geojson := fs.Bool("geojson", true, "emit cells.geojson")
+	metrics := fs.Bool("metrics", false, "print the metric snapshot (generation timings, safeio write counters) after generation")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metrics {
+		defer func() {
+			fmt.Fprintln(w, "--- metrics ---")
+			obs.Default.Snapshot().WriteText(w)
+		}()
 	}
 
 	cfg := bdc.DefaultGenConfig()

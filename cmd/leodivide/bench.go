@@ -1,0 +1,225 @@
+package main
+
+// The bench subcommand: measure every registry experiment (plus dataset
+// generation) across a worker-count sweep and emit a schema-versioned
+// BENCH_*.json report (internal/benchfmt). This is the repo's
+// performance trajectory: CI regenerates the report at small scale and
+// validates it; BENCH_baseline.json pins the committed starting point.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"leodivide"
+	"leodivide/internal/benchfmt"
+	"leodivide/internal/safeio"
+)
+
+// benchExperiments returns the full coverage set: every registry
+// experiment plus the "generate" pseudo-experiment.
+func benchExperiments(m leodivide.Model) []string {
+	names := []string{"generate"}
+	for _, e := range m.Experiments() {
+		names = append(names, e.Name)
+	}
+	return names
+}
+
+func runBench(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []string) error {
+	fs := flag.NewFlagSet("leodivide bench", flag.ContinueOnError)
+	workersFlag := fs.String("workers", "1,2", "comma-separated worker counts to sweep (0 = all CPUs)")
+	reps := fs.Int("reps", 1, "repetitions per (experiment, workers) cell")
+	out := fs.String("out", "BENCH_latest.json", "output path for the JSON report")
+	check := fs.String("check", "", "validate an existing report instead of benchmarking")
+	filter := fs.String("experiments", "", "comma-separated subset to run (default: all; coverage validation is skipped)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *check != "" {
+		return runBenchCheck(w, *check)
+	}
+
+	workers, err := parseWorkerCounts(*workersFlag)
+	if err != nil {
+		return err
+	}
+	if *reps < 1 {
+		return fmt.Errorf("bench: -reps must be >= 1, got %d", *reps)
+	}
+
+	report := benchfmt.Report{
+		Schema: benchfmt.Schema,
+		Seed:   cfg.Seed, Scale: cfg.Scale, Reps: *reps,
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+	}
+
+	all := benchExperiments(cfg.BuildModel())
+	selected := all
+	if *filter != "" {
+		selected, err = selectExperiments(all, *filter)
+		if err != nil {
+			return err
+		}
+	}
+
+	for _, n := range workers {
+		wcfg := cfg
+		wcfg.Parallelism = n
+		m := wcfg.BuildModel()
+
+		// "generate" times dataset generation itself; the dataset from
+		// its last rep feeds the experiment runs at this worker count.
+		var ds *leodivide.Dataset
+		if contains(selected, "generate") {
+			res, err := measure("generate", n, *reps, func() error {
+				var genErr error
+				ds, genErr = wcfg.Generate(ctx)
+				return genErr
+			})
+			if err != nil {
+				return err
+			}
+			report.Results = append(report.Results, res)
+		} else if ds, err = wcfg.Generate(ctx); err != nil {
+			return err
+		}
+
+		for _, exp := range m.Experiments() {
+			if !contains(selected, exp.Name) {
+				continue
+			}
+			run := exp.Run
+			res, err := measure(exp.Name, n, *reps, func() error {
+				_, runErr := run(ctx, ds)
+				return runErr
+			})
+			if err != nil {
+				return fmt.Errorf("bench %s (workers=%d): %w", exp.Name, n, err)
+			}
+			report.Results = append(report.Results, res)
+		}
+		fmt.Fprintf(w, "bench: workers=%d done (%d experiments)\n", n, len(selected))
+	}
+
+	// Full runs must cover every experiment at >= 2 worker counts; a
+	// filtered run skips the gate (it is a spot measurement, not a
+	// report CI can trust).
+	if *filter == "" {
+		if err := report.ValidateCoverage(all, min(2, len(workers))); err != nil {
+			return err
+		}
+	} else if err := report.Validate(); err != nil {
+		return err
+	}
+
+	if _, err := safeio.WriteFile(*out, report.Write); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "bench: wrote %d results to %s (schema %s)\n",
+		len(report.Results), *out, benchfmt.Schema)
+	return nil
+}
+
+// runBenchCheck validates a report on disk: schema, structure, and full
+// experiment coverage at >= 2 worker counts. CI fails on any error.
+func runBenchCheck(w io.Writer, path string) error {
+	f, err := safeio.ReadFileVerified(path, "")
+	if err != nil {
+		return err
+	}
+	report, err := benchfmt.Read(strings.NewReader(string(f)))
+	if err != nil {
+		return fmt.Errorf("bench check %s: %w", path, err)
+	}
+	all := benchExperiments(leodivide.NewModel())
+	if err := report.ValidateCoverage(all, 2); err != nil {
+		return fmt.Errorf("bench check %s: %w", path, err)
+	}
+	fmt.Fprintf(w, "bench check: %s ok (%d results, %d experiments)\n",
+		path, len(report.Results), len(all))
+	return nil
+}
+
+// measure times reps runs of fn and reads allocation deltas around
+// them. Mallocs/TotalAlloc are monotone, so no GC fence is needed.
+func measure(name string, workers, reps int, fn func() error) (benchfmt.Result, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := fn(); err != nil {
+			return benchfmt.Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	r := int64(reps)
+	return benchfmt.Result{
+		Experiment:   name,
+		Workers:      workers,
+		NsPerOp:      max(1, elapsed.Nanoseconds()/r),
+		AllocsPerOp:  int64(after.Mallocs-before.Mallocs) / r,
+		BytesPerOp:   int64(after.TotalAlloc-before.TotalAlloc) / r,
+		PeakRSSBytes: benchfmt.PeakRSSBytes(),
+	}, nil
+}
+
+func parseWorkerCounts(s string) ([]int, error) {
+	var out []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bench: bad worker count %q", part)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("bench: duplicate worker count %d", n)
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: -workers lists no counts")
+	}
+	return out, nil
+}
+
+func selectExperiments(all []string, filter string) ([]string, error) {
+	var out []string
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !contains(all, name) {
+			return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)",
+				name, strings.Join(all, ", "))
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: -experiments lists no experiments")
+	}
+	return out, nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

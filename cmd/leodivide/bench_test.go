@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"leodivide"
+	"leodivide/internal/benchfmt"
+)
+
+// TestBenchWritesValidReport: a small-scale full sweep must produce a
+// schema-valid report covering every registry experiment (plus
+// "generate") at both worker counts — the same gate CI applies.
+func TestBenchWritesValidReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var buf bytes.Buffer
+	err := run([]string{"-scale", "0.02", "bench", "-workers", "1,2", "-out", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	report, err := benchfmt.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := benchExperiments(leodivide.NewModel())
+	if err := report.ValidateCoverage(all, 2); err != nil {
+		t.Fatal(err)
+	}
+	wantResults := len(all) * 2
+	if len(report.Results) != wantResults {
+		t.Errorf("results = %d, want %d (%d experiments x 2 worker counts)",
+			len(report.Results), wantResults, len(all))
+	}
+	if report.Scale != 0.02 || report.Seed != 1 {
+		t.Errorf("report config = scale %v seed %d, want 0.02 / 1", report.Scale, report.Seed)
+	}
+
+	// The -check mode must accept what bench just wrote...
+	var checkBuf bytes.Buffer
+	if err := run([]string{"bench", "-check", out}, &checkBuf); err != nil {
+		t.Errorf("bench -check rejected a fresh report: %v", err)
+	}
+	// ...and reject a corrupted copy.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	corrupted := strings.Replace(string(data), benchfmt.Schema, "leodivide-bench/v999", 1)
+	if err := os.WriteFile(bad, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"bench", "-check", bad}, &checkBuf); err == nil {
+		t.Error("bench -check accepted a report with an unknown schema")
+	}
+}
+
+// TestBenchFilterSkipsCoverageGate: a filtered run is a spot
+// measurement; it must succeed without full coverage.
+func TestBenchFilterSkipsCoverageGate(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_spot.json")
+	var buf bytes.Buffer
+	err := run([]string{"-scale", "0.02", "bench",
+		"-workers", "1", "-experiments", "table2", "-out", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	report, err := benchfmt.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 1 || report.Results[0].Experiment != "table2" {
+		t.Errorf("filtered report = %+v, want exactly one table2 result", report.Results)
+	}
+}
+
+func TestBenchBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{"bench", "-workers", ""},
+		{"bench", "-workers", "1,x"},
+		{"bench", "-workers", "2,2"},
+		{"bench", "-workers", "-3"},
+		{"bench", "-reps", "0"},
+		{"bench", "-experiments", "nosuch"},
+	}
+	for _, args := range cases {
+		if err := run(append([]string{"-scale", "0.02"}, args...), &buf); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestParseWorkerCounts(t *testing.T) {
+	got, err := parseWorkerCounts(" 1, 2 ,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 0 {
+		t.Errorf("parseWorkerCounts = %v, want [1 2 0]", got)
+	}
+}
+
+// TestMetricsFlag: -metrics must not change stdout (it reports on
+// stderr), and must not error.
+func TestMetricsFlag(t *testing.T) {
+	var plain, instrumented bytes.Buffer
+	if err := run([]string{"-scale", "0.02", "table1"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "0.02", "-metrics", "-trace", "table1"}, &instrumented); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != instrumented.String() {
+		t.Error("-metrics/-trace changed stdout; observability must report out-of-band")
+	}
+}

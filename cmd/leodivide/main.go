@@ -22,7 +22,13 @@
 //	linkbudget derive the 4.5 b/Hz spectral-efficiency estimate physically
 //	refined    affordability with income dispersion and Lifeline eligibility
 //	gen        write the dataset as CSV (cells, and optionally locations)
+//	bench      emit a schema-versioned BENCH_*.json performance report
 //	all        run every experiment in order
+//
+// Observability flags: -metrics prints the obs metric snapshot to
+// stderr after the command (stdout stays byte-identical for result
+// comparison); -trace prints the span tree; -debug-addr serves pprof,
+// expvar and /metrics over HTTP for live inspection.
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 	"leodivide/internal/demand"
 	"leodivide/internal/geo"
 	"leodivide/internal/linkbudget"
+	"leodivide/internal/obs"
 	"leodivide/internal/orbit"
 	"leodivide/internal/regions"
 	"leodivide/internal/report"
@@ -59,11 +66,17 @@ func main() {
 }
 
 func run(args []string, w io.Writer) error {
+	// All three surfaces (library, CLI, bench) build their pipeline from
+	// the same leodivide.RunConfig; the flags bind directly to it.
+	cfg := leodivide.DefaultRunConfig()
 	fs := flag.NewFlagSet("leodivide", flag.ContinueOnError)
-	seed := fs.Int64("seed", 1, "dataset generation seed")
-	scale := fs.Float64("scale", 1.0, "dataset scale in (0,1]")
-	calibrated := fs.Bool("calibrated", false, "pin effective cells to the paper's fitted value")
-	parallelism := fs.Int("parallelism", 0, "worker bound for generation and experiments (0 = all CPUs, 1 = serial)")
+	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "dataset generation seed")
+	fs.Float64Var(&cfg.Scale, "scale", cfg.Scale, "dataset scale in (0,1]")
+	fs.BoolVar(&cfg.Calibrated, "calibrated", cfg.Calibrated, "pin effective cells to the paper's fitted value")
+	fs.IntVar(&cfg.Parallelism, "parallelism", cfg.Parallelism, "worker bound for generation and experiments (0 = all CPUs, 1 = serial)")
+	metrics := fs.Bool("metrics", false, "print the metric snapshot to stderr after the command")
+	trace := fs.Bool("trace", false, "record spans and print the trace tree to stderr after the command")
+	debugAddr := fs.String("debug-addr", "", "serve pprof, expvar and /metrics on this address (e.g. localhost:6060)")
 	locCSV := fs.String("locations-csv", "", "gen: also write per-location CSV to this path (scaled)")
 	locScale := fs.Float64("locations-scale", 0.01, "gen: per-location expansion scale")
 	exportDir := fs.String("dir", "export", "export: output directory for GeoJSON/CSV files")
@@ -74,20 +87,45 @@ func run(args []string, w io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("missing command")
 	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	cmd := fs.Arg(0)
 	ctx := context.Background()
 
-	m := leodivide.NewModel().Parallelism(*parallelism)
-	if *calibrated {
-		m = m.Calibrated()
+	if *debugAddr != "" {
+		bound, err := startDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (pprof, expvar, /metrics)\n", bound)
 	}
-	if cmd == "experiments" {
-		return runExperimentList(w, m)
+	if *trace {
+		rec := &obs.RecordingCollector{}
+		defer obs.SetCollector(rec)()
+		defer func() {
+			fmt.Fprintln(os.Stderr, "--- trace ---")
+			rec.WriteText(os.Stderr)
+		}()
+	}
+	if *metrics {
+		// Stderr, so stdout stays byte-identical across parallelism
+		// settings (the determinism contract).
+		defer func() {
+			fmt.Fprintln(os.Stderr, "--- metrics ---")
+			obs.Default.Snapshot().WriteText(os.Stderr)
+		}()
 	}
 
-	ds, err := leodivide.GenerateDataset(ctx,
-		leodivide.WithSeed(*seed), leodivide.WithScale(*scale),
-		leodivide.WithParallelism(*parallelism))
+	m := cfg.BuildModel()
+	switch cmd {
+	case "experiments":
+		return runExperimentList(w, m)
+	case "bench":
+		return runBench(ctx, w, cfg, fs.Args()[1:])
+	}
+
+	ds, err := cfg.Generate(ctx)
 	if err != nil {
 		return err
 	}
@@ -98,7 +136,7 @@ func run(args []string, w io.Writer) error {
 	case "export":
 		return runExport(ctx, w, m, ds, *exportDir)
 	case "gen":
-		return runGen(w, ds, *seed, *locCSV, *locScale)
+		return runGen(w, ds, cfg.Seed, *locCSV, *locScale)
 	case "all":
 		for _, name := range allOrder {
 			if err := runOne(ctx, w, m, ds, name); err != nil {
@@ -122,6 +160,17 @@ var allOrder = []string{
 // renderer turns one experiment's result (the registry's `any`) back
 // into the report tables the CLI prints.
 type renderer func(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error
+
+// resultAs recovers an experiment's concrete result type from the
+// registry's any — the CLI-side counterpart of leodivide.RunAs.
+func resultAs[T any](name string, v any) (T, error) {
+	t, ok := v.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("%s: unexpected result type %T, want %T", name, v, zero)
+	}
+	return t, nil
+}
 
 // renderers maps registry experiment names to their presentation. Every
 // registry entry must have one — TestRegistryCoversRenderers enforces
@@ -185,9 +234,9 @@ func runExperimentList(w io.Writer, m leodivide.Model) error {
 }
 
 func renderFig1(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
-	r, ok := v.(leodivide.Fig1Result)
-	if !ok {
-		return fmt.Errorf("fig1: unexpected result type %T", v)
+	r, err := resultAs[leodivide.Fig1Result]("fig1", v)
+	if err != nil {
+		return err
 	}
 	t := report.NewTable("Figure 1 — un(der)served locations per service cell",
 		"statistic", "value", "paper")
@@ -210,9 +259,9 @@ func renderFig1(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivi
 }
 
 func renderTable1(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
-	c, ok := v.(core.CapacityTable)
-	if !ok {
-		return fmt.Errorf("table1: unexpected result type %T", v)
+	c, err := resultAs[core.CapacityTable]("table1", v)
+	if err != nil {
+		return err
 	}
 	t := report.NewTable("Table 1 — Starlink single-satellite capacity model",
 		"parameter", "value", "paper")
@@ -223,14 +272,14 @@ func renderTable1(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodi
 	t.AddRow("FCC throughput (DL/UL Mbps)", fmt.Sprintf("%.0f/%.0f", c.FCCDownMbps, c.FCCUpMbps), "100/20")
 	t.AddRow("peak cell DL demand (Gbps)", c.PeakCellDemandGbps, 599.8)
 	t.AddRow("max DL oversubscription", fmt.Sprintf("%.1f:1", c.MaxOversubscription), "~35:1")
-	_, err := t.WriteTo(w)
+	_, err = t.WriteTo(w)
 	return err
 }
 
 func renderTable2(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
-	r, ok := v.(leodivide.Table2Result)
-	if !ok {
-		return fmt.Errorf("table2: unexpected result type %T", v)
+	r, err := resultAs[leodivide.Table2Result]("table2", v)
+	if err != nil {
+		return err
 	}
 	t := report.NewTable("Table 2 — constellation size vs beamspread",
 		"beamspread", "full service", "paper", "max 20:1", "paper ")
@@ -238,14 +287,14 @@ func renderTable2(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodi
 		t.AddRow(row.Spread, row.FullServiceSats, r.PaperFullService[row.Spread],
 			row.CappedOversubSats, r.PaperCapped[row.Spread])
 	}
-	_, err := t.WriteTo(w)
+	_, err = t.WriteTo(w)
 	return err
 }
 
 func renderFig2(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
-	r, ok := v.(leodivide.Fig2Result)
-	if !ok {
-		return fmt.Errorf("fig2: unexpected result type %T", v)
+	r, err := resultAs[leodivide.Fig2Result]("fig2", v)
+	if err != nil {
+		return err
 	}
 	return report.Heatmap(w,
 		"Figure 2 — fraction of US demand cells served (rows: beamspread, cols: oversubscription)",
@@ -253,9 +302,9 @@ func renderFig2(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivi
 }
 
 func renderFig3(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
-	results, ok := v.([]leodivide.Fig3Result)
-	if !ok {
-		return fmt.Errorf("fig3: unexpected result type %T", v)
+	results, err := resultAs[[]leodivide.Fig3Result]("fig3", v)
+	if err != nil {
+		return err
 	}
 	for _, res := range results {
 		t := report.NewTable(
@@ -273,9 +322,9 @@ func renderFig3(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivi
 }
 
 func renderFig4(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
-	r, ok := v.(leodivide.Fig4Result)
-	if !ok {
-		return fmt.Errorf("fig4: unexpected result type %T", v)
+	r, err := resultAs[leodivide.Fig4Result]("fig4", v)
+	if err != nil {
+		return err
 	}
 	t := report.NewTable("Figure 4 / Finding 4 — affordability at 2% of income",
 		"plan", "monthly", "income threshold", "unaffordable locations", "fraction")
@@ -314,9 +363,9 @@ func label(r afford.Result) string {
 }
 
 func renderFindings(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
-	f, ok := v.(leodivide.Findings)
-	if !ok {
-		return fmt.Errorf("findings: unexpected result type %T", v)
+	f, err := resultAs[leodivide.Findings]("findings", v)
+	if err != nil {
+		return err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "F1: full service needs %.1f:1 oversubscription; at %g:1, %d locations (%.2f%%) live in cells above the cap and %d locations (%.2f%% of total) cannot be served (served fraction %.4f; paper: 99.89%%).\n",
@@ -333,7 +382,7 @@ func renderFindings(ctx context.Context, w io.Writer, m leodivide.Model, ds *leo
 	}
 	fmt.Fprintf(&b, "F4: %.0f of %d locations (%.1f%%) cannot afford Starlink Residential (paper: 3.5M of 4.7M, 74.5%%).\n",
 		f.F4Unaffordable, ds.TotalLocations(), 100*f.F4UnaffordableFraction)
-	_, err := io.WriteString(w, b.String())
+	_, err = io.WriteString(w, b.String())
 	return err
 }
 
@@ -466,9 +515,9 @@ func runAblate(w io.Writer, m leodivide.Model, ds *leodivide.Dataset) error {
 }
 
 func renderFleets(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
-	r, ok := v.(leodivide.FleetsResult)
-	if !ok {
-		return fmt.Errorf("fleets: unexpected result type %T", v)
+	r, err := resultAs[leodivide.FleetsResult]("fleets", v)
+	if err != nil {
+		return err
 	}
 	print := func(a core.FleetAssessment) {
 		t := report.NewTable(
@@ -491,9 +540,9 @@ func renderFleets(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodi
 }
 
 func renderRefined(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
-	r, ok := v.(leodivide.RefinedFig4Result)
-	if !ok {
-		return fmt.Errorf("refined: unexpected result type %T", v)
+	r, err := resultAs[leodivide.RefinedFig4Result]("refined", v)
+	if err != nil {
+		return err
 	}
 	t := report.NewTable(
 		fmt.Sprintf("Refined affordability — within-county lognormal dispersion (σ=%.2f, household of %d)",
@@ -726,9 +775,9 @@ func labelsOf(xs []float64) []string {
 }
 
 func renderBusyHour(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
-	r, ok := v.(leodivide.BusyHourResult)
-	if !ok {
-		return fmt.Errorf("busyhour: unexpected result type %T", v)
+	r, err := resultAs[leodivide.BusyHourResult]("busyhour", v)
+	if err != nil {
+		return err
 	}
 	t := report.NewTable("Busy hour — the time dimension of P2",
 		"quantity", "value")
@@ -781,9 +830,9 @@ func renderBusyHour(ctx context.Context, w io.Writer, m leodivide.Model, ds *leo
 }
 
 func renderEcon(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
-	r, ok := v.(leodivide.EconomicsResult)
-	if !ok {
-		return fmt.Errorf("econ: unexpected result type %T", v)
+	r, err := resultAs[leodivide.EconomicsResult]("econ", v)
+	if err != nil {
+		return err
 	}
 	t := report.NewTable(
 		fmt.Sprintf("Constellation economics — $%.1fM per satellite all-in, %g-year life (capped 20:1 scenarios)",

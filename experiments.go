@@ -5,8 +5,25 @@ package leodivide
 // enumerate the same set and none can drift. Each entry wraps a typed
 // Model method in the uniform (ctx, *Dataset) (any, error) shape; the
 // typed methods remain the primary API for programmatic use.
+//
+// Every entry passes through instrument, which gives the whole
+// registry two uniform properties:
+//
+//   - Observability: per-experiment run/error counters and duration
+//     histograms in obs.Default, plus an "experiment.<name>" span
+//     (carrying the JSON-encoded result size) when a span collector is
+//     installed.
+//   - Cancellation: Run returns ctx.Err() without touching the dataset
+//     when the context is already cancelled at entry; long runners
+//     additionally observe cancellation between fan-out stages.
 
-import "context"
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"leodivide/internal/obs"
+)
 
 // Experiment is one named, runnable experiment of the pipeline.
 type Experiment struct {
@@ -16,92 +33,147 @@ type Experiment struct {
 	Description string
 	// Run evaluates the experiment. The concrete result type is the
 	// corresponding Model method's result (e.g. Table2Result for
-	// "table2").
+	// "table2"); RunAs recovers it with type safety.
+	//
+	// Cancellation contract (uniform across the registry): if ctx is
+	// already cancelled, Run returns ctx.Err() immediately without
+	// touching the dataset; runners that fan out over multiple stages
+	// also observe cancellation between stages. On any error the result
+	// is nil — never a partial result.
 	Run func(ctx context.Context, d *Dataset) (any, error)
+}
+
+// instrument wraps a registry runner with the uniform cancellation
+// check and the observability layer. The metric instruments are
+// get-or-create by experiment name; the map lookups happen once per run
+// (runs are seconds-scale, so this is far below noise).
+func instrument(name string, fn func(ctx context.Context, d *Dataset) (any, error)) func(ctx context.Context, d *Dataset) (any, error) {
+	return func(ctx context.Context, d *Dataset) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ctx, span := obs.StartSpan(ctx, "experiment."+name)
+		start := time.Now()
+		v, err := fn(ctx, d)
+		obs.Default.Histogram("experiment."+name+".seconds", obs.DurationBuckets).ObserveSince(start)
+		if err != nil {
+			obs.Default.Counter("experiment." + name + ".errors").Inc()
+			v = nil // the contract: no partial results
+		} else {
+			obs.Default.Counter("experiment." + name + ".runs").Inc()
+		}
+		if span != nil {
+			if err != nil {
+				span.SetAttr(obs.String("error", err.Error()))
+			} else {
+				span.SetAttr(obs.Int("result_bytes", resultBytes(v)))
+			}
+		}
+		span.End()
+		return v, err
+	}
+}
+
+// resultBytes measures a result's JSON-encoded size without buffering
+// it. Only called when a span collector is installed, so the encoding
+// cost is opt-in.
+func resultBytes(v any) int64 {
+	var cw countingDiscard
+	if err := json.NewEncoder(&cw).Encode(v); err != nil {
+		return -1
+	}
+	return cw.n
+}
+
+type countingDiscard struct{ n int64 }
+
+func (c *countingDiscard) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
 }
 
 // Experiments returns the registry of the model's experiment runners in
 // presentation order. Every entry delegates to the uniform
-// (ctx, *Dataset) (Result, error) methods, so cancellation and the
-// Parallelism knob apply uniformly.
+// (ctx, *Dataset) (Result, error) methods, so cancellation, the
+// Parallelism knob and the observability layer apply uniformly.
 func (m Model) Experiments() []Experiment {
 	return []Experiment{
 		{
 			Name:        "fig1",
 			Description: "per-cell density distribution (Figure 1)",
-			Run: func(ctx context.Context, d *Dataset) (any, error) {
+			Run: instrument("fig1", func(ctx context.Context, d *Dataset) (any, error) {
 				return m.Fig1(ctx, d)
-			},
+			}),
 		},
 		{
 			Name:        "table1",
 			Description: "single-satellite capacity model (Table 1)",
-			Run: func(ctx context.Context, d *Dataset) (any, error) {
+			Run: instrument("table1", func(ctx context.Context, d *Dataset) (any, error) {
 				return m.Table1(ctx, d)
-			},
+			}),
 		},
 		{
 			Name:        "table2",
 			Description: "constellation sizing vs beamspread (Table 2)",
-			Run: func(ctx context.Context, d *Dataset) (any, error) {
+			Run: instrument("table2", func(ctx context.Context, d *Dataset) (any, error) {
 				return m.Table2(ctx, d)
-			},
+			}),
 		},
 		{
 			Name:        "fig2",
 			Description: "beamspread × oversubscription served fraction (Figure 2)",
-			Run: func(ctx context.Context, d *Dataset) (any, error) {
+			Run: instrument("fig2", func(ctx context.Context, d *Dataset) (any, error) {
 				return m.Fig2(ctx, d)
-			},
+			}),
 		},
 		{
 			Name:        "fig3",
 			Description: "diminishing returns over the demand tail (Figure 3)",
-			Run: func(ctx context.Context, d *Dataset) (any, error) {
+			Run: instrument("fig3", func(ctx context.Context, d *Dataset) (any, error) {
 				return m.Fig3(ctx, d)
-			},
+			}),
 		},
 		{
 			Name:        "fig4",
 			Description: "affordability at 2% of income (Figure 4)",
-			Run: func(ctx context.Context, d *Dataset) (any, error) {
+			Run: instrument("fig4", func(ctx context.Context, d *Dataset) (any, error) {
 				return m.Fig4(ctx, d)
-			},
+			}),
 		},
 		{
 			Name:        "findings",
 			Description: "the paper's four findings (F1–F4)",
-			Run: func(ctx context.Context, d *Dataset) (any, error) {
+			Run: instrument("findings", func(ctx context.Context, d *Dataset) (any, error) {
 				return m.RunFindings(ctx, d)
-			},
+			}),
 		},
 		{
 			Name:        "fleets",
 			Description: "assess the authorized Gen1/Gen2 fleets against the requirement",
-			Run: func(ctx context.Context, d *Dataset) (any, error) {
+			Run: instrument("fleets", func(ctx context.Context, d *Dataset) (any, error) {
 				return m.AssessFleets(ctx, d)
-			},
+			}),
 		},
 		{
 			Name:        "refined",
 			Description: "affordability with income dispersion and Lifeline eligibility",
-			Run: func(ctx context.Context, d *Dataset) (any, error) {
+			Run: instrument("refined", func(ctx context.Context, d *Dataset) (any, error) {
 				return m.Fig4Refined(ctx, d, 0, 3)
-			},
+			}),
 		},
 		{
 			Name:        "busyhour",
 			Description: "diurnal demand: staggering and busy-hour throughput",
-			Run: func(ctx context.Context, d *Dataset) (any, error) {
+			Run: instrument("busyhour", func(ctx context.Context, d *Dataset) (any, error) {
 				return m.BusyHour(ctx, d)
-			},
+			}),
 		},
 		{
 			Name:        "econ",
 			Description: "constellation economics: capex and per-location cost",
-			Run: func(ctx context.Context, d *Dataset) (any, error) {
+			Run: instrument("econ", func(ctx context.Context, d *Dataset) (any, error) {
 				return m.Economics(ctx, d)
-			},
+			}),
 		},
 	}
 }

@@ -31,6 +31,9 @@ func (m Model) AssessFleets(ctx context.Context, d *Dataset) (FleetsResult, erro
 	if err != nil {
 		return FleetsResult{}, err
 	}
+	if err := ctx.Err(); err != nil {
+		return FleetsResult{}, err
+	}
 	gen2, err := m.Capacity.AssessFleet(ctx, dist, constellation.StarlinkGen2(), PaperTable2Spreads, m.MaxOversub)
 	if err != nil {
 		return FleetsResult{}, err
@@ -164,6 +167,9 @@ func (m Model) Economics(ctx context.Context, d *Dataset) (EconomicsResult, erro
 		dist.ExcessAbove(m.Capacity.Beams.MaxServableLocations(m.MaxOversub))
 	out := EconomicsResult{Model: cost}
 	for _, spread := range PaperTable2Spreads {
+		if err := ctx.Err(); err != nil {
+			return EconomicsResult{}, err
+		}
 		res := m.Capacity.Size(dist, core.CappedOversub, spread, m.MaxOversub)
 		sc, err := cost.PriceScenario(res.Satellites, served)
 		if err != nil {

@@ -19,12 +19,26 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"leodivide/internal/demand"
 	"leodivide/internal/geo"
 	"leodivide/internal/hexgrid"
+	"leodivide/internal/obs"
 	"leodivide/internal/par"
 	"leodivide/internal/usgeo"
+)
+
+// Generation observability (see internal/obs): stage durations and
+// output sizes for the synthetic-dataset pipeline, recorded once per
+// generation so the instruments cost nothing on the per-cell paths.
+var (
+	metricGenerations  = obs.Default.Counter("bdc.generations")
+	metricCellsOut     = obs.Default.Counter("bdc.cells_generated")
+	metricGenSecs      = obs.Default.Histogram("bdc.generate.seconds", obs.DurationBuckets)
+	metricSampleSecs   = obs.Default.Histogram("bdc.sample_sites.seconds", obs.DurationBuckets)
+	metricGridSecs     = obs.Default.Histogram("bdc.us_cells.seconds", obs.DurationBuckets)
+	metricGridCacheHit = obs.Default.Counter("bdc.us_cells.cache_hits")
 )
 
 // QuantileAnchor pins the body-cell location-count quantile function.
@@ -239,7 +253,22 @@ func gcd(a, b int) int {
 //
 // Generation fans out over cfg.Parallelism workers but is byte-identical
 // to the serial path at every worker count (see GenConfig.Parallelism).
-func GenerateCells(ctx context.Context, cfg GenConfig) ([]demand.Cell, error) {
+func GenerateCells(ctx context.Context, cfg GenConfig) (cells []demand.Cell, err error) {
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "bdc.generate_cells")
+	if span != nil {
+		span.SetAttr(obs.Int("total_locations", int64(cfg.TotalLocations)),
+			obs.Int("workers", int64(par.Workers(cfg.Parallelism))))
+	}
+	defer func() {
+		metricGenSecs.ObserveSince(start)
+		if err == nil {
+			metricGenerations.Inc()
+			metricCellsOut.Add(int64(len(cells)))
+			span.SetAttr(obs.Int("cells", int64(len(cells))))
+		}
+		span.End()
+	}()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -247,7 +276,6 @@ func GenerateCells(ctx context.Context, cfg GenConfig) ([]demand.Cell, error) {
 
 	// Pin the head cells first so body sampling can avoid them.
 	used := make(map[hexgrid.CellID]bool)
-	var cells []demand.Cell
 	for _, p := range cfg.Peaks {
 		id := hexgrid.LatLngToCell(p.Anchor, cfg.Resolution)
 		if used[id] {
@@ -307,6 +335,15 @@ type site struct {
 // in the serial emission order. A shortfall returns (nil, nil) so the
 // caller can report it with context.
 func sampleSites(ctx context.Context, rng *rand.Rand, res hexgrid.Resolution, n int, used map[hexgrid.CellID]bool, workers int) ([]site, error) {
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "bdc.sample_sites")
+	if span != nil {
+		span.SetAttr(obs.Int("sites", int64(n)))
+	}
+	defer func() {
+		metricSampleSecs.ObserveSince(start)
+		span.End()
+	}()
 	states := usgeo.States()
 	totalWeight := usgeo.TotalRuralWeight()
 	byState, err := usCells(ctx, res, workers)
@@ -412,8 +449,15 @@ func usCells(ctx context.Context, res hexgrid.Resolution, workers int) (map[stri
 	usCellsMu.Lock()
 	defer usCellsMu.Unlock()
 	if m, ok := usCellsCache[res]; ok {
+		metricGridCacheHit.Inc()
 		return m, nil
 	}
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "bdc.us_cells")
+	defer func() {
+		metricGridSecs.ObserveSince(start)
+		span.End()
+	}()
 	// Enumerate the 20 icosahedron faces concurrently; concatenating the
 	// face shards in face order reproduces hexgrid.ForEachCell's exact
 	// per-state bucket ordering.

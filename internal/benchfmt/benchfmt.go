@@ -1,0 +1,178 @@
+// Package benchfmt defines the machine-readable benchmark report the
+// `leodivide bench` subcommand emits (BENCH_*.json): a schema-versioned
+// JSON document carrying per-experiment timing, allocation and
+// peak-RSS figures across a worker-count sweep. The schema string is
+// the compatibility contract — consumers reject documents whose schema
+// they do not know, and any shape change bumps the version.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the current report shape. Bump the suffix on any
+// incompatible change.
+const Schema = "leodivide-bench/v1"
+
+// Report is one bench run: the environment it ran in plus one Result
+// per (experiment, workers) pair.
+type Report struct {
+	// Schema must equal the package Schema constant.
+	Schema string `json:"schema"`
+	// Seed, Scale and Reps record the run configuration.
+	Seed  int64   `json:"seed"`
+	Scale float64 `json:"scale"`
+	Reps  int     `json:"reps"`
+	// Environment provenance.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// Results holds one entry per (experiment, workers) pair, sorted by
+	// experiment then workers.
+	Results []Result `json:"results"`
+}
+
+// Result is one measured (experiment, workers) cell.
+type Result struct {
+	// Experiment is the registry name, or "generate" for dataset
+	// generation.
+	Experiment string `json:"experiment"`
+	// Workers is the parallelism setting (0 = one worker per CPU).
+	Workers int `json:"workers"`
+	// NsPerOp is wall time per run in nanoseconds.
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are heap allocation deltas per run
+	// (runtime.MemStats Mallocs / TotalAlloc).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// PeakRSSBytes is the process high-water RSS after the run (VmHWM;
+	// 0 where unsupported). Monotone over the process lifetime, so it
+	// bounds — not isolates — this experiment's footprint.
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
+}
+
+// Validate checks structural invariants: known schema, non-empty
+// results, well-formed cells, no duplicate (experiment, workers) pairs.
+func (r Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("benchfmt: schema %q, want %q", r.Schema, Schema)
+	}
+	if len(r.Results) == 0 {
+		return fmt.Errorf("benchfmt: report has no results")
+	}
+	seen := map[string]bool{}
+	for i, res := range r.Results {
+		if res.Experiment == "" {
+			return fmt.Errorf("benchfmt: result %d has no experiment name", i)
+		}
+		if res.Workers < 0 {
+			return fmt.Errorf("benchfmt: result %d (%s) has negative workers", i, res.Experiment)
+		}
+		if res.NsPerOp <= 0 {
+			return fmt.Errorf("benchfmt: result %d (%s workers=%d) has non-positive ns_per_op", i, res.Experiment, res.Workers)
+		}
+		key := res.Experiment + "/" + strconv.Itoa(res.Workers)
+		if seen[key] {
+			return fmt.Errorf("benchfmt: duplicate result for %s", key)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// ValidateCoverage additionally requires every named experiment to be
+// measured at >= minWorkerCounts distinct worker settings.
+func (r Report) ValidateCoverage(experiments []string, minWorkerCounts int) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	counts := map[string]map[int]bool{}
+	for _, res := range r.Results {
+		if counts[res.Experiment] == nil {
+			counts[res.Experiment] = map[int]bool{}
+		}
+		counts[res.Experiment][res.Workers] = true
+	}
+	var missing []string
+	for _, name := range experiments {
+		if len(counts[name]) < minWorkerCounts {
+			missing = append(missing,
+				fmt.Sprintf("%s (%d/%d worker counts)", name, len(counts[name]), minWorkerCounts))
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("benchfmt: incomplete coverage: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// Sort orders results by experiment name then workers, the canonical
+// on-disk order.
+func (r *Report) Sort() {
+	sort.Slice(r.Results, func(i, j int) bool {
+		a, b := r.Results[i], r.Results[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		return a.Workers < b.Workers
+	})
+}
+
+// Write encodes the report as canonical indented JSON (sorted results,
+// trailing newline).
+func (r Report) Write(w io.Writer) error {
+	r.Sort()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Read decodes and validates a report.
+func Read(rd io.Reader) (Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return Report{}, fmt.Errorf("benchfmt: decode: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return Report{}, err
+	}
+	return r, nil
+}
+
+// PeakRSSBytes reports the process's high-water resident set size from
+// /proc/self/status (VmHWM), or 0 where that interface is unavailable.
+func PeakRSSBytes() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line) // "VmHWM:  123456 kB"
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

@@ -1,0 +1,115 @@
+package benchfmt
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func validReport() Report {
+	return Report{
+		Schema: Schema, Seed: 1, Scale: 0.02, Reps: 1,
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		Results: []Result{
+			{Experiment: "fig1", Workers: 1, NsPerOp: 1000, AllocsPerOp: 10, BytesPerOp: 100},
+			{Experiment: "fig1", Workers: 2, NsPerOp: 900, AllocsPerOp: 10, BytesPerOp: 100},
+			{Experiment: "generate", Workers: 1, NsPerOp: 5000},
+			{Experiment: "generate", Workers: 2, NsPerOp: 3000},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validReport().Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "leodivide-bench/v0" }, "schema"},
+		{"empty results", func(r *Report) { r.Results = nil }, "no results"},
+		{"missing name", func(r *Report) { r.Results[0].Experiment = "" }, "no experiment name"},
+		{"negative workers", func(r *Report) { r.Results[0].Workers = -1 }, "negative workers"},
+		{"zero ns", func(r *Report) { r.Results[0].NsPerOp = 0 }, "ns_per_op"},
+		{"duplicate cell", func(r *Report) { r.Results[1] = r.Results[0] }, "duplicate"},
+	}
+	for _, tc := range cases {
+		r := validReport()
+		tc.mutate(&r)
+		err := r.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateCoverage(t *testing.T) {
+	r := validReport()
+	if err := r.ValidateCoverage([]string{"fig1", "generate"}, 2); err != nil {
+		t.Fatalf("complete coverage rejected: %v", err)
+	}
+	if err := r.ValidateCoverage([]string{"fig1", "table2"}, 2); err == nil {
+		t.Error("missing experiment accepted")
+	} else if !strings.Contains(err.Error(), "table2 (0/2") {
+		t.Errorf("coverage error should name the gap, got: %v", err)
+	}
+	if err := r.ValidateCoverage([]string{"fig1"}, 3); err == nil {
+		t.Error("insufficient worker counts accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := validReport()
+	// Shuffle to prove Write canonicalizes order.
+	r.Results[0], r.Results[3] = r.Results[3], r.Results[0]
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Results[0].Experiment != "fig1" || got.Results[0].Workers != 1 {
+		t.Errorf("results not in canonical order: first = %+v", got.Results[0])
+	}
+	if len(got.Results) != 4 || got.Scale != 0.02 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+
+	// Two writes of the same report must be byte-identical.
+	var buf2 bytes.Buffer
+	if err := got.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := got.Write(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+		t.Error("Write is not deterministic")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"schema":"leodivide-bench/v1","results":[],"extra_field":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestPeakRSSBytes(t *testing.T) {
+	rss := PeakRSSBytes()
+	if runtime.GOOS == "linux" && rss <= 0 {
+		t.Errorf("PeakRSSBytes = %d on linux, want > 0", rss)
+	}
+	if rss < 0 {
+		t.Errorf("PeakRSSBytes = %d, want >= 0", rss)
+	}
+}

@@ -82,6 +82,11 @@ type Model struct {
 	// serial path. Every sweep point is an independent pure function of
 	// the model and dataset and lands in an index-ordered slot, so
 	// results are identical at every setting.
+	//
+	// Through the facade, set this via leodivide's Model.Parallelism
+	// (or RunConfig), which keeps it in lockstep with the facade's own
+	// worker bound; writing the field directly risks running the two
+	// layers at different counts and is unsupported there.
 	Parallelism int
 }
 

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps the span clock deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(time.Millisecond)
+	return f.t
+}
+
+func withFakeClock(t *testing.T) {
+	t.Helper()
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	prev := now
+	now = fc.now
+	t.Cleanup(func() { now = prev })
+}
+
+// TestSpanNesting: parent/child linkage, depth and attrs through the
+// context.
+func TestSpanNesting(t *testing.T) {
+	withFakeClock(t)
+	rc := &RecordingCollector{}
+	defer SetCollector(rc)()
+
+	ctx := context.Background()
+	ctx, root := StartSpan(ctx, "root", String("kind", "test"))
+	ctx2, child := StartSpan(ctx, "child")
+	_, grand := StartSpan(ctx2, "grandchild", Int("i", 7))
+	grand.End()
+	child.End()
+	root.SetAttr(Int("items", 3))
+	root.End()
+
+	spans := rc.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("collected %d spans, want 3", len(spans))
+	}
+	// End order: innermost first.
+	if spans[0].Name != "grandchild" || spans[1].Name != "child" || spans[2].Name != "root" {
+		t.Fatalf("end order = %s,%s,%s", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	if spans[0].Parent != spans[1] || spans[1].Parent != spans[2] || spans[2].Parent != nil {
+		t.Error("parent linkage broken")
+	}
+	if spans[0].Depth != 2 || spans[1].Depth != 1 || spans[2].Depth != 0 {
+		t.Errorf("depths = %d,%d,%d, want 2,1,0", spans[0].Depth, spans[1].Depth, spans[2].Depth)
+	}
+	if spans[2].Attrs[0] != (Attr{"kind", "test"}) || spans[2].Attrs[1] != (Attr{"items", "3"}) {
+		t.Errorf("root attrs = %v", spans[2].Attrs)
+	}
+	if spans[0].Attrs[0] != (Attr{"i", "7"}) {
+		t.Errorf("grandchild attrs = %v", spans[0].Attrs)
+	}
+	for _, s := range spans {
+		if s.Duration <= 0 {
+			t.Errorf("span %s duration = %v, want > 0", s.Name, s.Duration)
+		}
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	rc := &RecordingCollector{}
+	defer SetCollector(rc)()
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Error("empty context should carry no span")
+	}
+	ctx, s := StartSpan(ctx, "x")
+	if FromContext(ctx) != s {
+		t.Error("derived context should carry the started span")
+	}
+	s.End()
+}
+
+// TestNoCollectorIsNoop: without a collector, StartSpan returns the
+// context unchanged and a nil span whose methods are safe.
+func TestNoCollectorIsNoop(t *testing.T) {
+	defer SetCollector(nil)()
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "x")
+	if ctx2 != ctx {
+		t.Error("StartSpan with no collector must return the context unchanged")
+	}
+	if s != nil {
+		t.Fatal("StartSpan with no collector must return a nil span")
+	}
+	s.SetAttr(String("k", "v")) // must not panic
+	s.End()                     // must not panic
+}
+
+// TestNoCollectorNoAlloc is the no-op overhead guard for tracing: with
+// no collector installed, the whole start/attr/end cycle allocates
+// nothing.
+func TestNoCollectorNoAlloc(t *testing.T) {
+	defer SetCollector(nil)()
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		ctx2, s := StartSpan(ctx, "hot")
+		if s != nil {
+			s.SetAttr(Int("i", 1))
+		}
+		s.End()
+		_ = ctx2
+	}); n != 0 {
+		t.Errorf("no-collector span cycle allocates %v times per op, want 0", n)
+	}
+}
+
+func TestDoubleEndIgnored(t *testing.T) {
+	rc := &RecordingCollector{}
+	defer SetCollector(rc)()
+	_, s := StartSpan(context.Background(), "once")
+	s.End()
+	s.End()
+	if got := len(rc.Spans()); got != 1 {
+		t.Fatalf("double End collected %d spans, want 1", got)
+	}
+}
+
+// TestSetCollectorRestore: the restore func reinstates the previous
+// collector, enabling nested scoped collection.
+func TestSetCollectorRestore(t *testing.T) {
+	outer := &RecordingCollector{}
+	restoreOuter := SetCollector(outer)
+	defer restoreOuter()
+
+	inner := &RecordingCollector{}
+	restoreInner := SetCollector(inner)
+	_, s := StartSpan(context.Background(), "inner-only")
+	s.End()
+	restoreInner()
+
+	_, s2 := StartSpan(context.Background(), "outer-only")
+	s2.End()
+
+	if len(inner.Spans()) != 1 || inner.Spans()[0].Name != "inner-only" {
+		t.Error("inner collector should hold exactly the inner span")
+	}
+	if len(outer.Spans()) != 1 || outer.Spans()[0].Name != "outer-only" {
+		t.Error("outer collector should hold exactly the post-restore span")
+	}
+}
+
+// TestConcurrentSpans: spans ended from many goroutines land intact in
+// the collector (run under -race).
+func TestConcurrentSpans(t *testing.T) {
+	rc := &RecordingCollector{}
+	defer SetCollector(rc)()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	const n = 64
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, s := StartSpan(ctx, "worker", Int("i", int64(i)))
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	if got := len(rc.Spans()); got != n {
+		t.Fatalf("collected %d spans, want %d", got, n)
+	}
+}
+
+func TestWriteTextTree(t *testing.T) {
+	withFakeClock(t)
+	rc := &RecordingCollector{}
+	defer SetCollector(rc)()
+	ctx, root := StartSpan(context.Background(), "root")
+	_, child := StartSpan(ctx, "child", Int("tasks", 5))
+	child.End()
+	root.End()
+
+	var sb strings.Builder
+	if err := rc.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "root ") {
+		t.Errorf("first line should be the root: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  child ") || !strings.Contains(lines[1], "tasks=5") {
+		t.Errorf("second line should be the indented child with attrs: %q", lines[1])
+	}
+}

@@ -23,6 +23,30 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"leodivide/internal/obs"
+)
+
+// Pool observability (see internal/obs). Everything here records at
+// sweep or worker granularity — never per task — so the instrumented
+// pool stays within noise of the uninstrumented one even on sweeps with
+// tens of thousands of tiny iterations. The instrument pointers are
+// cached once so the hot path never touches the registry map.
+var (
+	metricSweeps    = obs.Default.Counter("par.sweeps")
+	metricTasks     = obs.Default.Counter("par.tasks")
+	metricSweepSecs = obs.Default.Histogram("par.sweep.seconds", obs.DurationBuckets)
+	metricSweepSize = obs.Default.Histogram("par.sweep.tasks", obs.CountBuckets)
+	// metricQueueWait is the delay between a sweep starting and each
+	// pooled worker running its first task: goroutine spawn + scheduling
+	// latency, the pool's fixed cost.
+	metricQueueWait = obs.Default.Histogram("par.queue_wait.seconds", obs.DurationBuckets)
+	// metricOccupancy is, per pooled sweep, the mean fraction of the
+	// sweep's wall-clock each worker spent live. Values well below 1
+	// indicate ramp-down imbalance: some workers finished long before
+	// the slowest one.
+	metricOccupancy = obs.Default.Histogram("par.worker.occupancy", obs.RatioBuckets)
 )
 
 // Panic carries a worker panic across the goroutine boundary. ForEach
@@ -68,11 +92,28 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	sweepStart := time.Now()
+	_, span := obs.StartSpan(ctx, "par.sweep")
+	if span != nil {
+		span.SetAttr(obs.Int("tasks", int64(n)), obs.Int("workers", int64(workers)))
+	}
+	var (
+		serialDone int64
+		pooledDone atomic.Int64
+	)
+	defer func() {
+		metricSweeps.Inc()
+		metricTasks.Add(serialDone + pooledDone.Load())
+		metricSweepSize.Observe(float64(n))
+		metricSweepSecs.ObserveSince(sweepStart)
+		span.End()
+	}()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			serialDone++
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -81,14 +122,15 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	}
 
 	var (
-		next    atomic.Int64
-		stop    atomic.Bool
-		mu      sync.Mutex
-		errIdx  = n // smallest failing index seen so far
-		err     error
-		caught  *Panic
-		wg      sync.WaitGroup
-		ctxDone = false
+		next      atomic.Int64
+		stop      atomic.Bool
+		mu        sync.Mutex
+		errIdx    = n // smallest failing index seen so far
+		err       error
+		caught    *Panic
+		wg        sync.WaitGroup
+		ctxDone   = false
+		busyNanos atomic.Int64
 	)
 	record := func(i int, e error) {
 		mu.Lock()
@@ -101,7 +143,14 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
-			defer wg.Done()
+			wstart := time.Now()
+			first := true
+			var done int64
+			defer func() {
+				busyNanos.Add(time.Since(wstart).Nanoseconds())
+				pooledDone.Add(done)
+				wg.Done()
+			}()
 			for {
 				if stop.Load() {
 					return
@@ -117,6 +166,11 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
+				if first {
+					metricQueueWait.ObserveSince(sweepStart)
+					first = false
+				}
+				done++
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
@@ -138,6 +192,10 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if wall := time.Since(sweepStart); wall > 0 {
+		metricOccupancy.Observe(float64(busyNanos.Load()) /
+			(float64(wall.Nanoseconds()) * float64(workers)))
+	}
 	if caught != nil {
 		panic(caught)
 	}

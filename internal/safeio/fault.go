@@ -155,9 +155,11 @@ func syncFile(f *os.File) error {
 	hookMu.Unlock()
 	if fault != nil {
 		if err := fault(f.Name()); err != nil {
+			metricFaults.Inc()
 			return err
 		}
 	}
+	metricFsyncs.Inc()
 	return f.Sync()
 }
 
@@ -167,6 +169,7 @@ func closeFile(f *os.File) error {
 	hookMu.Unlock()
 	if fault != nil {
 		if err := fault(f.Name()); err != nil {
+			metricFaults.Inc()
 			f.Close()
 			return err
 		}

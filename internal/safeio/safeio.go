@@ -24,6 +24,25 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
+
+	"leodivide/internal/obs"
+)
+
+// I/O observability (see internal/obs): how many artifacts the process
+// wrote and read, how many bytes moved, how often it paid for an fsync,
+// and whether any checksum verification or fault injection fired.
+var (
+	metricWrites       = obs.Default.Counter("safeio.writes")
+	metricWriteErrors  = obs.Default.Counter("safeio.write_errors")
+	metricBytesWritten = obs.Default.Counter("safeio.bytes_written")
+	metricFsyncs       = obs.Default.Counter("safeio.fsyncs")
+	metricWriteSecs    = obs.Default.Histogram("safeio.write.seconds", obs.DurationBuckets)
+	metricReads        = obs.Default.Counter("safeio.reads")
+	metricBytesRead    = obs.Default.Counter("safeio.bytes_read")
+	metricVerifies     = obs.Default.Counter("safeio.checksum_verifies")
+	metricVerifyFails  = obs.Default.Counter("safeio.checksum_failures")
+	metricFaults       = obs.Default.Counter("safeio.faults_injected")
 )
 
 // SHA256Hex returns the lowercase hex SHA-256 of data.
@@ -48,6 +67,19 @@ func (s strictWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// countingWriter counts the bytes the underlying writer accepted, for
+// the safeio.bytes_written counter.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // WriteFile atomically writes the content produced by fn to path and
 // returns the SHA-256 of the bytes written. fn receives a writer that
 // tees into the checksum; any error from fn, from the underlying
@@ -55,6 +87,15 @@ func (s strictWriter) Write(p []byte) (int, error) {
 // a non-nil error, and the destination is left untouched (the temp
 // file is removed).
 func WriteFile(path string, fn func(io.Writer) error) (sumHex string, err error) {
+	start := time.Now()
+	defer func() {
+		metricWriteSecs.ObserveSince(start)
+		if err != nil {
+			metricWriteErrors.Inc()
+		} else {
+			metricWrites.Inc()
+		}
+	}()
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -71,9 +112,12 @@ func WriteFile(path string, fn func(io.Writer) error) (sumHex string, err error)
 	h := sha256.New()
 	var w io.Writer = tmp
 	if hook := writeHook(); hook != nil {
+		metricFaults.Inc()
 		w = hook(path, w)
 	}
-	w = strictWriter{io.MultiWriter(h, strictWriter{w})}
+	cw := &countingWriter{w: w}
+	defer func() { metricBytesWritten.Add(cw.n) }()
+	w = strictWriter{io.MultiWriter(h, strictWriter{cw})}
 	if err := fn(w); err != nil {
 		return "", fmt.Errorf("safeio: writing %s: %w", path, err)
 	}
@@ -130,14 +174,19 @@ func ReadFileVerified(path, wantSum string) ([]byte, error) {
 	defer f.Close()
 	var r io.Reader = f
 	if hook := readHook(); hook != nil {
+		metricFaults.Inc()
 		r = hook(path, r)
 	}
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("safeio: reading %s: %w", path, err)
 	}
+	metricReads.Inc()
+	metricBytesRead.Add(int64(len(data)))
 	if wantSum != "" {
+		metricVerifies.Inc()
 		if got := SHA256Hex(data); got != wantSum {
+			metricVerifyFails.Inc()
 			return nil, fmt.Errorf("safeio: checksum mismatch for %s: file has %s, manifest says %s",
 				path, got, wantSum)
 		}

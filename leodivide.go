@@ -29,6 +29,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"time"
 
 	"leodivide/internal/afford"
 	"leodivide/internal/bdc"
@@ -36,10 +37,21 @@ import (
 	"leodivide/internal/core"
 	"leodivide/internal/demand"
 	"leodivide/internal/hexgrid"
+	"leodivide/internal/obs"
 	"leodivide/internal/par"
 	"leodivide/internal/spectrum"
 	"leodivide/internal/stats"
 	"leodivide/internal/usgeo"
+)
+
+// Facade-level observability (see internal/obs): dataset generation
+// counts and stage durations. Experiment-level instruments are attached
+// per registry entry in experiments.go.
+var (
+	metricDatasets   = obs.Default.Counter("gen.datasets")
+	metricGenSecs    = obs.Default.Histogram("gen.dataset.seconds", obs.DurationBuckets)
+	metricIncomeSecs = obs.Default.Histogram("gen.assign_incomes.seconds", obs.DurationBuckets)
+	gaugeCells       = obs.Default.Gauge("gen.cells")
 )
 
 // Dataset is a synthetic national broadband dataset: per-cell
@@ -105,6 +117,9 @@ func WithParallelism(n int) Option {
 // context cancels generation early; the seed fully determines the
 // result regardless of WithParallelism.
 func GenerateDataset(ctx context.Context, opts ...Option) (*Dataset, error) {
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "generate_dataset")
+	defer span.End()
 	o := genOptions{
 		seed:          1,
 		scale:         1,
@@ -146,6 +161,13 @@ func GenerateDataset(ctx context.Context, opts ...Option) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	metricDatasets.Inc()
+	metricGenSecs.ObserveSince(start)
+	gaugeCells.Set(float64(len(cells)))
+	if span != nil {
+		span.SetAttr(obs.Int("cells", int64(len(cells))),
+			obs.Int("seed", o.seed))
+	}
 	return &Dataset{
 		Cells:      cells,
 		Incomes:    incomes,
@@ -161,6 +183,12 @@ func GenerateDataset(ctx context.Context, opts ...Option) (*Dataset, error) {
 // over the sorted FIPS list, so the assignment input (and therefore the
 // table) is identical at every worker count.
 func assignIncomes(ctx context.Context, dist *demand.Distribution, anchors []census.QuantileAnchor, seed int64, workers int) (*census.Table, error) {
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "gen.assign_incomes")
+	defer func() {
+		metricIncomeSecs.ObserveSince(start)
+		span.End()
+	}()
 	weights := dist.CountyWeights()
 	fipsList := make([]string, 0, len(weights))
 	for fips := range weights {
@@ -230,8 +258,14 @@ type Model struct {
 	MaxOversub float64
 	// Workers bounds the worker count for facade-level fan-outs (Fig3
 	// curves, Fig4 plan curves, Stability seeds). 0 means one worker
-	// per CPU; 1 is the serial path. Set together with the capacity
-	// model's knob via Parallelism.
+	// per CPU; 1 is the serial path.
+	//
+	// Do not write this field directly: Parallelism is the single
+	// supported entry point for the parallelism knob and keeps Workers
+	// and Capacity.Parallelism in lockstep. Setting one without the
+	// other (field drift) leaves part of the pipeline at a different
+	// worker count and is unsupported. RunConfig carries the same knob
+	// for CLI/bench construction.
 	Workers int
 }
 
@@ -239,6 +273,11 @@ type Model struct {
 // out over at most n workers (0 = one per CPU, 1 = the exact serial
 // path). Every runner's output is identical at every setting; the knob
 // only changes wall-clock time.
+//
+// This is the one supported way to set the model's worker count: it
+// keeps the facade's Workers and the capacity model's Parallelism in
+// lockstep. The same knob reaches dataset generation through
+// WithParallelism (or RunConfig, which sets all of them coherently).
 func (m Model) Parallelism(n int) Model {
 	m.Workers = n
 	m.Capacity.Parallelism = n
@@ -280,6 +319,9 @@ type Fig1Result struct {
 
 // Fig1 computes the Figure 1 distribution.
 func (m Model) Fig1(ctx context.Context, d *Dataset) (Fig1Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Fig1Result{}, err
+	}
 	dist := d.Distribution()
 	sum, err := dist.Summary()
 	if err != nil {
@@ -493,7 +535,9 @@ type Findings struct {
 // size the paper cites.
 const CurrentStarlinkSatellites = 8000
 
-// RunFindings evaluates all four findings.
+// RunFindings evaluates all four findings. Cancellation is observed at
+// entry and between the Fig4, sizing and Fig3 stages (the registry's
+// uniform contract).
 func (m Model) RunFindings(ctx context.Context, d *Dataset) (Findings, error) {
 	f4, err := m.Fig4(ctx, d)
 	if err != nil {
@@ -504,6 +548,9 @@ func (m Model) RunFindings(ctx context.Context, d *Dataset) (Findings, error) {
 		if r.Plan.Name == afford.StarlinkResidential().Name && r.Subsidy == nil {
 			starlink = r
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Findings{}, err
 	}
 	capped := m.Capacity.Size(d.Distribution(), core.CappedOversub, 2, m.MaxOversub)
 	fig3, err := m.Fig3(ctx, d, 10)

@@ -1,0 +1,129 @@
+package leodivide
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// registryMethodNames maps every exported Model method with the uniform
+// experiment signature func(context.Context, *Dataset) (T, error) to its
+// registry name. A new uniform-signature method must either be added
+// here (and to Experiments) or to registryExemptMethods with a reason —
+// TestRegistryCompleteness enforces the invariant.
+var registryMethodNames = map[string]string{
+	"Fig1":         "fig1",
+	"Table1":       "table1",
+	"Table2":       "table2",
+	"Fig2":         "fig2",
+	"Fig4":         "fig4",
+	"RunFindings":  "findings",
+	"AssessFleets": "fleets",
+	"BusyHour":     "busyhour",
+	"Economics":    "econ",
+}
+
+// registryExemptMethods lists uniform-signature methods deliberately
+// absent from the registry, with the reason.
+var registryExemptMethods = map[string]string{
+	"Finding1": "reported inside the findings experiment, not standalone",
+}
+
+// registryExtraNames lists registry entries whose underlying methods do
+// NOT have the uniform signature (they take extra parameters and are
+// wrapped with defaults by Experiments).
+var registryExtraNames = map[string]bool{
+	"fig3":    true, // Fig3(ctx, d, spreads ...float64)
+	"refined": true, // Fig4Refined(ctx, d, sigmaLog, householdSize)
+}
+
+// uniformExperimentMethods returns the names of exported Model methods
+// with the exact signature func(context.Context, *Dataset) (T, error).
+func uniformExperimentMethods(t *testing.T) []string {
+	t.Helper()
+	var (
+		ctxType = reflect.TypeOf((*context.Context)(nil)).Elem()
+		dsType  = reflect.TypeOf((*Dataset)(nil))
+		errType = reflect.TypeOf((*error)(nil)).Elem()
+		mt      = reflect.TypeOf(Model{})
+	)
+	var names []string
+	for i := 0; i < mt.NumMethod(); i++ {
+		m := mt.Method(i)
+		ft := m.Type // receiver is In(0)
+		if ft.IsVariadic() || ft.NumIn() != 3 || ft.NumOut() != 2 {
+			continue
+		}
+		if ft.In(1) != ctxType || ft.In(2) != dsType {
+			continue
+		}
+		if ft.Out(1) != errType {
+			continue
+		}
+		names = append(names, m.Name)
+	}
+	return names
+}
+
+// TestRegistryCompleteness: every uniform-signature Model method is in
+// the registry exactly once (or explicitly exempted), and the registry
+// contains nothing else beyond the known wrapped extras.
+func TestRegistryCompleteness(t *testing.T) {
+	methods := uniformExperimentMethods(t)
+	if len(methods) == 0 {
+		t.Fatal("reflection found no uniform-signature methods; the probe is broken")
+	}
+
+	registry := map[string]int{}
+	for _, exp := range NewModel().Experiments() {
+		registry[exp.Name]++
+	}
+	for name, n := range registry {
+		if n > 1 {
+			t.Errorf("experiment %q appears %d times in the registry", name, n)
+		}
+	}
+
+	covered := map[string]bool{}
+	for _, method := range methods {
+		regName, mapped := registryMethodNames[method]
+		_, exempt := registryExemptMethods[method]
+		switch {
+		case mapped && exempt:
+			t.Errorf("method %s is both mapped and exempt — pick one", method)
+		case mapped:
+			if registry[regName] == 0 {
+				t.Errorf("method %s maps to %q but the registry has no such entry", method, regName)
+			}
+			covered[regName] = true
+		case exempt:
+			// fine, documented omission
+		default:
+			t.Errorf("uniform-signature method %s is neither in registryMethodNames nor registryExemptMethods; register it in Experiments or exempt it with a reason", method)
+		}
+	}
+	for method, regName := range registryMethodNames {
+		found := false
+		for _, m := range methods {
+			if m == method {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("registryMethodNames lists %s -> %q but no such uniform-signature method exists", method, regName)
+		}
+	}
+
+	// Whatever remains in the registry must be a known wrapped extra.
+	for name := range registry {
+		if !covered[name] && !registryExtraNames[name] {
+			t.Errorf("registry entry %q corresponds to no uniform-signature method and is not listed in registryExtraNames", name)
+		}
+	}
+	for name := range registryExtraNames {
+		if registry[name] == 0 {
+			t.Errorf("registryExtraNames lists %q but the registry has no such entry", name)
+		}
+	}
+}

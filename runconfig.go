@@ -1,0 +1,91 @@
+package leodivide
+
+// RunConfig and RunAs: the unified entry points for standing up and
+// running the experiment pipeline. Library consumers, the CLI and the
+// bench harness all construct their (Model, Dataset) pair from the same
+// option set, so the parallelism knob, the seed and the scale cannot
+// drift between surfaces.
+
+import (
+	"context"
+	"fmt"
+)
+
+// RunConfig is the one shared option set for standing up the pipeline.
+// It carries every knob that all three surfaces (library, CLI, bench
+// harness) agree on; zero value aside, obtain it from DefaultRunConfig.
+//
+// Parallelism is the single coherent worker bound: BuildModel routes it
+// through Model.Parallelism (facade fan-outs and capacity sweeps in
+// lockstep) and Generate routes it through WithParallelism, so one
+// field controls every pool in the pipeline. Output is identical at
+// every setting.
+type RunConfig struct {
+	// Seed reproduces the dataset (default 1).
+	Seed int64
+	// Scale shrinks the dataset to this fraction of the national total,
+	// in (0, 1] (default 1).
+	Scale float64
+	// Parallelism bounds worker counts everywhere: 0 = one worker per
+	// CPU, 1 = the exact serial path.
+	Parallelism int
+	// Calibrated pins constellation sizing to the paper's fitted
+	// effective cell count (Model.Calibrated).
+	Calibrated bool
+}
+
+// DefaultRunConfig returns the paper's configuration: seed 1, full
+// scale, one worker per CPU, uncalibrated.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{Seed: 1, Scale: 1}
+}
+
+// Validate reports whether the configuration is usable.
+func (c RunConfig) Validate() error {
+	if c.Scale <= 0 || c.Scale > 1 {
+		return fmt.Errorf("leodivide: scale must be in (0,1], got %v", c.Scale)
+	}
+	return nil
+}
+
+// BuildModel constructs the model this configuration describes.
+func (c RunConfig) BuildModel() Model {
+	m := NewModel().Parallelism(c.Parallelism)
+	if c.Calibrated {
+		m = m.Calibrated()
+	}
+	return m
+}
+
+// Generate synthesizes the dataset this configuration describes.
+func (c RunConfig) Generate(ctx context.Context) (*Dataset, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return GenerateDataset(ctx,
+		WithSeed(c.Seed), WithScale(c.Scale), WithParallelism(c.Parallelism))
+}
+
+// RunAs runs the named registry experiment and returns its result as T,
+// so callers get compile-time typed results from the string-keyed
+// registry instead of type-switching on any:
+//
+//	t2, err := leodivide.RunAs[leodivide.Table2Result](ctx, m, ds, "table2")
+//
+// An unknown name or a result of a different concrete type is an error.
+func RunAs[T any](ctx context.Context, m Model, d *Dataset, name string) (T, error) {
+	var zero T
+	exp, ok := m.ExperimentByName(name)
+	if !ok {
+		return zero, fmt.Errorf("leodivide: unknown experiment %q", name)
+	}
+	v, err := exp.Run(ctx, d)
+	if err != nil {
+		return zero, err
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("leodivide: experiment %q returned %T, not %T", name, v, zero)
+	}
+	return t, nil
+}
