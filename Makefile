@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-parallel bench-json fmt check
+.PHONY: build test race vet bench bench-parallel bench-json fmt check \
+	verify fuzz-smoke cover cover-check
 
 build:
 	$(GO) build ./...
@@ -35,5 +36,35 @@ bench-json:
 
 fmt:
 	gofmt -l -w .
+
+# Replay the committed golden corpus; exits nonzero on drift.
+verify:
+	$(GO) run ./cmd/leodivide verify
+
+# Short fuzzing pass over every fuzz target, FUZZ_TIME each. The seed
+# corpora live under <pkg>/testdata/fuzz/<FuzzName>/ and also run as
+# plain test cases in every `go test`. Go only allows one matching
+# -fuzz target per invocation, hence one line per target.
+FUZZ_TIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadLocationsCSV$$' -fuzztime $(FUZZ_TIME) ./internal/bdc
+	$(GO) test -run '^$$' -fuzz '^FuzzReadProviderCSV$$' -fuzztime $(FUZZ_TIME) ./internal/bdc
+	$(GO) test -run '^$$' -fuzz '^FuzzReadCellsCSV$$' -fuzztime $(FUZZ_TIME) ./internal/bdc
+	$(GO) test -run '^$$' -fuzz '^FuzzFromToken$$' -fuzztime $(FUZZ_TIME) ./internal/hexgrid
+	$(GO) test -run '^$$' -fuzz '^FuzzLatLngToCell$$' -fuzztime $(FUZZ_TIME) ./internal/hexgrid
+
+# Coverage with a checked-in floor (COVERAGE_FLOOR, percent). The floor
+# sits ~1pt under the measured total because worker-occupancy branches
+# in internal/par make exact coverage scheduling-dependent.
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+cover-check: cover
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	floor=$$(cat COVERAGE_FLOOR); \
+	echo "coverage: $$total% (floor: $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
+		{ echo "coverage $$total% fell below the checked-in floor $$floor%"; exit 1; }
 
 check: build vet test

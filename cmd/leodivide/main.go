@@ -23,6 +23,7 @@
 //	refined    affordability with income dispersion and Lifeline eligibility
 //	gen        write the dataset as CSV (cells, and optionally locations)
 //	bench      emit a schema-versioned BENCH_*.json performance report
+//	verify     replay the committed golden corpus; exit nonzero on drift
 //	all        run every experiment in order
 //
 // Observability flags: -metrics prints the obs metric snapshot to
@@ -123,6 +124,8 @@ func run(args []string, w io.Writer) error {
 		return runExperimentList(w, m)
 	case "bench":
 		return runBench(ctx, w, cfg, fs.Args()[1:])
+	case "verify":
+		return runVerify(ctx, w, cfg, fs.Args()[1:])
 	}
 
 	ds, err := cfg.Generate(ctx)
@@ -229,7 +232,7 @@ func runExperimentList(w io.Writer, m leodivide.Model) error {
 	if _, err := t.WriteTo(w); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "CLI-only analyses: simcheck, ablate, linkbudget, states, latency, stability, export, gen.")
+	fmt.Fprintln(w, "CLI-only analyses: simcheck, ablate, linkbudget, states, latency, stability, export, gen, verify.")
 	return nil
 }
 

@@ -1,0 +1,118 @@
+package main
+
+// `leodivide verify` replays the committed golden corpus against the
+// current binary and exits nonzero on drift. It is the CLI face of
+// TestGoldenCorpus: CI runs it next to the bench job, and a developer
+// can run it locally before sending a refactor to confirm no
+// experiment's numbers moved.
+//
+//	leodivide verify                      # replay testdata/golden
+//	leodivide -parallelism 1 verify       # replay on the serial path
+//	leodivide verify -corpus other/dir    # replay an alternate corpus
+//
+// The replay intentionally ignores the global -seed/-scale/-calibrated
+// flags: each corpus directory names the seed and scale it was frozen
+// at, and the corpus is generated under the default (uncalibrated)
+// model, so honoring those flags would compare apples to oranges.
+// -parallelism is honored — drift that appears only at some worker
+// count is exactly the kind of bug the gate exists to catch.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+
+	"leodivide"
+	"leodivide/internal/golden"
+)
+
+func runVerify(ctx context.Context, w io.Writer, global leodivide.RunConfig, args []string) error {
+	fs := flag.NewFlagSet("leodivide verify", flag.ContinueOnError)
+	corpus := fs.String("corpus", "testdata/golden", "golden corpus root directory")
+	maxDiffs := fs.Int("max-diffs", 10, "maximum field diffs to print per experiment")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	configs, err := golden.Configs(*corpus)
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if len(configs) == 0 {
+		return fmt.Errorf("verify: corpus %s is empty (regenerate with `go test -run TestGoldenCorpus -update ./...`)", *corpus)
+	}
+
+	registry := leodivide.NewModel().Experiments()
+	var drifted, replayed int
+	for _, cc := range configs {
+		// Replay under the exact conditions the corpus was frozen at:
+		// the default run configuration, with only the seed and scale
+		// taken from the corpus directory and the parallelism knob
+		// inherited from the global flags.
+		rc := leodivide.DefaultRunConfig()
+		rc.Seed = cc.Seed
+		rc.Scale = cc.Scale
+		rc.Parallelism = global.Parallelism
+
+		names, err := golden.Experiments(cc.Dir)
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		frozen := make(map[string]bool, len(names))
+		for _, n := range names {
+			frozen[n] = true
+		}
+		// Completeness gate: the corpus must cover the whole registry
+		// and carry nothing the registry no longer knows.
+		for _, exp := range registry {
+			if !frozen[exp.Name] {
+				return fmt.Errorf("verify: corpus %s missing experiment %q (regenerate with -update)", cc.Dir, exp.Name)
+			}
+			delete(frozen, exp.Name)
+		}
+		for n := range frozen {
+			return fmt.Errorf("verify: corpus %s has file for unknown experiment %q (delete it)", cc.Dir, n)
+		}
+
+		ds, err := rc.Generate(ctx)
+		if err != nil {
+			return fmt.Errorf("verify: generate seed=%d scale=%s: %w", cc.Seed, golden.FormatScale(cc.Scale), err)
+		}
+		m := rc.BuildModel()
+		for _, exp := range registry {
+			e, ok := m.ExperimentByName(exp.Name)
+			if !ok {
+				return fmt.Errorf("verify: experiment %q vanished from the model", exp.Name)
+			}
+			v, err := e.Run(ctx, ds)
+			if err != nil {
+				return fmt.Errorf("verify: run %s seed=%d scale=%s: %w", exp.Name, cc.Seed, golden.FormatScale(cc.Scale), err)
+			}
+			got, err := golden.Encode(v)
+			if err != nil {
+				return fmt.Errorf("verify: encode %s: %w", exp.Name, err)
+			}
+			want, err := golden.ReadFile(golden.File(*corpus, cc.Seed, cc.Scale, exp.Name))
+			if err != nil {
+				return fmt.Errorf("verify: %w", err)
+			}
+			diffs, err := golden.Compare(got, want, golden.Default())
+			if err != nil {
+				return fmt.Errorf("verify: compare %s: %w", exp.Name, err)
+			}
+			replayed++
+			if len(diffs) > 0 {
+				drifted++
+				golden.WriteDiffs(w, exp.Name, cc, diffs, *maxDiffs)
+			}
+		}
+		fmt.Fprintf(w, "verify: seed=%d scale=%s: %d experiments replayed\n",
+			cc.Seed, golden.FormatScale(cc.Scale), len(registry))
+	}
+	if drifted > 0 {
+		return fmt.Errorf("verify: %d of %d experiment replays drifted from the golden corpus", drifted, replayed)
+	}
+	fmt.Fprintf(w, "verify: OK — %d experiment replays match the golden corpus\n", replayed)
+	return nil
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoCorpus is the committed golden corpus relative to this package.
+const repoCorpus = "../../testdata/golden"
+
+func TestVerifyPassesOnCommittedCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus replay is not a -short test")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"verify", "-corpus", repoCorpus}, &buf); err != nil {
+		t.Fatalf("verify on committed corpus: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "verify: OK") {
+		t.Errorf("output missing OK line:\n%s", out)
+	}
+	if !strings.Contains(out, "experiment replays match") {
+		t.Errorf("output missing replay count:\n%s", out)
+	}
+}
+
+// copyCorpusConfig copies one committed corpus config into a fresh root
+// so a test can mutate it without touching the repository corpus.
+func copyCorpusConfig(t *testing.T, seed, scale string) string {
+	t.Helper()
+	src := filepath.Join(repoCorpus, seed, scale)
+	dst := filepath.Join(t.TempDir(), "golden")
+	dir := filepath.Join(dst, seed, scale)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("read committed corpus: %v", err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func TestVerifyFailsOnDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus replay is not a -short test")
+	}
+	corpus := copyCorpusConfig(t, "1", "0.02")
+
+	// Mutate one frozen anchor: fig1's max cell size.
+	fig1 := filepath.Join(corpus, "1", "0.02", "fig1.json")
+	b, err := os.ReadFile(fig1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(b), `"MaxCell": `, `"MaxCell": 9`, 1)
+	if mutated == string(b) {
+		t.Fatalf("fig1.json has no MaxCell field to mutate:\n%s", b)
+	}
+	if err := os.WriteFile(fig1, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	err = run([]string{"verify", "-corpus", corpus}, &buf)
+	if err == nil {
+		t.Fatalf("verify must fail on a mutated corpus; output:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "drifted") {
+		t.Errorf("error %q does not mention drift", err)
+	}
+	out := buf.String()
+	// The drift report names the experiment, the config and the field path.
+	for _, want := range []string{"fig1", "seed=1", "scale=0.02", "/MaxCell"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("drift report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerifyFailsOnIncompleteCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus replay is not a -short test")
+	}
+	corpus := copyCorpusConfig(t, "1", "0.02")
+	if err := os.Remove(filepath.Join(corpus, "1", "0.02", "table2.json")); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"verify", "-corpus", corpus}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "table2") {
+		t.Errorf("missing-experiment corpus must fail naming table2, got %v", err)
+	}
+}
+
+func TestVerifyFailsOnEmptyCorpus(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"verify", "-corpus", t.TempDir()}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("empty corpus must fail, got %v", err)
+	}
+}
+
+func TestVerifyBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"verify", "-no-such-flag"}, &buf); err == nil {
+		t.Error("unknown verify flag must error")
+	}
+}

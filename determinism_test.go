@@ -1,21 +1,74 @@
 package leodivide
 
 // The determinism suite: the contract of the parallel engine is that
-// every artifact is byte-identical at every worker count. These tests
-// pin that contract by generating datasets and running the headline
-// experiments at Parallelism(1) (exact serial) and Parallelism(8) and
-// requiring deep equality, across several seeds.
+// every artifact is byte-identical at every worker count. The
+// experiment half of the suite is the serial ≡ parallel differential
+// oracle (testutil.RequireDeterministic): every registry experiment is
+// replayed at a seed × parallelism matrix, with Parallelism(1) (exact
+// serial) as the reference semantics and byte equality of the canonical
+// golden encoding as the comparison — stronger than reflect.DeepEqual,
+// because it also pins the serialized form the golden corpus and the
+// observability layer see.
 
 import (
 	"context"
+	"fmt"
 	"reflect"
 	"testing"
+
+	"leodivide/internal/testutil"
 )
+
+// determinismCounts is the worker-count matrix: 1 is the serial
+// reference; 2 and 3 exercise partial pools (work split unevenly across
+// workers); 8 oversubscribes the CI container's CPUs so queue-order
+// effects would surface if any reduction depended on completion order.
+var determinismCounts = []int{1, 2, 3, 8}
+
+// TestRegistryDeterminismMatrix replays every registry experiment at
+// every seed × parallelism combination and requires byte-identical
+// results against the serial reference.
+func TestRegistryDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry matrix is not a -short test")
+	}
+	ctx := context.Background()
+	for _, seed := range []int64{1, 2} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// One dataset per (seed, parallelism): the dataset build is
+			// itself part of the differential, so each worker count
+			// generates its own copy rather than sharing the reference's.
+			datasets := make(map[int]*Dataset, len(determinismCounts))
+			for _, n := range determinismCounts {
+				ds, err := GenerateDataset(ctx, WithSeed(seed), WithScale(0.05), WithParallelism(n))
+				if err != nil {
+					t.Fatalf("generate parallelism=%d: %v", n, err)
+				}
+				datasets[n] = ds
+			}
+			for _, exp := range NewModel().Experiments() {
+				exp := exp
+				t.Run(exp.Name, func(t *testing.T) {
+					testutil.RequireDeterministic(t, exp.Name, determinismCounts,
+						func(parallelism int) (any, error) {
+							m := NewModel().Parallelism(parallelism)
+							e, ok := m.ExperimentByName(exp.Name)
+							if !ok {
+								return nil, fmt.Errorf("experiment %q not in registry", exp.Name)
+							}
+							return e.Run(ctx, datasets[parallelism])
+						})
+				})
+			}
+		})
+	}
+}
 
 // TestGenerateDatasetDeterministicAcrossParallelism proves dataset
 // synthesis is worker-count independent: identical cells (IDs,
 // locations, county assignment, centers) and identical county income
-// tables at 1 vs 8 workers, for several seeds.
+// tables at every worker count, for several seeds.
 func TestGenerateDatasetDeterministicAcrossParallelism(t *testing.T) {
 	ctx := context.Background()
 	for _, seed := range []int64{1, 2, 3} {
@@ -23,95 +76,25 @@ func TestGenerateDatasetDeterministicAcrossParallelism(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d serial: %v", seed, err)
 		}
-		par, err := GenerateDataset(ctx, WithSeed(seed), WithScale(0.05), WithParallelism(8))
-		if err != nil {
-			t.Fatalf("seed %d parallel: %v", seed, err)
-		}
-		if len(serial.Cells) != len(par.Cells) {
-			t.Fatalf("seed %d: cell count %d (serial) != %d (parallel)",
-				seed, len(serial.Cells), len(par.Cells))
-		}
-		for i := range serial.Cells {
-			if !reflect.DeepEqual(serial.Cells[i], par.Cells[i]) {
-				t.Fatalf("seed %d: cell %d differs: serial %+v parallel %+v",
-					seed, i, serial.Cells[i], par.Cells[i])
+		for _, n := range determinismCounts[1:] {
+			par, err := GenerateDataset(ctx, WithSeed(seed), WithScale(0.05), WithParallelism(n))
+			if err != nil {
+				t.Fatalf("seed %d parallelism %d: %v", seed, n, err)
+			}
+			if len(serial.Cells) != len(par.Cells) {
+				t.Fatalf("seed %d parallelism %d: cell count %d (serial) != %d (parallel)",
+					seed, n, len(serial.Cells), len(par.Cells))
+			}
+			for i := range serial.Cells {
+				if !reflect.DeepEqual(serial.Cells[i], par.Cells[i]) {
+					t.Fatalf("seed %d parallelism %d: cell %d differs: serial %+v parallel %+v",
+						seed, n, i, serial.Cells[i], par.Cells[i])
+				}
+			}
+			if !reflect.DeepEqual(serial.Incomes.Counties(), par.Incomes.Counties()) {
+				t.Fatalf("seed %d parallelism %d: county income tables differ", seed, n)
 			}
 		}
-		if !reflect.DeepEqual(serial.Incomes.Counties(), par.Incomes.Counties()) {
-			t.Fatalf("seed %d: county income tables differ", seed)
-		}
-	}
-}
-
-// TestExperimentsDeterministicAcrossParallelism proves the analysis
-// pipeline is worker-count independent: Fig2, Table2 and Fig3 results
-// are deeply equal at 1 vs 8 workers over the same dataset.
-func TestExperimentsDeterministicAcrossParallelism(t *testing.T) {
-	ctx := context.Background()
-	for _, seed := range []int64{1, 2, 3} {
-		ds, err := GenerateDataset(ctx, WithSeed(seed), WithScale(0.05))
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		serial := NewModel().Parallelism(1)
-		par := NewModel().Parallelism(8)
-
-		f2s, err := serial.Fig2(ctx, ds)
-		if err != nil {
-			t.Fatal(err)
-		}
-		f2p, err := par.Fig2(ctx, ds)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(f2s, f2p) {
-			t.Fatalf("seed %d: Fig2 differs between worker counts", seed)
-		}
-
-		t2s, err := serial.Table2(ctx, ds)
-		if err != nil {
-			t.Fatal(err)
-		}
-		t2p, err := par.Table2(ctx, ds)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(t2s, t2p) {
-			t.Fatalf("seed %d: Table2 differs between worker counts", seed)
-		}
-
-		f3s, err := serial.Fig3(ctx, ds, 5, 10)
-		if err != nil {
-			t.Fatal(err)
-		}
-		f3p, err := par.Fig3(ctx, ds, 5, 10)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(f3s, f3p) {
-			t.Fatalf("seed %d: Fig3 differs between worker counts", seed)
-		}
-	}
-}
-
-// TestFig4DeterministicAcrossParallelism pins the affordability curves
-// (the remaining parallelized experiment) the same way.
-func TestFig4DeterministicAcrossParallelism(t *testing.T) {
-	ctx := context.Background()
-	ds, err := GenerateDataset(ctx, WithSeed(2), WithScale(0.05))
-	if err != nil {
-		t.Fatal(err)
-	}
-	a, err := NewModel().Parallelism(1).Fig4(ctx, ds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := NewModel().Parallelism(8).Fig4(ctx, ds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(a, b) {
-		t.Fatal("Fig4 differs between worker counts")
 	}
 }
 

@@ -1,0 +1,152 @@
+package leodivide
+
+// The golden-corpus regression gate. Every registered experiment's
+// result is frozen as canonical JSON under testdata/golden/<seed>/<scale>/
+// and replayed here at two seeds × two scales. Any semantic drift — a
+// refactor that changes Table 2 sizing, a calibration constant nudged,
+// a parallel fan-out that reorders a reduction — fails with a
+// field-level path naming the experiment and value.
+//
+// Regenerate after an intentional model change with:
+//
+//	go test -run TestGoldenCorpus -update ./...
+//
+// and review the corpus diff like any other code change: the diff IS
+// the semantic change, and it must be justified against the paper's
+// anchors in the PR description.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"testing"
+
+	"leodivide/internal/golden"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden corpus from the current implementation")
+
+// goldenRoot is the committed corpus location, shared with the
+// `leodivide verify` subcommand.
+const goldenRoot = "testdata/golden"
+
+// goldenConfigs is the replay matrix: two seeds × two scales. The
+// scales are small enough that the full 11-experiment replay stays in
+// CI seconds, and two seeds are enough to catch seed-dependent drift
+// (a constant folded wrongly shows at every seed; a generation change
+// shows differently per seed).
+func goldenConfigs() []golden.Config {
+	var cfgs []golden.Config
+	for _, seed := range []int64{1, 2} {
+		for _, scale := range []float64{0.02, 0.05} {
+			cfgs = append(cfgs, golden.Config{Seed: seed, Scale: scale})
+		}
+	}
+	return cfgs
+}
+
+// goldenTolerance is the corpus comparison policy. The default 1e-9
+// relative tolerance absorbs last-ulp float differences across Go
+// toolchain versions while still pinning every anchor to nine
+// significant digits; integer fields (satellite counts, cell maxima,
+// location totals) compare exactly because their JSON encodings are
+// string-identical.
+func goldenTolerance() golden.Tolerance {
+	return golden.Default()
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden corpus replay is not a -short test")
+	}
+	ctx := context.Background()
+	for _, cfg := range goldenConfigs() {
+		cfg := cfg
+		t.Run(fmt.Sprintf("seed=%d/scale=%s", cfg.Seed, golden.FormatScale(cfg.Scale)), func(t *testing.T) {
+			rc := DefaultRunConfig()
+			rc.Seed = cfg.Seed
+			rc.Scale = cfg.Scale
+			ds, err := rc.Generate(ctx)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			m := rc.BuildModel()
+			for _, exp := range m.Experiments() {
+				exp := exp
+				t.Run(exp.Name, func(t *testing.T) {
+					v, err := exp.Run(ctx, ds)
+					if err != nil {
+						t.Fatalf("run: %v", err)
+					}
+					path := golden.File(goldenRoot, cfg.Seed, cfg.Scale, exp.Name)
+					if *update {
+						if err := golden.WriteFile(path, v); err != nil {
+							t.Fatalf("update corpus: %v", err)
+						}
+						return
+					}
+					want, err := golden.ReadFile(path)
+					if err != nil {
+						t.Fatalf("read corpus %s: %v\n(run `go test -run TestGoldenCorpus -update ./...` to create it)", path, err)
+					}
+					got, err := golden.Encode(v)
+					if err != nil {
+						t.Fatalf("encode result: %v", err)
+					}
+					diffs, err := golden.Compare(got, want, goldenTolerance())
+					if err != nil {
+						t.Fatalf("compare against %s: %v", path, err)
+					}
+					for i, d := range diffs {
+						if i >= 10 {
+							t.Errorf("... and %d more field diffs", len(diffs)-i)
+							break
+						}
+						t.Errorf("%s drifted at %s", exp.Name, d)
+					}
+					if len(diffs) > 0 {
+						t.Fatalf("%s: %d field(s) drifted from %s\n(if the change is intentional, regenerate with -update and justify the corpus diff)", exp.Name, len(diffs), path)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestGoldenCorpusCoversRegistry pins the corpus to the registry: every
+// experiment must have a frozen file in every committed config, and the
+// corpus must not carry files for experiments that no longer exist.
+// This is what makes `leodivide verify` a complete gate rather than a
+// best-effort one.
+func TestGoldenCorpusCoversRegistry(t *testing.T) {
+	if *update {
+		t.Skip("corpus being rewritten")
+	}
+	cfgs, err := golden.Configs(goldenRoot)
+	if err != nil {
+		t.Fatalf("enumerate corpus: %v", err)
+	}
+	if len(cfgs) != len(goldenConfigs()) {
+		t.Fatalf("corpus has %d configs, test matrix has %d — regenerate with -update", len(cfgs), len(goldenConfigs()))
+	}
+	registry := NewModel().Experiments()
+	for _, cfg := range cfgs {
+		names, err := golden.Experiments(cfg.Dir)
+		if err != nil {
+			t.Fatalf("enumerate %s: %v", cfg.Dir, err)
+		}
+		have := make(map[string]bool, len(names))
+		for _, n := range names {
+			have[n] = true
+		}
+		for _, exp := range registry {
+			if !have[exp.Name] {
+				t.Errorf("corpus %s missing experiment %q — regenerate with -update", cfg.Dir, exp.Name)
+			}
+			delete(have, exp.Name)
+		}
+		for n := range have {
+			t.Errorf("corpus %s has file for unknown experiment %q — delete it", cfg.Dir, n)
+		}
+	}
+}

@@ -32,8 +32,12 @@ func WriteLocationsCSV(w io.Writer, locs []demand.Location) error {
 	for _, l := range locs {
 		rec := []string{
 			strconv.FormatUint(l.ID, 10),
-			strconv.FormatFloat(l.Pos.Lat, 'f', 6, 64),
-			strconv.FormatFloat(l.Pos.Lng, 'f', 6, 64),
+			// Shortest round-trip formatting: a written coordinate parses
+			// back to the identical float64, so save→load is a fixpoint
+			// (6-decimal quantization used to perturb downstream results
+			// at the 1e-9 level).
+			strconv.FormatFloat(l.Pos.Lat, 'f', -1, 64),
+			strconv.FormatFloat(l.Pos.Lng, 'f', -1, 64),
 			l.StateAbbr,
 			l.CountyFIPS,
 			strconv.FormatFloat(l.MaxDownMbps, 'f', 2, 64),
@@ -131,8 +135,9 @@ func WriteCellsCSV(w io.Writer, cells []demand.Cell) error {
 	for _, c := range cells {
 		rec := []string{
 			strconv.FormatUint(uint64(c.ID), 10),
-			strconv.FormatFloat(c.Center.Lat, 'f', 6, 64),
-			strconv.FormatFloat(c.Center.Lng, 'f', 6, 64),
+			// Shortest round-trip formatting (see WriteLocationsCSV).
+			strconv.FormatFloat(c.Center.Lat, 'f', -1, 64),
+			strconv.FormatFloat(c.Center.Lng, 'f', -1, 64),
 			c.CountyFIPS,
 			strconv.Itoa(c.Locations),
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 
 	"leodivide/internal/constellation"
 	"leodivide/internal/demand"
@@ -44,6 +45,9 @@ func (m Model) AssessFleet(ctx context.Context, d *demand.Distribution, fleet co
 	spreads []float64, maxOversub float64) (FleetAssessment, error) {
 	if err := fleet.Validate(); err != nil {
 		return FleetAssessment{}, err
+	}
+	if len(spreads) == 0 {
+		return FleetAssessment{}, fmt.Errorf("core: assess fleet %q: no beamspread factors", fleet.Name)
 	}
 	ref := orbit.Walker{
 		AltitudeKm:     orbit.StarlinkAltitudeKm,

@@ -2,10 +2,12 @@ package core
 
 import (
 	"context"
-
+	"strings"
 	"testing"
 
 	"leodivide/internal/constellation"
+	"leodivide/internal/demand"
+	"leodivide/internal/geo"
 )
 
 func TestAssessFleet(t *testing.T) {
@@ -46,9 +48,92 @@ func TestAssessFleet(t *testing.T) {
 		t.Errorf("Gen2 equivalent (%d) should exceed Gen1 (%d)",
 			gen2.EquivalentSatellites, gen1.EquivalentSatellites)
 	}
+}
 
-	// Invalid fleet errors.
-	if _, err := m.AssessFleet(context.Background(), d, constellation.Fleet{Name: "x"}, spreads, 20); err == nil {
-		t.Error("invalid fleet should fail")
+// singleCellDist is the degenerate demand geography: the whole nation's
+// unserved demand in one cell.
+func singleCellDist(t *testing.T, locations int) *demand.Distribution {
+	t.Helper()
+	d, err := demand.NewDistribution([]demand.Cell{
+		{ID: 1, Locations: locations, Center: geo.LatLng{Lat: 35.5, Lng: -106.3}, CountyFIPS: "35049"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAssessFleetErrorPaths(t *testing.T) {
+	m := NewModel()
+	d := paperDist(t)
+	ctx := context.Background()
+
+	cases := []struct {
+		name    string
+		fleet   constellation.Fleet
+		spreads []float64
+		wantErr string
+	}{
+		{"empty fleet", constellation.Fleet{}, []float64{2}, "no shells"},
+		{"named fleet without shells", constellation.Fleet{Name: "x"}, []float64{2}, "no shells"},
+		{"no spreads", constellation.StarlinkGen1(), nil, "no beamspread factors"},
+		{"empty spreads", constellation.StarlinkGen1(), []float64{}, "no beamspread factors"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := m.AssessFleet(ctx, d, tc.fleet, tc.spreads, 20)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// A cancelled context aborts the sweep.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := m.AssessFleet(cancelled, d, constellation.StarlinkGen1(), []float64{2, 10}, 20); err == nil {
+		t.Error("cancelled context should abort the assessment")
+	}
+}
+
+func TestAssessFleetSingleCellDemand(t *testing.T) {
+	// One dense cell: the assessment still works, the binding cell is
+	// that cell, and the requirement is positive at every spread.
+	m := NewModel()
+	d := singleCellDist(t, 3000)
+	a, err := m.AssessFleet(context.Background(), d, constellation.StarlinkGen1(), []float64{1, 2, 5}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BindingLatDeg != 35.5 {
+		t.Errorf("binding latitude = %v, want the single cell's 35.5", a.BindingLatDeg)
+	}
+	for _, row := range a.Rows {
+		if row.RequiredSatellites <= 0 {
+			t.Errorf("spread %g: nonpositive requirement %d", row.Spread, row.RequiredSatellites)
+		}
+		if row.CoverageRatio <= 0 {
+			t.Errorf("spread %g: nonpositive coverage ratio %v", row.Spread, row.CoverageRatio)
+		}
+	}
+}
+
+func TestAssessFleetSingleSpread(t *testing.T) {
+	m := NewModel()
+	d := paperDist(t)
+	a, err := m.AssessFleet(context.Background(), d, constellation.StarlinkGen2(), []float64{2}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(a.Rows))
+	}
+	// The row must agree exactly with a direct sizing call.
+	want := m.Size(d, CappedOversub, 2, 20).Satellites
+	if a.Rows[0].RequiredSatellites != want {
+		t.Errorf("row requirement %d != direct Size %d", a.Rows[0].RequiredSatellites, want)
 	}
 }

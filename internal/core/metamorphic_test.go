@@ -1,0 +1,147 @@
+package core
+
+// Metamorphic oracles for the sizing model: the relations behind the
+// paper's tables and figures, checked against the synthetic paper
+// distribution for every axis the experiments sweep. A recalibration
+// may move the corpus; it may not break these.
+
+import (
+	"context"
+	"testing"
+
+	"leodivide/internal/demand"
+	"leodivide/internal/hexgrid"
+	"leodivide/internal/testutil"
+)
+
+func TestSizeMonotoneInSpread(t *testing.T) {
+	// Table 2's central relation: spreading beams wider covers more
+	// cells per satellite, so required constellations shrink.
+	m := NewModel()
+	d := paperDist(t)
+	for _, sc := range []Scenario{FullService, CappedOversub} {
+		var sats []float64
+		for _, spread := range []float64{1, 2, 5, 10, 15} {
+			sats = append(sats, float64(m.Size(d, sc, spread, 20).Satellites))
+		}
+		testutil.RequireMonotone(t, sc.String()+" satellites vs beamspread", sats, testutil.StrictlyDecreasing)
+	}
+}
+
+func TestSizeOrderingBetweenScenarios(t *testing.T) {
+	// Capping oversubscription abandons the hardest locations, so the
+	// capped constellation is never larger than full service... per the
+	// sizing rule, it is never smaller either at equal spread unless the
+	// peak beam requirement drops. The invariant the paper states:
+	// capped ≥ full-service (Table 2's capped column is slightly larger
+	// — the capped scenario runs at 20:1 while full service floats to
+	// ~35:1, so the capped peak cell needs its beams for longer).
+	m := NewModel()
+	d := paperDist(t)
+	for _, spread := range []float64{1, 2, 5, 10, 15} {
+		full := m.Size(d, FullService, spread, 0)
+		capped := m.Size(d, CappedOversub, spread, 20)
+		if capped.Satellites < full.Satellites {
+			t.Errorf("spread %g: capped %d < full %d", spread, capped.Satellites, full.Satellites)
+		}
+		if full.UnservedLocations != 0 {
+			t.Errorf("spread %g: full service left %d unserved", spread, full.UnservedLocations)
+		}
+		if capped.UnservedLocations < 0 {
+			t.Errorf("spread %g: negative unserved %d", spread, capped.UnservedLocations)
+		}
+	}
+}
+
+func TestServedFractionGridAxisMonotonicity(t *testing.T) {
+	// Figure 2's surface: more oversubscription serves more cells
+	// (rightward along a row), more spreading serves fewer (downward
+	// along a column).
+	m := NewModel()
+	d := paperDist(t)
+	spreads := []float64{2, 4, 6, 8, 10, 12, 14}
+	oversubs := []float64{5, 10, 15, 20, 25, 30}
+	grid, err := m.ServedFractionGrid(context.Background(), d, spreads, oversubs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range grid {
+		testutil.RequireMonotone(t, "served fraction vs oversub", row, testutil.NonDecreasing)
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				t.Errorf("spread %g: fraction %v out of [0,1]", spreads[i], v)
+			}
+		}
+	}
+	for j := range oversubs {
+		col := make([]float64, len(spreads))
+		for i := range spreads {
+			col[i] = grid[i][j]
+		}
+		testutil.RequireMonotone(t, "served fraction vs spread", col, testutil.NonIncreasing)
+	}
+}
+
+func TestDiminishingReturnsOrdering(t *testing.T) {
+	// Figure 3's curve sweeps toward serving more locations: unserved
+	// falls, constellation size never falls, and the satellite count
+	// only jumps at per-beam boundaries (PeakBeams non-decreasing).
+	m := NewModel()
+	d := paperDist(t)
+	points, err := m.DiminishingReturns(context.Background(), d, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 2 {
+		t.Fatalf("curve has %d points, want several", len(points))
+	}
+	unserved := make([]float64, len(points))
+	sats := make([]float64, len(points))
+	beams := make([]float64, len(points))
+	caps := make([]float64, len(points))
+	for i, p := range points {
+		unserved[i] = float64(p.UnservedLocations)
+		sats[i] = float64(p.Satellites)
+		beams[i] = float64(p.PeakBeams)
+		caps[i] = float64(p.CapLocations)
+	}
+	testutil.RequireMonotone(t, "cap", caps, testutil.StrictlyIncreasing)
+	testutil.RequireMonotone(t, "unserved", unserved, testutil.NonIncreasing)
+	testutil.RequireMonotone(t, "satellites", sats, testutil.NonDecreasing)
+	testutil.RequireMonotone(t, "peak beams", beams, testutil.NonDecreasing)
+}
+
+func TestOversubscriptionScaleInvariance(t *testing.T) {
+	// The required oversubscription depends only on the peak cell, so
+	// replicating the cell body (same shape, more cells) must not move
+	// it, and the served fraction at the cap is preserved exactly when
+	// every cell is duplicated (the ratio is per-location).
+	m := NewModel()
+	d := paperDist(t)
+	a := m.Oversubscription(d, 20)
+
+	cells := append([]demand.Cell(nil), d.Cells()...)
+	double := make([]demand.Cell, 0, 2*len(cells))
+	for i, c := range cells {
+		double = append(double, c)
+		c2 := c
+		c2.ID = c.ID + hexgrid.CellID(1_000_000+i)
+		double = append(double, c2)
+	}
+	d2, err := demand.NewDistribution(double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := m.Oversubscription(d2, 20)
+	if a.RequiredOversub != b.RequiredOversub {
+		t.Errorf("required oversub moved under duplication: %v -> %v", a.RequiredOversub, b.RequiredOversub)
+	}
+	testutil.RequireWithinRel(t, "served fraction under duplication",
+		b.ServedFractionAtCap, a.ServedFractionAtCap, 1e-12)
+	if b.TotalLocations != 2*a.TotalLocations {
+		t.Errorf("total locations %d != 2×%d", b.TotalLocations, a.TotalLocations)
+	}
+	if b.ExcessLocations != 2*a.ExcessLocations {
+		t.Errorf("excess locations %d != 2×%d", b.ExcessLocations, a.ExcessLocations)
+	}
+}

@@ -1,0 +1,206 @@
+// Package testutil provides reusable property and metamorphic oracles
+// for the experiment pipeline's test suites. The oracles are generic
+// over plain values (compared through the canonical golden encoding) so
+// the package stays import-cycle-free: it depends only on
+// internal/golden, never on the root leodivide package, and can
+// therefore be used both by internal package tests and by the root
+// package's own in-package tests.
+//
+// The invariants encoded here are the ones the paper's model must obey
+// regardless of parameter calibration:
+//
+//   - Monotonicity: capacity grows with spectrum and beam count;
+//     constellation size shrinks as beamspread grows.
+//   - Conservation: aggregating demand at different hexgrid
+//     resolutions must preserve the total number of locations.
+//   - Determinism: every experiment must produce byte-identical output
+//     at every Parallelism setting (serial ≡ parallel differential).
+//   - Fixpoint: save → load → rerun through safeio must reproduce the
+//     original results exactly.
+package testutil
+
+import (
+	"testing"
+
+	"leodivide/internal/golden"
+)
+
+// Direction states which way a sequence is expected to move.
+type Direction int
+
+const (
+	// NonDecreasing requires xs[i] <= xs[i+1] for all i.
+	NonDecreasing Direction = iota
+	// NonIncreasing requires xs[i] >= xs[i+1] for all i.
+	NonIncreasing
+	// StrictlyIncreasing requires xs[i] < xs[i+1] for all i.
+	StrictlyIncreasing
+	// StrictlyDecreasing requires xs[i] > xs[i+1] for all i.
+	StrictlyDecreasing
+)
+
+func (d Direction) String() string {
+	switch d {
+	case NonDecreasing:
+		return "non-decreasing"
+	case NonIncreasing:
+		return "non-increasing"
+	case StrictlyIncreasing:
+		return "strictly increasing"
+	case StrictlyDecreasing:
+		return "strictly decreasing"
+	}
+	return "unknown"
+}
+
+func (d Direction) ok(a, b float64) bool {
+	switch d {
+	case NonDecreasing:
+		return a <= b
+	case NonIncreasing:
+		return a >= b
+	case StrictlyIncreasing:
+		return a < b
+	case StrictlyDecreasing:
+		return a > b
+	}
+	return false
+}
+
+// RequireMonotone fails the test unless xs moves in the given
+// direction. The failure names the first offending adjacent pair.
+func RequireMonotone(t testing.TB, label string, xs []float64, dir Direction) {
+	t.Helper()
+	for i := 0; i+1 < len(xs); i++ {
+		if !dir.ok(xs[i], xs[i+1]) {
+			t.Fatalf("%s: not %s at index %d: xs[%d]=%v, xs[%d]=%v (full: %v)",
+				label, dir, i, i, xs[i], i+1, xs[i+1], xs)
+		}
+	}
+}
+
+// RequireWithinRel fails unless got is within rel relative tolerance of
+// want (|got-want| <= rel*max(|got|,|want|)). want==got==0 passes.
+func RequireWithinRel(t testing.TB, label string, got, want, rel float64) {
+	t.Helper()
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := want
+	if scale < 0 {
+		scale = -scale
+	}
+	if g := got; g < 0 {
+		g = -g
+		if g > scale {
+			scale = g
+		}
+	} else if g > scale {
+		scale = g
+	}
+	if diff > rel*scale {
+		t.Fatalf("%s: got %v, want %v (relative error %v exceeds %v)",
+			label, got, want, diff/maxf(scale, 1e-300), rel)
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RequireEqual fails unless want and got have identical canonical
+// golden encodings. On mismatch the failure names the first drifted
+// field path, so structural diffs in large experiment results are
+// diagnosable without eyeballing two JSON dumps.
+func RequireEqual(t testing.TB, label string, want, got any) {
+	t.Helper()
+	wb, err := golden.Encode(want)
+	if err != nil {
+		t.Fatalf("%s: encode want: %v", label, err)
+	}
+	gb, err := golden.Encode(got)
+	if err != nil {
+		t.Fatalf("%s: encode got: %v", label, err)
+	}
+	if string(wb) == string(gb) {
+		return
+	}
+	diffs, err := golden.Compare(gb, wb, golden.Exact())
+	if err != nil {
+		t.Fatalf("%s: compare: %v", label, err)
+	}
+	if len(diffs) == 0 {
+		// Encodings differ but the trees compare equal — should be
+		// impossible with canonical encoding; report it loudly.
+		t.Fatalf("%s: encodings differ byte-wise but no field diff found:\n%s\nvs\n%s", label, wb, gb)
+	}
+	t.Fatalf("%s: %d field(s) differ; first: %s", label, len(diffs), diffs[0])
+}
+
+// RequireDeterministic is the serial ≡ parallel differential oracle.
+// It runs fn once per entry in counts, using the first entry as the
+// reference, and requires every subsequent result to be byte-identical
+// (under the canonical golden encoding) to the reference. Callers pass
+// counts[0]=1 to make exact-serial the reference semantics.
+func RequireDeterministic(t testing.TB, label string, counts []int, fn func(parallelism int) (any, error)) {
+	t.Helper()
+	if len(counts) < 2 {
+		t.Fatalf("%s: need at least two parallelism settings, got %v", label, counts)
+	}
+	ref, err := fn(counts[0])
+	if err != nil {
+		t.Fatalf("%s: parallelism=%d: %v", label, counts[0], err)
+	}
+	refBytes, err := golden.Encode(ref)
+	if err != nil {
+		t.Fatalf("%s: encode reference: %v", label, err)
+	}
+	for _, n := range counts[1:] {
+		got, err := fn(n)
+		if err != nil {
+			t.Fatalf("%s: parallelism=%d: %v", label, n, err)
+		}
+		gotBytes, err := golden.Encode(got)
+		if err != nil {
+			t.Fatalf("%s: encode parallelism=%d: %v", label, n, err)
+		}
+		if string(gotBytes) == string(refBytes) {
+			continue
+		}
+		diffs, err := golden.Compare(gotBytes, refBytes, golden.Exact())
+		if err != nil {
+			t.Fatalf("%s: compare parallelism=%d: %v", label, n, err)
+		}
+		if len(diffs) > 0 {
+			t.Fatalf("%s: parallelism=%d diverges from parallelism=%d; %d field(s); first: %s",
+				label, n, counts[0], len(diffs), diffs[0])
+		}
+		t.Fatalf("%s: parallelism=%d byte-level divergence with no field diff:\n%s\nvs\n%s",
+			label, n, refBytes, gotBytes)
+	}
+}
+
+// RequireConserved fails unless every entry of totals equals the first.
+// The conservation oracle for quantities that must be invariant across
+// a re-partitioning (e.g. location counts across hexgrid resolutions).
+func RequireConserved(t testing.TB, label string, totals map[string]int64) {
+	t.Helper()
+	var refKey string
+	var ref int64
+	first := true
+	for k, v := range totals {
+		if first || k < refKey {
+			refKey, ref, first = k, v, false
+		}
+	}
+	for k, v := range totals {
+		if v != ref {
+			t.Fatalf("%s: total not conserved: %s=%d but %s=%d (all: %v)",
+				label, refKey, ref, k, v, totals)
+		}
+	}
+}

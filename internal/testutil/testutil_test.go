@@ -1,0 +1,145 @@
+package testutil
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// recorder captures Fatalf calls so the oracles' failure modes can be
+// asserted without failing the real test.
+type recorder struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.failed = true
+	r.msg = fmt.Sprintf(format, args...)
+	panic(recorderStop{})
+}
+
+type recorderStop struct{}
+
+func capture(fn func(t testing.TB)) (r *recorder) {
+	r = &recorder{}
+	defer func() {
+		if v := recover(); v != nil {
+			if _, ok := v.(recorderStop); !ok {
+				panic(v)
+			}
+		}
+	}()
+	fn(r)
+	return r
+}
+
+func TestRequireMonotone(t *testing.T) {
+	RequireMonotone(t, "up", []float64{1, 2, 2, 3}, NonDecreasing)
+	RequireMonotone(t, "down", []float64{3, 2, 2, 1}, NonIncreasing)
+	RequireMonotone(t, "strict up", []float64{1, 2, 3}, StrictlyIncreasing)
+	RequireMonotone(t, "strict down", []float64{3, 2, 1}, StrictlyDecreasing)
+	RequireMonotone(t, "empty", nil, StrictlyIncreasing)
+	RequireMonotone(t, "single", []float64{5}, StrictlyDecreasing)
+
+	r := capture(func(tb testing.TB) {
+		RequireMonotone(tb, "bad", []float64{1, 3, 2}, NonDecreasing)
+	})
+	if !r.failed || !strings.Contains(r.msg, "index 1") {
+		t.Errorf("expected failure at index 1, got %q", r.msg)
+	}
+	r = capture(func(tb testing.TB) {
+		RequireMonotone(tb, "plateau", []float64{1, 2, 2}, StrictlyIncreasing)
+	})
+	if !r.failed || !strings.Contains(r.msg, "strictly increasing") {
+		t.Errorf("expected strictness failure, got %q", r.msg)
+	}
+}
+
+func TestRequireWithinRel(t *testing.T) {
+	RequireWithinRel(t, "close", 1.0000001, 1.0, 1e-6)
+	RequireWithinRel(t, "zero", 0, 0, 1e-9)
+	RequireWithinRel(t, "negative", -2.0000001, -2.0, 1e-6)
+
+	r := capture(func(tb testing.TB) {
+		RequireWithinRel(tb, "far", 1.1, 1.0, 1e-3)
+	})
+	if !r.failed || !strings.Contains(r.msg, "far") {
+		t.Errorf("expected tolerance failure, got %q", r.msg)
+	}
+}
+
+func TestRequireEqual(t *testing.T) {
+	type row struct {
+		Sats   int
+		Spread float64
+	}
+	a := []row{{100, 2}, {200, 4}}
+	b := []row{{100, 2}, {200, 4}}
+	RequireEqual(t, "same", a, b)
+
+	c := []row{{100, 2}, {201, 4}}
+	r := capture(func(tb testing.TB) { RequireEqual(tb, "drift", a, c) })
+	if !r.failed || !strings.Contains(r.msg, "/1/Sats") {
+		t.Errorf("expected failure naming /1/Sats, got %q", r.msg)
+	}
+}
+
+func TestRequireDeterministic(t *testing.T) {
+	type res struct{ N, Par int }
+
+	// A deterministic function passes at every parallelism.
+	RequireDeterministic(t, "stable", []int{1, 2, 8}, func(p int) (any, error) {
+		return res{N: 42}, nil
+	})
+
+	// A function whose output depends on parallelism is caught, and the
+	// failure names the parallelism and the drifted field.
+	r := capture(func(tb testing.TB) {
+		RequireDeterministic(tb, "leaky", []int{1, 2}, func(p int) (any, error) {
+			return res{N: 42, Par: p}, nil
+		})
+	})
+	if !r.failed || !strings.Contains(r.msg, "parallelism=2") || !strings.Contains(r.msg, "/Par") {
+		t.Errorf("expected divergence naming parallelism=2 and /Par, got %q", r.msg)
+	}
+
+	// Errors propagate with the parallelism that produced them.
+	r = capture(func(tb testing.TB) {
+		RequireDeterministic(tb, "failing", []int{1, 2}, func(p int) (any, error) {
+			if p == 2 {
+				return nil, errors.New("boom")
+			}
+			return res{}, nil
+		})
+	})
+	if !r.failed || !strings.Contains(r.msg, "boom") {
+		t.Errorf("expected error propagation, got %q", r.msg)
+	}
+
+	// Degenerate matrix is rejected: a single setting proves nothing.
+	r = capture(func(tb testing.TB) {
+		RequireDeterministic(tb, "degenerate", []int{1}, func(p int) (any, error) {
+			return res{}, nil
+		})
+	})
+	if !r.failed {
+		t.Error("single-entry counts must be rejected")
+	}
+}
+
+func TestRequireConserved(t *testing.T) {
+	RequireConserved(t, "ok", map[string]int64{"res3": 100, "res4": 100, "res5": 100})
+	RequireConserved(t, "empty", nil)
+
+	r := capture(func(tb testing.TB) {
+		RequireConserved(tb, "leak", map[string]int64{"res3": 100, "res4": 99})
+	})
+	if !r.failed || !strings.Contains(r.msg, "res4") {
+		t.Errorf("expected conservation failure naming res4, got %q", r.msg)
+	}
+}

@@ -25,9 +25,11 @@ package leodivide
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -368,6 +370,21 @@ func (m Model) Finding1(ctx context.Context, d *Dataset) (core.OversubAnalysis, 
 	return m.Capacity.Oversubscription(d.Distribution(), m.MaxOversub), nil
 }
 
+// PaperSizes maps a beamspread factor to a paper-reported constellation
+// size. JSON objects cannot carry float keys, so it marshals with
+// canonically formatted string keys ("2", "15") to stay serializable
+// for the golden corpus and the observability layer.
+type PaperSizes map[float64]int
+
+// MarshalJSON implements json.Marshaler with string-formatted keys.
+func (p PaperSizes) MarshalJSON() ([]byte, error) {
+	m := make(map[string]int, len(p))
+	for k, v := range p {
+		m[strconv.FormatFloat(k, 'g', -1, 64)] = v
+	}
+	return json.Marshal(m)
+}
+
 // Table2Result is the Table 2 reproduction plus the paper's reference
 // values for comparison.
 type Table2Result struct {
@@ -375,8 +392,8 @@ type Table2Result struct {
 	// PaperFullService and PaperCapped are the constellation sizes the
 	// paper reports for the same beamspread factors (for EXPERIMENTS.md
 	// style comparison).
-	PaperFullService map[float64]int
-	PaperCapped      map[float64]int
+	PaperFullService PaperSizes
+	PaperCapped      PaperSizes
 }
 
 // PaperTable2Spreads are the beamspread factors of the paper's Table 2.
@@ -391,10 +408,10 @@ func (m Model) Table2(ctx context.Context, d *Dataset) (Table2Result, error) {
 	}
 	return Table2Result{
 		Rows: rows,
-		PaperFullService: map[float64]int{
+		PaperFullService: PaperSizes{
 			1: 79287, 2: 40611, 5: 16486, 10: 8284, 15: 5532,
 		},
-		PaperCapped: map[float64]int{
+		PaperCapped: PaperSizes{
 			1: 80567, 2: 41261, 5: 16750, 10: 8417, 15: 5621,
 		},
 	}, nil
