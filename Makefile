@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-parallel bench-json fmt check \
+.PHONY: build test race vet lint bench bench-parallel bench-json fmt check \
 	verify fuzz-smoke cover cover-check
 
 build:
@@ -14,6 +14,11 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific determinism/hygiene analyzers (internal/analysis,
+# DESIGN.md §11). Exits nonzero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/leodivide-lint ./...
 
 # The full reproduction benchmarks (one per paper table/figure).
 bench:
@@ -35,7 +40,7 @@ bench-json:
 	$(GO) run ./cmd/leodivide bench -check $(BENCH_OUT)
 
 fmt:
-	gofmt -l -w .
+	gofmt -s -l -w .
 
 # Replay the committed golden corpus; exits nonzero on drift.
 verify:
@@ -67,4 +72,4 @@ cover-check: cover
 	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
 		{ echo "coverage $$total% fell below the checked-in floor $$floor%"; exit 1; }
 
-check: build vet test
+check: build vet lint test

@@ -33,6 +33,7 @@ func main() {
 }
 
 func run(args []string, w io.Writer) error {
+	ctx := context.Background()
 	fs := flag.NewFlagSet("bdcgen", flag.ContinueOnError)
 	out := fs.String("out", "bdc-out", "output directory")
 	seed := fs.Int64("seed", 1, "generation seed")
@@ -47,6 +48,7 @@ func run(args []string, w io.Writer) error {
 	if *metrics {
 		defer func() {
 			fmt.Fprintln(w, "--- metrics ---")
+			//lint:ignore errdrop best-effort metrics dump to the diagnostic writer after generation already succeeded
 			obs.Default.Snapshot().WriteText(w)
 		}()
 	}
@@ -72,11 +74,11 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	cells, err := bdc.GenerateCells(context.Background(), cfg)
+	cells, err := bdc.GenerateCells(ctx, cfg)
 	if err != nil {
 		return err
 	}
-	if err := writeTo(*out, "cells.csv", func(f io.Writer) error {
+	if err := writeTo(ctx, *out, "cells.csv", func(f io.Writer) error {
 		return bdc.WriteCellsCSV(f, cells)
 	}); err != nil {
 		return err
@@ -84,7 +86,7 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "bdcgen: %d cells -> cells.csv\n", len(cells))
 
 	if *geojson {
-		if err := writeTo(*out, "cells.geojson", func(f io.Writer) error {
+		if err := writeTo(ctx, *out, "cells.geojson", func(f io.Writer) error {
 			return report.WriteCellsGeoJSON(f, cells, 0)
 		}); err != nil {
 			return err
@@ -98,7 +100,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := writeTo(*out, "locations.csv", func(f io.Writer) error {
+		if err := writeTo(ctx, *out, "locations.csv", func(f io.Writer) error {
 			return bdc.WriteLocationsCSV(f, locs)
 		}); err != nil {
 			return err
@@ -111,7 +113,7 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("providers require -location-scale > 0")
 		}
 		records := bdc.GenerateProviderRecords(*seed, locs)
-		if err := writeTo(*out, "availability.csv", func(f io.Writer) error {
+		if err := writeTo(ctx, *out, "availability.csv", func(f io.Writer) error {
 			return bdc.WriteProviderCSV(f, records)
 		}); err != nil {
 			return err
@@ -124,7 +126,7 @@ func run(args []string, w io.Writer) error {
 // writeTo writes one output artifact atomically via safeio, so a
 // failed or interrupted generation can never leave a truncated CSV
 // that downstream ingestion would half-read.
-func writeTo(dir, name string, fn func(io.Writer) error) error {
-	_, err := safeio.WriteFile(filepath.Join(dir, name), fn)
+func writeTo(ctx context.Context, dir, name string, fn func(io.Writer) error) error {
+	_, err := safeio.WriteFile(ctx, filepath.Join(dir, name), fn)
 	return err
 }

@@ -1,0 +1,97 @@
+// Command leodivide-lint runs the repo's project-specific static
+// analyzers (internal/analysis) over one or more packages and exits
+// nonzero when any finding survives suppression. It is the static
+// half of the reproduction's determinism story: `leodivide verify`
+// replays the golden corpus, leodivide-lint proves the source cannot
+// smuggle in the bug classes that would make that replay drift.
+//
+// Usage:
+//
+//	leodivide-lint [-json] [-rules detrand,maporder,...] [packages]
+//
+// Packages default to ./... resolved from the enclosing module root.
+// Exit status: 0 clean, 1 findings, 2 usage or load/type error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"leodivide/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("leodivide-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (schema "+analysis.Schema+")")
+	rules := fs.String("rules", "", "comma-separated rule subset to run (default: all); `help` lists the catalog")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *rules == "help" {
+		for _, a := range analysis.DefaultAnalyzers() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := analysis.Select(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, "leodivide-lint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "leodivide-lint:", err)
+		return 2
+	}
+	diags, err := analysis.Run(moduleDir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "leodivide-lint:", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := analysis.WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "leodivide-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "leodivide-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod, so the tool works from any subdirectory of the repo.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRulesHelp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "help"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errb.String())
+	}
+	for _, rule := range []string{"detrand", "maporder", "floatcmp", "errdrop", "ctxfirst"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-rules help misses %s:\n%s", rule, out.String())
+		}
+	}
+}
+
+func TestUnknownRuleIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "bogus", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d; want 2 for an unknown rule", code)
+	}
+	if !strings.Contains(errb.String(), "unknown rule") {
+		t.Fatalf("stderr %q; want unknown-rule message", errb.String())
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./internal/analysis"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d over a clean package\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean run printed diagnostics: %s", out.String())
+	}
+}
+
+// violatingModule writes a throwaway module with one detrand violation
+// and chdirs into it, so the findings path (exit 1) and the JSON
+// encoder can be exercised without planting a violation in this repo.
+func violatingModule(t *testing.T) {
+	t.Helper()
+	dir := t.TempDir()
+	writeTestFile(t, filepath.Join(dir, "go.mod"), "module tmpmod\n\ngo 1.24\n")
+	writeTestFile(t, filepath.Join(dir, "bad.go"), `package tmpmod
+
+import "time"
+
+func Clock() time.Time { return time.Now() }
+`)
+	t.Chdir(dir)
+}
+
+func TestFindingsExitNonzero(t *testing.T) {
+	violatingModule(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d; want 1 when findings survive\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "bad.go:5") || !strings.Contains(out.String(), "detrand") {
+		t.Fatalf("diagnostic line missing position or rule: %s", out.String())
+	}
+	if !strings.Contains(errb.String(), "1 finding(s)") {
+		t.Fatalf("stderr %q; want the finding count", errb.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	violatingModule(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d; want 1\nstderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Schema      string `json:"schema"`
+		Diagnostics []struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		} `json:"diagnostics"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Schema != "leodivide-lint/v1" {
+		t.Errorf("schema %q; want leodivide-lint/v1", rep.Schema)
+	}
+	if rep.Count != 1 || len(rep.Diagnostics) != 1 {
+		t.Fatalf("count %d with %d diagnostics; want exactly 1", rep.Count, len(rep.Diagnostics))
+	}
+	d := rep.Diagnostics[0]
+	if d.File != "bad.go" || d.Line != 5 || d.Rule != "detrand" || d.Message == "" {
+		t.Errorf("diagnostic %+v; want bad.go:5 under rule detrand with a message", d)
+	}
+}
+
+func writeTestFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -43,7 +43,7 @@ func runBench(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []
 	}
 
 	if *check != "" {
-		return runBenchCheck(w, *check)
+		return runBenchCheck(ctx, w, *check)
 	}
 
 	workers, err := parseWorkerCounts(*workersFlag)
@@ -120,7 +120,7 @@ func runBench(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []
 		return err
 	}
 
-	if _, err := safeio.WriteFile(*out, report.Write); err != nil {
+	if _, err := safeio.WriteFile(ctx, *out, report.Write); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "bench: wrote %d results to %s (schema %s)\n",
@@ -130,8 +130,8 @@ func runBench(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []
 
 // runBenchCheck validates a report on disk: schema, structure, and full
 // experiment coverage at >= 2 worker counts. CI fails on any error.
-func runBenchCheck(w io.Writer, path string) error {
-	f, err := safeio.ReadFileVerified(path, "")
+func runBenchCheck(ctx context.Context, w io.Writer, path string) error {
+	f, err := safeio.ReadFileVerified(ctx, path, "")
 	if err != nil {
 		return err
 	}
@@ -153,6 +153,7 @@ func runBenchCheck(w io.Writer, path string) error {
 func measure(name string, workers, reps int, fn func() error) (benchfmt.Result, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
+	//lint:ignore detrand benchmarks measure wall-clock by definition; timings go to the bench report, never into experiment results
 	start := time.Now()
 	for i := 0; i < reps; i++ {
 		if err := fn(); err != nil {

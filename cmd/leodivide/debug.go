@@ -30,6 +30,7 @@ func startDebugServer(addr string) (string, error) {
 		}))
 		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			//lint:ignore errdrop HTTP response write; a disconnected debug client is not actionable
 			obs.Default.Snapshot().WriteText(w)
 		})
 	})
@@ -40,6 +41,7 @@ func startDebugServer(addr string) (string, error) {
 	go func() {
 		// The process exits with main; serving errors after a successful
 		// bind are not actionable.
+		//lint:ignore errdrop serving errors after a successful bind are not actionable; the process exits with main
 		_ = http.Serve(ln, nil)
 	}()
 	return ln.Addr().String(), nil

@@ -106,6 +106,7 @@ func run(args []string, w io.Writer) error {
 		defer obs.SetCollector(rec)()
 		defer func() {
 			fmt.Fprintln(os.Stderr, "--- trace ---")
+			//lint:ignore errdrop best-effort trace dump to stderr during shutdown
 			rec.WriteText(os.Stderr)
 		}()
 	}
@@ -114,6 +115,7 @@ func run(args []string, w io.Writer) error {
 		// settings (the determinism contract).
 		defer func() {
 			fmt.Fprintln(os.Stderr, "--- metrics ---")
+			//lint:ignore errdrop best-effort metrics dump to stderr during shutdown
 			obs.Default.Snapshot().WriteText(os.Stderr)
 		}()
 	}
@@ -139,7 +141,7 @@ func run(args []string, w io.Writer) error {
 	case "export":
 		return runExport(ctx, w, m, ds, *exportDir)
 	case "gen":
-		return runGen(w, ds, cfg.Seed, *locCSV, *locScale)
+		return runGen(ctx, w, ds, cfg.Seed, *locCSV, *locScale)
 	case "all":
 		for _, name := range allOrder {
 			if err := runOne(ctx, w, m, ds, name); err != nil {
@@ -530,6 +532,7 @@ func renderFleets(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodi
 		for _, row := range a.Rows {
 			t.AddRow(row.Spread, row.RequiredSatellites, fmt.Sprintf("%.2f", row.CoverageRatio))
 		}
+		//lint:ignore errdrop human-facing table print to the CLI writer, same contract as the exempt fmt.Fprintf calls around it
 		t.WriteTo(w)
 	}
 	print(r.Gen1)
@@ -589,7 +592,7 @@ func runLinkBudget(w io.Writer) error {
 	return err
 }
 
-func runGen(w io.Writer, ds *leodivide.Dataset, seed int64, locCSV string, locScale float64) error {
+func runGen(ctx context.Context, w io.Writer, ds *leodivide.Dataset, seed int64, locCSV string, locScale float64) error {
 	if err := bdc.WriteCellsCSV(w, ds.Cells); err != nil {
 		return err
 	}
@@ -600,7 +603,7 @@ func runGen(w io.Writer, ds *leodivide.Dataset, seed int64, locCSV string, locSc
 		if err != nil {
 			return err
 		}
-		if _, err := safeio.WriteFile(locCSV, func(f io.Writer) error {
+		if _, err := safeio.WriteFile(ctx, locCSV, func(f io.Writer) error {
 			return bdc.WriteLocationsCSV(f, locs)
 		}); err != nil {
 			return err
@@ -674,7 +677,7 @@ func runExport(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivid
 	// Every export artifact is written atomically with close/flush
 	// errors propagated (see internal/safeio).
 	writeFile := func(name string, fn func(io.Writer) error) error {
-		_, err := safeio.WriteFile(filepath.Join(dir, name), fn)
+		_, err := safeio.WriteFile(ctx, filepath.Join(dir, name), fn)
 		return err
 	}
 	if err := writeFile("cells.geojson", func(out io.Writer) error {

@@ -34,6 +34,7 @@ func main() {
 	fmt.Printf("satellites in view: min %d, mean %.1f, max %d\n",
 		stats.VisibleMin, stats.VisibleMean, stats.VisibleMax)
 	fmt.Printf("epochs with no coverage: %.1f%%\n", 100*stats.OutageFraction)
+	//lint:ignore floatcmp OutageFraction is outages/epochs, exactly 1.0 iff every epoch is an outage; display-only branch
 	if stats.OutageFraction == 1 {
 		fmt.Println("\nthis location is beyond the shell's coverage — the paper's")
 		fmt.Println("\"anyone, anywhere\" promise already fails here (e.g. northern Alaska).")

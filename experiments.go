@@ -53,6 +53,7 @@ func instrument(name string, fn func(ctx context.Context, d *Dataset) (any, erro
 			return nil, err
 		}
 		ctx, span := obs.StartSpan(ctx, "experiment."+name)
+		//lint:ignore detrand wall-clock feeds the experiment duration histogram only, never the result
 		start := time.Now()
 		v, err := fn(ctx, d)
 		obs.Default.Histogram("experiment."+name+".seconds", obs.DurationBuckets).ObserveSince(start)

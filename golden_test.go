@@ -80,7 +80,7 @@ func TestGoldenCorpus(t *testing.T) {
 					}
 					path := golden.File(goldenRoot, cfg.Seed, cfg.Scale, exp.Name)
 					if *update {
-						if err := golden.WriteFile(path, v); err != nil {
+						if err := golden.WriteFile(ctx, path, v); err != nil {
 							t.Fatalf("update corpus: %v", err)
 						}
 						return

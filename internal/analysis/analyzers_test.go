@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The analyzer tests are golden-file style: each directory under
+// testdata/src is one package, loaded under a chosen import path (so
+// per-package exemptions and contract targeting fire exactly as they
+// would in the real module), and every expected finding is written as
+// a trailing comment on the offending line:
+//
+//	keys = append(keys, k) // want "append to keys inside a map range"
+//
+// Several expectations on one line are written as several quoted
+// fragments after one `// want`. Every diagnostic must match a
+// fragment on its line and every fragment must be consumed, so both
+// false positives and false negatives fail the test.
+
+var wantRe = regexp.MustCompile(`^// want\s+(.+)$`)
+var fragRe = regexp.MustCompile(`"([^"]*)"`)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	moduleDir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(moduleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		dir      string
+		path     string
+		analyzer *Analyzer
+	}{
+		{"detrand", "leodivide/lintest/detrand", Detrand},
+		{"detrand_obs", "leodivide/internal/obs", Detrand},
+		{"maporder", "leodivide/lintest/maporder", Maporder},
+		{"floatcmp", "leodivide/lintest/floatcmp", Floatcmp},
+		{"floatcmp_testutil", "leodivide/internal/testutil", Floatcmp},
+		{"errdrop", "leodivide/lintest/errdrop", Errdrop},
+		{"ctxfirst_par", "leodivide/internal/par", Ctxfirst},
+		{"ctxfirst_root", "leodivide", Ctxfirst},
+	}
+	loader := testLoader(t)
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", tc.dir), tc.path)
+			if err != nil {
+				t.Fatalf("loading %s: %v", tc.dir, err)
+			}
+			wants := collectWants(t, loader, pkg)
+			diags := RunPackage(pkg, loader, []*Analyzer{tc.analyzer})
+			for _, d := range diags {
+				if !consumeWant(wants, d.Line, d.Message) {
+					t.Errorf("unexpected diagnostic at line %d: %s", d.Line, d.Message)
+				}
+			}
+			for line, frags := range wants {
+				for _, frag := range frags {
+					t.Errorf("line %d: expected a diagnostic containing %q, got none", line, frag)
+				}
+			}
+		})
+	}
+}
+
+// collectWants parses the `// want "..."` expectation comments of a
+// single-file testdata package into line → unmatched fragments.
+func collectWants(t *testing.T, loader *Loader, pkg *Package) map[int][]string {
+	t.Helper()
+	wants := map[int][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := loader.Fset.Position(c.Pos()).Line
+				frags := fragRe.FindAllStringSubmatch(m[1], -1)
+				if len(frags) == 0 {
+					t.Fatalf("line %d: `// want` with no quoted fragment", line)
+				}
+				for _, fm := range frags {
+					wants[line] = append(wants[line], fm[1])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func consumeWant(wants map[int][]string, line int, message string) bool {
+	frags := wants[line]
+	for i, frag := range frags {
+		if strings.Contains(message, frag) {
+			wants[line] = append(frags[:i], frags[i+1:]...)
+			if len(wants[line]) == 0 {
+				delete(wants, line)
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxfirst encodes the cancellation contract established in PR 1–3:
+// every run flows through context, uniformly. Three checks:
+//
+//  1. In every package, a function that takes a context.Context must
+//     take it as the first parameter (after the receiver).
+//  2. In the contract packages — internal/par, internal/safeio — every
+//     exported function whose last result is an error must accept a
+//     context first: these are the blocking building blocks everything
+//     else threads cancellation through. In the root package the same
+//     holds for the experiment registry surface: exported Model
+//     methods that consume a *Dataset and can fail.
+//  3. In those same packages, an exported function that accepts a
+//     context must actually use it — an ignored ctx parameter
+//     advertises cancellation it does not deliver.
+var Ctxfirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "context.Context must be the first parameter everywhere; exported fallible functions in " +
+		"internal/par, internal/safeio, and the experiment registry must take and actually thread one",
+	Run: ctxfirstRun,
+}
+
+var ctxfirstContractPkgs = map[string]bool{
+	"leodivide/internal/par":    true,
+	"leodivide/internal/safeio": true,
+}
+
+const ctxfirstRootPkg = "leodivide"
+
+func ctxfirstRun(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Type.Params == nil {
+				continue
+			}
+			ctxfirstPosition(p, fd)
+			if !fd.Name.IsExported() {
+				continue
+			}
+			if ctxfirstContractPkgs[p.Path] && fd.Recv == nil {
+				ctxfirstPresence(p, fd)
+			}
+			if p.Path == ctxfirstRootPkg && isModelMethod(p, fd) && hasDatasetParam(p, fd) {
+				ctxfirstPresence(p, fd)
+			}
+			if ctxfirstContractPkgs[p.Path] || p.Path == ctxfirstRootPkg {
+				ctxfirstThreaded(p, fd)
+			}
+		}
+	}
+}
+
+// ctxfirstPosition: a ctx parameter anywhere but slot 0 is a contract
+// violation in any package.
+func ctxfirstPosition(p *Pass, fd *ast.FuncDecl) {
+	flat := flatParams(p, fd)
+	for i, t := range flat {
+		if isContextType(t) && i != 0 {
+			p.Reportf(fd.Pos(), "%s takes context.Context as parameter %d; context is always the first parameter", fd.Name.Name, i+1)
+			return
+		}
+	}
+}
+
+// ctxfirstPresence: exported fallible contract functions must take ctx
+// first.
+func ctxfirstPresence(p *Pass, fd *ast.FuncDecl) {
+	res := fd.Type.Results
+	if res == nil || res.NumFields() == 0 {
+		return
+	}
+	last := res.List[len(res.List)-1]
+	if !isErrorType(p.Info.TypeOf(last.Type)) {
+		return
+	}
+	flat := flatParams(p, fd)
+	if len(flat) == 0 || !isContextType(flat[0]) {
+		p.Reportf(fd.Pos(), "exported fallible %s.%s must take context.Context as its first parameter so callers can cancel it", shortPath(p.Path), fd.Name.Name)
+	}
+}
+
+// ctxfirstThreaded: an exported function that accepts ctx must mention
+// it in the body.
+func ctxfirstThreaded(p *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || fd.Type.Params == nil || len(fd.Type.Params.List) == 0 {
+		return
+	}
+	first := fd.Type.Params.List[0]
+	if !isContextType(p.Info.TypeOf(first.Type)) || len(first.Names) == 0 {
+		return
+	}
+	name := first.Names[0]
+	if name.Name == "_" {
+		p.Reportf(fd.Pos(), "%s declares a blank context parameter; thread it through the work it guards", fd.Name.Name)
+		return
+	}
+	obj := p.Info.Defs[name]
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	if !used {
+		p.Reportf(fd.Pos(), "%s accepts a context but never uses it; cancellation is advertised but not delivered", fd.Name.Name)
+	}
+}
+
+// flatParams expands the parameter list to one type per declared name
+// (or one per anonymous field).
+func flatParams(p *Pass, fd *ast.FuncDecl) []types.Type {
+	var flat []types.Type
+	for _, field := range fd.Type.Params.List {
+		t := p.Info.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			flat = append(flat, t)
+		}
+	}
+	return flat
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isModelMethod(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := p.Info.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Model"
+}
+
+func hasDatasetParam(p *Pass, fd *ast.FuncDecl) bool {
+	for _, t := range flatParams(p, fd) {
+		if ptr, ok := t.(*types.Pointer); ok {
+			if named, ok := ptr.Elem().(*types.Named); ok && named.Obj().Name() == "Dataset" &&
+				named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == ctxfirstRootPkg {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func shortPath(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrand guards the reproduction's core property: a run is a pure
+// function of RunConfig (seed, scale, parallelism). Wall-clock reads,
+// the process-global math/rand source, and environment lookups are the
+// three ambient inputs that silently break that purity, so on the
+// experiment path they must flow through RunConfig or an injected
+// source instead. internal/obs is exempt (metrics exist to measure
+// wall-clock); timing that only feeds obs metrics elsewhere carries a
+// per-line suppression saying so.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "ambient nondeterminism (time.Now, global math/rand, os.Getenv) on the experiment path; " +
+		"seeds and clocks must flow through RunConfig or injected sources (internal/obs exempt)",
+	Run: detrandRun,
+}
+
+var detrandExemptPkgs = map[string]bool{
+	"leodivide/internal/obs": true,
+}
+
+// Package-level math/rand functions draw from the shared global
+// source; constructors that produce an explicitly seeded generator are
+// the sanctioned alternative and stay allowed.
+var detrandRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 seeded constructors
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+var detrandEnvFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+}
+
+func detrandRun(p *Pass) {
+	if detrandExemptPkgs[p.Path] {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pn.Imported().Path() {
+			case "time":
+				if name == "Now" {
+					p.Reportf(sel.Pos(), "time.Now is ambient wall-clock input; runs must be a pure function of RunConfig (inject the clock, or suppress if it only feeds obs metrics)")
+				}
+			case "math/rand", "math/rand/v2":
+				// Only package-level functions draw from the global
+				// source; references to types (rand.Rand, rand.Source)
+				// and seeded constructors are the sanctioned API.
+				if _, isFunc := p.Info.Uses[sel.Sel].(*types.Func); isFunc && !detrandRandAllowed[name] {
+					p.Reportf(sel.Pos(), "rand.%s draws from the process-global source; use rand.New(rand.NewSource(seed)) with a seed from RunConfig", name)
+				}
+			case "os":
+				if detrandEnvFuncs[name] {
+					p.Reportf(sel.Pos(), "os.%s makes the run depend on the environment; thread configuration through RunConfig or flags", name)
+				}
+			}
+			return true
+		})
+	}
+}

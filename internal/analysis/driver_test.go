@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuppressions drives the whole suppression pipeline over the
+// suppress testdata package: covered findings disappear, and unused /
+// malformed / unknown-rule directives surface as rule "suppression"
+// findings, exactly as Run composes the pieces.
+func TestSuppressions(t *testing.T) {
+	loader := testLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "suppress"), "leodivide/lintest/suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, a := range DefaultAnalyzers() {
+		known[a.Name] = true
+	}
+
+	diags := RunPackage(pkg, loader, []*Analyzer{Detrand})
+	if len(diags) != 2 {
+		t.Fatalf("want 2 raw detrand findings before suppression, got %d: %v", len(diags), diags)
+	}
+	sups := collectSuppressions(pkg, loader.Fset, known, func(d Diagnostic) {
+		diags = append(diags, d)
+	})
+	got := applySuppressions(diags, sups, map[string]bool{"detrand": true}, loader.Fset)
+
+	var messages []string
+	for _, d := range got {
+		if d.Rule != "suppression" {
+			t.Errorf("finding survived suppression: %s", d)
+			continue
+		}
+		messages = append(messages, d.Message)
+	}
+	wantSubstrings := []string{
+		"malformed lint:ignore",
+		"unknown rule nosuchrule",
+		"unused lint:ignore for detrand",
+	}
+	if len(messages) != len(wantSubstrings) {
+		t.Fatalf("want %d suppression findings, got %d: %v", len(wantSubstrings), len(messages), messages)
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, msg := range messages {
+			if strings.Contains(msg, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no suppression finding containing %q in %v", want, messages)
+		}
+	}
+}
+
+// A -rules run that never executed detrand cannot call its
+// suppressions stale: unused reporting only fires for enabled rules.
+func TestUnusedSuppressionQuietWhenRuleFiltered(t *testing.T) {
+	loader := testLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "suppress"), "leodivide/lintest/suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, a := range DefaultAnalyzers() {
+		known[a.Name] = true
+	}
+	sups := collectSuppressions(pkg, loader.Fset, known, func(Diagnostic) {})
+	got := applySuppressions(nil, sups, map[string]bool{"maporder": true}, loader.Fset)
+	if len(got) != 0 {
+		t.Fatalf("detrand suppressions reported unused on a maporder-only run: %v", got)
+	}
+}
+
+// Directory patterns must resolve to real import paths: a package
+// analyzed under a literal "." or "./x" path would silently dodge
+// every path-keyed rule (package exemptions, the ctxfirst contract
+// list). This regression-tests the "." case in particular, which once
+// fell through to the verbatim-import-path branch.
+func TestExpandResolvesImportPaths(t *testing.T) {
+	loader := testLoader(t)
+	cases := []struct {
+		patterns []string
+		want     []string
+	}{
+		{[]string{"."}, []string{"leodivide"}},
+		{[]string{"./internal/par"}, []string{"leodivide/internal/par"}},
+		{[]string{"leodivide/internal/obs"}, []string{"leodivide/internal/obs"}},
+		{[]string{"./internal/par", "."}, []string{"leodivide", "leodivide/internal/par"}},
+	}
+	for _, tc := range cases {
+		got, err := loader.Expand(tc.patterns)
+		if err != nil {
+			t.Fatalf("Expand(%v): %v", tc.patterns, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("Expand(%v) = %v; want %v", tc.patterns, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Expand(%v) = %v; want %v", tc.patterns, got, tc.want)
+			}
+		}
+	}
+	all, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, p := range all {
+		found[p] = true
+	}
+	for _, want := range []string{"leodivide", "leodivide/internal/analysis", "leodivide/cmd/leodivide-lint"} {
+		if !found[want] {
+			t.Errorf("Expand(./...) misses %s (got %d packages)", want, len(all))
+		}
+	}
+	for p := range found {
+		if strings.Contains(p, "testdata") {
+			t.Errorf("Expand(./...) walked into testdata: %s", p)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(DefaultAnalyzers()) {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	picked, err := Select("errdrop, detrand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 2 || picked[0].Name != "errdrop" || picked[1].Name != "detrand" {
+		t.Fatalf("Select kept neither order nor subset: %v", picked)
+	}
+	if _, err := Select("bogus"); err == nil || !strings.Contains(err.Error(), "unknown rule") {
+		t.Fatalf("Select(bogus) error = %v; want unknown-rule error", err)
+	}
+}
+
+func TestWriteJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema      string       `json:"schema"`
+		Diagnostics []Diagnostic `json:"diagnostics"`
+		Count       int          `json:"count"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema || rep.Count != 0 || rep.Diagnostics == nil {
+		t.Fatalf("empty report = %+v; want schema %q, count 0, empty (non-null) diagnostics", rep, Schema)
+	}
+	if !strings.Contains(buf.String(), `"diagnostics": []`) {
+		t.Fatalf("empty diagnostics must serialize as [], not null: %s", buf.String())
+	}
+
+	buf.Reset()
+	d := Diagnostic{File: "x.go", Line: 3, Col: 7, Rule: "detrand", Message: "m"}
+	if err := WriteJSON(&buf, []Diagnostic{d}); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count != 1 || len(rep.Diagnostics) != 1 || rep.Diagnostics[0] != d {
+		t.Fatalf("round-trip lost the diagnostic: %+v", rep)
+	}
+}
+
+// TestModuleLintClean is the bitrot gate: the full rule suite must run
+// clean over the module itself, inside `go test`, so a reintroduced
+// violation (or a deleted-but-needed suppression, or a stale one)
+// fails CI even if nobody runs `make lint`.
+func TestModuleLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	moduleDir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(moduleDir, []string{"./..."}, DefaultAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("lint finding: %s", d)
+	}
+}

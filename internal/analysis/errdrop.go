@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errdrop keeps failures loud. PR 2 hardened the I/O layer so that
+// every close/sync/short-write error surfaces; this rule keeps the
+// rest of the codebase honest the same way: an error return may not be
+// dropped on the floor, neither by a bare call statement nor by an
+// explicit `_ =`, without a suppression explaining why ignoring it is
+// correct. It also flags fmt.Errorf calls that stringify an error
+// argument without %w, which silently severs errors.Is/As chains.
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "discarded error returns (bare call statements, defers, or assignment to _) outside tests, " +
+		"and fmt.Errorf that passes an error without wrapping it via %w",
+	Run: errdropRun,
+}
+
+// Receivers whose Write-style methods are documented to never return a
+// non-nil error; flagging them would only breed boilerplate.
+var errdropInfallible = map[string]bool{
+	"bytes.Buffer":     true,
+	"*bytes.Buffer":    true,
+	"strings.Builder":  true,
+	"*strings.Builder": true,
+	"hash.Hash":        true,
+}
+
+// The fmt print family is exempt from the bare-call check, mirroring
+// errcheck's default exclusions: these are human-facing UI prints.
+// Data artifacts never go through bare fmt calls here — they are
+// written inside error-returning closures handed to safeio.WriteFile,
+// where a dropped error still fires.
+var errdropFmtExempt = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func errdropRun(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					errdropCall(p, call, "")
+				}
+			case *ast.DeferStmt:
+				errdropCall(p, n.Call, "deferred ")
+			case *ast.GoStmt:
+				errdropCall(p, n.Call, "spawned ")
+			case *ast.AssignStmt:
+				errdropAssign(p, n)
+			case *ast.CallExpr:
+				errdropErrorf(p, n)
+			}
+			return true
+		})
+	}
+}
+
+func errdropCall(p *Pass, call *ast.CallExpr, kind string) {
+	if !returnsError(p, call) {
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if t := p.Info.TypeOf(sel.X); t != nil && errdropInfallible[t.String()] {
+			return
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := p.Info.Uses[id].(*types.PkgName); ok &&
+				pn.Imported().Path() == "fmt" && errdropFmtExempt[sel.Sel.Name] {
+				return
+			}
+		}
+	}
+	p.Reportf(call.Pos(), "%scall discards its error result; handle it, or `_ =` it with a lint:ignore explaining why", kind)
+}
+
+func errdropAssign(p *Pass, a *ast.AssignStmt) {
+	for i, lhs := range a.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var t types.Type
+		switch {
+		case len(a.Rhs) == len(a.Lhs):
+			t = p.Info.TypeOf(a.Rhs[i])
+		case len(a.Rhs) == 1:
+			if tup, ok := p.Info.TypeOf(a.Rhs[0]).(*types.Tuple); ok && i < tup.Len() {
+				t = tup.At(i).Type()
+			}
+		}
+		if t != nil && isErrorType(t) {
+			p.Reportf(id.Pos(), "error discarded into _; handle it or lint:ignore with the reason it is safe to drop")
+		}
+	}
+}
+
+// errdropErrorf flags fmt.Errorf("...: %v", err) — stringifying an
+// error severs the errors.Is/As chain that callers (and tests) rely
+// on; wrap with %w instead.
+func errdropErrorf(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); !ok || pn.Imported().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	fv := p.Info.Types[call.Args[0]].Value
+	if fv == nil {
+		return // non-constant format; nothing to prove
+	}
+	format := fv.String()
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if t := p.Info.TypeOf(arg); t != nil && isErrorType(t) {
+			p.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w, severing the errors.Is/As chain; wrap it or lint:ignore why the chain must break here")
+			return
+		}
+	}
+}
+
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Floatcmp flags exact equality on floating-point values. The model's
+// outputs are floats whose low bits depend on evaluation order, so
+// `==`/`!=` between computed floats is either a latent tolerance bug
+// or a determinism assertion that belongs in the golden/testutil
+// comparison helpers (which own per-field tolerances and are exempt).
+//
+// Two idioms stay allowed because they are bit-deterministic by
+// construction: comparison against an exact constant zero (the
+// universal "unset / division guard" sentinel) and the x != x NaN
+// test.
+var Floatcmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "==/!=/switch on float operands outside the golden/testutil tolerance helpers " +
+		"(constant-zero sentinels and x != x NaN tests allowed)",
+	Run: floatcmpRun,
+}
+
+var floatcmpExemptPkgs = map[string]bool{
+	"leodivide/internal/testutil": true,
+	"leodivide/internal/golden":   true,
+}
+
+func floatcmpRun(p *Pass) {
+	if floatcmpExemptPkgs[p.Path] {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(p.Info.TypeOf(n.X)) && !isFloat(p.Info.TypeOf(n.Y)) {
+					return true
+				}
+				if floatcmpAllowed(p, n) {
+					return true
+				}
+				p.Reportf(n.Pos(), "exact %s on float operands; compare with a tolerance (internal/testutil) or restructure — float identity is not reproducible arithmetic", n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloat(p.Info.TypeOf(n.Tag)) {
+					p.Reportf(n.Pos(), "switch on a float tag compares exactly; use explicit tolerance comparisons")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func floatcmpAllowed(p *Pass, e *ast.BinaryExpr) bool {
+	xv := p.Info.Types[e.X].Value
+	yv := p.Info.Types[e.Y].Value
+	// Both constant: folded at compile time, deterministic.
+	if xv != nil && yv != nil {
+		return true
+	}
+	// Constant exact zero on either side: sentinel / division guard.
+	if isZeroConst(xv) || isZeroConst(yv) {
+		return true
+	}
+	// x != x (or x == x): the NaN idiom.
+	if types.ExprString(e.X) == types.ExprString(e.Y) {
+		return true
+	}
+	return false
+}
+
+func isZeroConst(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}

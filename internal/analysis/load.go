@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package plus its syntax trees.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages of one module from source.
+// Module-internal imports are resolved by the loader itself (memoized);
+// everything else — in this zero-dependency module, only the standard
+// library — is resolved by the stdlib source importer, so no compiled
+// export data or external tooling is needed.
+type Loader struct {
+	ModuleDir  string
+	ModulePath string
+	Fset       *token.FileSet
+
+	build   build.Context
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at moduleDir (the directory that
+// holds go.mod).
+func NewLoader(moduleDir string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// The source importer type-checks the standard library from
+	// GOROOT/src. It reads the global build context, so pin cgo off
+	// there too: with cgo on, packages like net pull in C "files" the
+	// type-checker cannot parse; with it off they fall back to their
+	// pure-Go implementations, which is all a linter needs.
+	build.Default.CgoEnabled = false
+	ctxt := build.Default
+	return &Loader{
+		ModuleDir:  moduleDir,
+		ModulePath: modPath,
+		Fset:       fset,
+		build:      ctxt,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// Import implements types.Importer so module-internal packages can
+// import each other during type-checking.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load returns the type-checked package at the given module import
+// path, loading (and memoizing) it on first use.
+func (l *Loader) Load(path string) (*Package, error) {
+	return l.load(path)
+}
+
+// LoadDir parses and type-checks the single directory dir under the
+// given import path, without requiring it to live inside the module
+// tree. Analyzer golden tests use this to check testdata packages
+// under synthetic import paths (so path-targeted rules fire).
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	return l.check(path, dir)
+}
+
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	dir := filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+	p, err := l.check(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func (l *Loader) check(path, dir string) (*Package, error) {
+	names, err := l.goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// goFiles lists the non-test Go files of dir that match the build
+// context (build tags, GOOS/GOARCH file suffixes), sorted for
+// deterministic load and diagnostic order. Test files are out of
+// scope by design: every rule in the suite exempts tests, and keeping
+// them out of the type-check avoids external test packages entirely.
+func (l *Loader) goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		match, err := l.build.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Expand resolves package patterns relative to the module root into
+// import paths. Supported forms: "./..." (every package under the
+// module), "./dir/..." (every package under dir), "." and "./dir",
+// and plain module-internal import paths. testdata and hidden
+// directories are never walked.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	var paths []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./...":
+			if err := l.walk(l.ModuleDir, add); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			dir := filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/...")))
+			if err := l.walk(dir, add); err != nil {
+				return nil, err
+			}
+		case pat == "." || strings.HasPrefix(pat, "./"):
+			// Resolve directory patterns to their real import path: a
+			// package analyzed under a literal "." would dodge every
+			// path-keyed rule (exemptions, the ctxfirst contract list).
+			dir := filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+			path, ok, err := l.dirImportPath(dir)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("analysis: no buildable Go files in %s", pat)
+			}
+			add(path)
+		default:
+			add(pat)
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func (l *Loader) walk(root string, add func(string)) error {
+	return filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		path, ok, err := l.dirImportPath(p)
+		if err != nil {
+			return err
+		}
+		if ok {
+			add(path)
+		}
+		return nil
+	})
+}
+
+func (l *Loader) dirImportPath(dir string) (string, bool, error) {
+	names, err := l.goFiles(dir)
+	if err != nil {
+		return "", false, err
+	}
+	if len(names) == 0 {
+		return "", false, nil
+	}
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil {
+		return "", false, err
+	}
+	if rel == "." {
+		return l.ModulePath, true, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), true, nil
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder catches the bug class that most reliably breaks golden
+// replay: Go randomizes map iteration order, so a `range` over a map
+// that appends to an outer slice, accumulates a float, or writes
+// output bakes that randomness into the result. The repo's sanctioned
+// pattern — collect keys, sort, iterate the sorted slice — passes
+// automatically: an append target that is later passed to a sort.* or
+// slices.* call in the same function is considered ordered.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc: "map range whose body appends to an outer slice (without a later sort in the same function), " +
+		"accumulates a float, or writes output — map iteration order would leak into results",
+	Run: maporderRun,
+}
+
+var maporderWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+var maporderFmtWriters = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func maporderRun(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				maporderFunc(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// maporderFunc checks the map-range loops whose nearest enclosing
+// function is body. Nested function literals are skipped here; the
+// outer Inspect visits them on their own, so a sort inside a closure
+// never excuses an append outside it (and vice versa).
+func maporderFunc(p *Pass, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	inspectShallow(body, func(n ast.Node) {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			if t := p.Info.TypeOf(rs.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					ranges = append(ranges, rs)
+				}
+			}
+		}
+	})
+	for _, rs := range ranges {
+		maporderLoop(p, body, rs)
+	}
+}
+
+func maporderLoop(p *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	inspectShallow(rs.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj := callIdentObj(p, n); obj == types.Universe.Lookup("append") {
+				maporderAppend(p, fnBody, rs, n)
+				return
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if maporderWriteMethods[sel.Sel.Name] && p.Info.Selections[sel] != nil {
+					p.Reportf(n.Pos(), "%s inside a map range writes in random iteration order; iterate sorted keys instead", sel.Sel.Name)
+					return
+				}
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if pn, ok := p.Info.Uses[id].(*types.PkgName); ok &&
+						pn.Imported().Path() == "fmt" && maporderFmtWriters[sel.Sel.Name] {
+						p.Reportf(n.Pos(), "fmt.%s inside a map range writes in random iteration order; iterate sorted keys instead", sel.Sel.Name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN && n.Tok != token.MUL_ASSIGN {
+				return
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok || !isFloat(p.Info.TypeOf(id)) {
+				return
+			}
+			if obj := p.Info.ObjectOf(id); obj != nil && !within(obj.Pos(), rs.Body) {
+				p.Reportf(n.Pos(), "float accumulation over a map range is order-dependent (float rounding); sum over sorted keys")
+			}
+		}
+	})
+}
+
+// maporderAppend flags append(target, ...) when target lives outside
+// the loop and is never sorted later in the same function.
+func maporderAppend(p *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := p.Info.ObjectOf(id)
+	if obj == nil || within(obj.Pos(), rs.Body) {
+		return // loop-local scratch; its use sites get their own look
+	}
+	if sortedAfter(p, fnBody, obj, rs.End()) {
+		return
+	}
+	p.Reportf(call.Pos(), "append to %s inside a map range records random iteration order; sort %s after the loop (sort.* / slices.*) or iterate sorted keys", obj.Name(), obj.Name())
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.*
+// call after pos within body.
+func sortedAfter(p *Pass, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if aid, ok := arg.(*ast.Ident); ok && p.Info.ObjectOf(aid) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// inspectShallow visits nodes under root without descending into
+// nested function literals.
+func inspectShallow(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+func callIdentObj(p *Pass, call *ast.CallExpr) types.Object {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return p.Info.ObjectOf(id)
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func within(pos token.Pos, node ast.Node) bool {
+	return pos >= node.Pos() && pos <= node.End()
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Schema identifies the -json output format of leodivide-lint.
+const Schema = "leodivide-lint/v1"
+
+// DefaultAnalyzers is the full rule suite, in catalog order
+// (DESIGN.md §11).
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{Detrand, Maporder, Floatcmp, Errdrop, Ctxfirst}
+}
+
+// Select returns the analyzers named in the comma-separated rules
+// list, or all of them when rules is empty.
+func Select(rules string) ([]*Analyzer, error) {
+	all := DefaultAnalyzers()
+	if rules == "" {
+		return all, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*Analyzer
+	for _, name := range strings.Split(rules, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown rule %q (have %s)", name, ruleNames(all))
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+func ruleNames(as []*Analyzer) string {
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// Run loads the packages matching patterns (relative to moduleDir),
+// applies the analyzers, resolves suppression comments, and returns
+// the surviving diagnostics with module-root-relative file paths,
+// sorted by position. A non-nil error means the lint could not run
+// (unparseable or ill-typed code), not that findings exist.
+func Run(moduleDir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loader, err := NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	enabled := map[string]bool{}
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	known := map[string]bool{}
+	for _, a := range DefaultAnalyzers() {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	var sups []*suppression
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, RunPackage(pkg, loader, analyzers)...)
+		sups = append(sups, collectSuppressions(pkg, loader.Fset, known, func(d Diagnostic) {
+			diags = append(diags, d)
+		})...)
+	}
+	diags = applySuppressions(diags, sups, enabled, loader.Fset)
+	for i := range diags {
+		if rel, err := filepath.Rel(moduleDir, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunPackage applies the analyzers to one loaded package and returns
+// the raw (unsuppressed) diagnostics.
+func RunPackage(pkg *Package, loader *Loader, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     loader.Fset,
+			Path:     pkg.Path,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	return diags
+}
+
+// Report is the machine-readable result envelope written by -json.
+type Report struct {
+	Schema      string       `json:"schema"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Count       int          `json:"count"`
+}
+
+// WriteJSON writes the diagnostics as a Report in the stable
+// leodivide-lint/v1 schema.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	rep := Report{Schema: Schema, Diagnostics: diags, Count: len(diags)}
+	if rep.Diagnostics == nil {
+		rep.Diagnostics = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

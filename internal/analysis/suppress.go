@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression policy: a finding is silenced by a comment of the form
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// placed on the offending line or on the line directly above it. The
+// reason is mandatory — a suppression documents a reviewed decision,
+// not a shortcut — and a malformed, unknown-rule, or unused suppression
+// is itself a finding (rule "suppression"), so stale ignores cannot
+// accumulate as the code moves underneath them.
+type suppression struct {
+	file   string
+	line   int
+	rules  []string
+	reason string
+	pos    token.Pos
+	used   bool
+}
+
+const suppressPrefix = "//lint:ignore"
+
+// collectSuppressions scans one package's comments. Malformed
+// directives are reported immediately via report; well-formed ones are
+// returned for matching against diagnostics.
+func collectSuppressions(pkg *Package, fset *token.FileSet, knownRules map[string]bool, report func(Diagnostic)) []*suppression {
+	var sups []*suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, suppressPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, suppressPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignorance — not this directive
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(Diagnostic{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Rule:    "suppression",
+						Message: "malformed lint:ignore: want `//lint:ignore <rule> <reason>` with a non-empty reason",
+					})
+					continue
+				}
+				rules := strings.Split(fields[0], ",")
+				bad := false
+				for _, r := range rules {
+					if !knownRules[r] {
+						report(Diagnostic{
+							File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Rule:    "suppression",
+							Message: "lint:ignore names unknown rule " + r,
+						})
+						bad = true
+					}
+				}
+				if bad {
+					continue
+				}
+				sups = append(sups, &suppression{
+					file:   pos.Filename,
+					line:   pos.Line,
+					rules:  rules,
+					reason: strings.Join(fields[1:], " "),
+					pos:    c.Pos(),
+				})
+			}
+		}
+	}
+	return sups
+}
+
+// applySuppressions filters diags through sups: a suppression covers
+// its own line and the line directly below, for its listed rules.
+// Suppressions that silenced nothing are reported as findings so they
+// cannot rot in place.
+func applySuppressions(diags []Diagnostic, sups []*suppression, enabled map[string]bool, fset *token.FileSet) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, s := range sups {
+			if s.file != d.File || (s.line != d.Line && s.line != d.Line-1) {
+				continue
+			}
+			for _, r := range s.rules {
+				if r == d.Rule {
+					s.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, s := range sups {
+		if s.used {
+			continue
+		}
+		// Only rules that actually ran can vouch for a suppression
+		// being stale; a filtered run (-rules) stays quiet.
+		ran := false
+		for _, r := range s.rules {
+			if enabled[r] {
+				ran = true
+			}
+		}
+		if !ran {
+			continue
+		}
+		pos := fset.Position(s.pos)
+		kept = append(kept, Diagnostic{
+			File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Rule:    "suppression",
+			Message: "unused lint:ignore for " + strings.Join(s.rules, ",") + ": no matching finding on this or the next line",
+		})
+	}
+	return kept
+}

@@ -1,0 +1,36 @@
+// Testdata for ctxfirst in a contract package: this directory is
+// loaded under the import path leodivide/internal/par, so every
+// exported fallible function must take a context first and actually
+// use it.
+package par
+
+import "context"
+
+// Do is the compliant shape: context first, threaded into the work.
+func Do(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+func Missing(n int) error { // want "exported fallible par.Missing must take context.Context as its first parameter"
+	return nil
+}
+
+func Misplaced(n int, ctx context.Context) error { // want "Misplaced takes context.Context as parameter 2" "exported fallible par.Misplaced must take context.Context as its first parameter"
+	return ctx.Err()
+}
+
+func Unused(ctx context.Context) error { // want "Unused accepts a context but never uses it"
+	return nil
+}
+
+func Blank(_ context.Context) error { // want "Blank declares a blank context parameter"
+	return nil
+}
+
+func helper(n int) error { // ok: unexported helpers choose their own contract
+	return nil
+}
+
+func Pure(n int) int { // ok: cannot fail, nothing to cancel
+	return n * 2
+}

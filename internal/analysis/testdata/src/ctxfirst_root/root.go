@@ -1,0 +1,30 @@
+// Testdata for ctxfirst on the experiment registry surface: this
+// directory is loaded under the root import path leodivide, so
+// exported Model methods that consume a *Dataset and can fail must
+// take a context first.
+package leodivide
+
+import "context"
+
+type Model struct{}
+
+type Dataset struct{ n int }
+
+func (m Model) Evaluate(ctx context.Context, d *Dataset) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return d.n, nil
+}
+
+func (m Model) Stale(d *Dataset) (int, error) { // want "exported fallible leodivide.Stale must take context.Context as its first parameter"
+	return d.n, nil
+}
+
+func (m Model) Peek(d *Dataset) int { // ok: infallible accessor
+	return d.n
+}
+
+func (m Model) Describe() (string, error) { // ok: no *Dataset parameter, not registry surface
+	return "model", nil
+}

@@ -1,0 +1,38 @@
+// Testdata for the detrand analyzer: ambient nondeterminism sources
+// must be flagged; explicitly seeded generators and type references
+// must not.
+package detrand
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want "time.Now is ambient wall-clock input"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // ok: measures a caller-provided instant
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want "rand.Intn draws from the process-global source"
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: sanctioned seeded constructor
+}
+
+func typeRef(rng *rand.Rand) float64 {
+	return rng.Float64() // ok: method on an injected generator, not the global source
+}
+
+func env() string {
+	return os.Getenv("HOME") // want "os.Getenv makes the run depend on the environment"
+}
+
+func lookup() (string, bool) {
+	return os.LookupEnv("SEED") // want "os.LookupEnv makes the run depend on the environment"
+}

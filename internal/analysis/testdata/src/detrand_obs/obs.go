@@ -1,0 +1,11 @@
+// Testdata for detrand's package exemption: this directory is loaded
+// under the import path leodivide/internal/obs, where wall-clock reads
+// are the whole point (metrics measure time), so nothing here may be
+// flagged.
+package obs
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() // ok: internal/obs is exempt by design
+}

@@ -1,0 +1,56 @@
+// Testdata for the errdrop analyzer: error returns may not be dropped
+// by bare calls, defers, go statements, or blank assignment; the fmt
+// print family and infallible writers are exempt; fmt.Errorf must wrap
+// with %w.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
+
+func bareCall() {
+	os.Remove("x") // want "call discards its error result"
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want "deferred call discards its error result"
+}
+
+func worker() error { return nil }
+
+func spawn() {
+	go worker() // want "spawned call discards its error result"
+}
+
+func blankAssign() {
+	_ = os.Remove("x") // want "error discarded into _"
+}
+
+func tupleBlank() {
+	_, _ = os.Create("x") // want "error discarded into _"
+}
+
+func handled() error {
+	if err := os.Remove("x"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func infallibleWriter(b *bytes.Buffer) {
+	b.WriteString("ok") // ok: bytes.Buffer never returns a non-nil error
+}
+
+func printing(n int) {
+	fmt.Println("status", n) // ok: fmt print family is exempt, mirrors errcheck defaults
+}
+
+func wrapBad(err error) error {
+	return fmt.Errorf("load: %v", err) // want "fmt.Errorf formats an error without %w"
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("load: %w", err) // ok: chain preserved
+}

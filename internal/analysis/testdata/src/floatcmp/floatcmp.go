@@ -1,0 +1,36 @@
+// Testdata for the floatcmp analyzer: exact float equality is flagged
+// except for the bit-deterministic idioms (constant folding, the zero
+// sentinel, the x != x NaN test).
+package floatcmp
+
+func equal(a, b float64) bool {
+	return a == b // want "exact == on float operands"
+}
+
+func notEqual(a, b float64) bool {
+	return a != b // want "exact != on float operands"
+}
+
+func zeroGuard(x float64) bool {
+	return x == 0 // ok: constant-zero sentinel / division guard
+}
+
+func isNaN(x float64) bool {
+	return x != x // ok: the NaN idiom
+}
+
+func constFold() bool {
+	return 0.1+0.2 == 0.3 // ok: both operands constant, folded at compile time
+}
+
+func switchTag(x float64) int {
+	switch x { // want "switch on a float tag compares exactly"
+	case 1.5:
+		return 1
+	}
+	return 0
+}
+
+func intsFine(a, b int) bool {
+	return a == b // ok: integers compare exactly
+}

@@ -1,0 +1,9 @@
+// Testdata for floatcmp's package exemption: this directory is loaded
+// under the import path leodivide/internal/testutil, the package that
+// owns the tolerance helpers, where exact comparison is the
+// implementation detail being provided. Nothing here may be flagged.
+package testutil
+
+func ExactlyEqual(a, b float64) bool {
+	return a == b // ok: testutil is exempt by design
+}

@@ -1,0 +1,67 @@
+// Testdata for the maporder analyzer: map iteration order must not
+// leak into slices, output streams, or float accumulators; the
+// collect-sort-iterate pattern passes automatically.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside a map range records random iteration order"
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // ok: sorted right below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeInLoop(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want "WriteString inside a map range writes in random iteration order"
+	}
+}
+
+func printInLoop(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside a map range writes in random iteration order"
+	}
+}
+
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "float accumulation over a map range is order-dependent"
+	}
+	return total
+}
+
+func sumInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // ok: integer addition commutes exactly
+	}
+	return n
+}
+
+func loopLocal(m map[string][]int) int {
+	longest := 0
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...) // ok: loop-local scratch, discarded per iteration
+		if len(scratch) > longest {
+			longest = len(scratch)
+		}
+	}
+	return longest
+}

@@ -1,0 +1,22 @@
+// Testdata for the suppression layer: a reasoned lint:ignore silences
+// the finding on its own line or the line below; unused, malformed,
+// and unknown-rule directives are themselves findings.
+package suppress
+
+import "time"
+
+//lint:ignore detrand testdata: suppression on the line above must cover this finding
+func now() time.Time { return time.Now() }
+
+func sameLine() time.Time {
+	return time.Now() //lint:ignore detrand testdata: suppression on the same line must cover this finding
+}
+
+//lint:ignore detrand testdata: nothing to silence here, must surface as unused
+func pure() int { return 1 }
+
+//lint:ignore
+func malformed() int { return 2 }
+
+//lint:ignore nosuchrule testdata: unknown rules must surface
+func unknownRule() int { return 3 }

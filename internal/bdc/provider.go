@@ -116,6 +116,7 @@ func BestService(records []ProviderRecord) map[uint64]ProviderRecord {
 	for _, r := range records {
 		cur, ok := best[r.LocationID]
 		if !ok || r.MaxDownMbps > cur.MaxDownMbps ||
+			//lint:ignore floatcmp tie-break on catalog speeds, which are exact decimal constants copied through, never arithmetic results
 			(r.MaxDownMbps == cur.MaxDownMbps && r.MaxUpMbps > cur.MaxUpMbps) {
 			best[r.LocationID] = r
 		}

@@ -157,6 +157,7 @@ func PeakRSSBytes() int64 {
 	if err != nil {
 		return 0
 	}
+	//lint:ignore errdrop closing a read-only file; read errors already surfaced through the decoder
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"leodivide/internal/demand"
 	"leodivide/internal/hexgrid"
@@ -81,10 +82,15 @@ func (m Model) ResolutionSensitivity(cells []demand.Cell, coarser ...hexgrid.Res
 				}
 			}
 		}
+		// Emit the merged cells in sorted ID order: ranging over the
+		// map directly would hand evaluate a randomly ordered slice,
+		// making any order-sensitive aggregate drift run to run
+		// (caught by the maporder lint).
 		coarse := make([]demand.Cell, 0, len(merged))
 		for _, c := range merged {
 			coarse = append(coarse, *c)
 		}
+		sort.Slice(coarse, func(i, j int) bool { return coarse[i].ID < coarse[j].ID })
 		point, err := evaluate(coarse, res)
 		if err != nil {
 			return nil, err

@@ -18,6 +18,7 @@
 package golden
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -275,7 +276,7 @@ func File(root string, seed int64, scale float64, experiment string) string {
 
 // WriteFile encodes v canonically and writes it atomically (safeio).
 // Parent directories are created as needed.
-func WriteFile(path string, v any) error {
+func WriteFile(ctx context.Context, path string, v any) error {
 	b, err := Encode(v)
 	if err != nil {
 		return err
@@ -283,7 +284,7 @@ func WriteFile(path string, v any) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	_, err = safeio.WriteFileBytes(path, b)
+	_, err = safeio.WriteFileBytes(ctx, path, b)
 	return err
 }
 

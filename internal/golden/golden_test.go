@@ -1,6 +1,7 @@
 package golden
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -164,18 +165,19 @@ func TestPathMatch(t *testing.T) {
 }
 
 func TestCorpusLayoutRoundTrip(t *testing.T) {
+	ctx := context.Background()
 	root := t.TempDir()
 	type result struct {
 		N int
 		F float64
 	}
-	if err := WriteFile(File(root, 1, 0.02, "table2"), result{N: 5, F: 0.5}); err != nil {
+	if err := WriteFile(ctx, File(root, 1, 0.02, "table2"), result{N: 5, F: 0.5}); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteFile(File(root, 1, 0.05, "table2"), result{N: 6, F: 0.6}); err != nil {
+	if err := WriteFile(ctx, File(root, 1, 0.05, "table2"), result{N: 6, F: 0.6}); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteFile(File(root, 2, 0.02, "fig1"), result{N: 7, F: 0.7}); err != nil {
+	if err := WriteFile(ctx, File(root, 2, 0.02, "fig1"), result{N: 7, F: 0.7}); err != nil {
 		t.Fatal(err)
 	}
 

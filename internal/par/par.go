@@ -92,6 +92,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	//lint:ignore detrand wall-clock feeds the sweep-duration metric only; task results are unaffected
 	sweepStart := time.Now()
 	_, span := obs.StartSpan(ctx, "par.sweep")
 	if span != nil {
@@ -143,6 +144,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
+			//lint:ignore detrand wall-clock feeds the worker-occupancy metric only; task results are unaffected
 			wstart := time.Now()
 			first := true
 			var done int64

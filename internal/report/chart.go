@@ -55,9 +55,11 @@ func (c *LineChart) Render(w io.Writer, xs, ys []float64) error {
 		xlo, xhi = math.Min(xlo, x), math.Max(xhi, x)
 		ylo, yhi = math.Min(ylo, y), math.Max(yhi, y)
 	}
+	//lint:ignore floatcmp degenerate axis-range guard for ASCII chart scaling; display-only
 	if xhi == xlo {
 		xhi = xlo + 1
 	}
+	//lint:ignore floatcmp degenerate axis-range guard for ASCII chart scaling; display-only
 	if yhi == ylo {
 		yhi = ylo + 1
 	}

@@ -37,6 +37,7 @@ func (t *Table) AddRow(values ...interface{}) {
 }
 
 func formatFloat(x float64) string {
+	//lint:ignore floatcmp intentional exact integrality test choosing a display format; never feeds computation
 	if x == float64(int64(x)) && x < 1e15 && x > -1e15 {
 		return fmt.Sprintf("%d", int64(x))
 	}

@@ -17,6 +17,7 @@
 package safeio
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -86,7 +87,12 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // writes, from Sync, from Close, or from the final rename surfaces as
 // a non-nil error, and the destination is left untouched (the temp
 // file is removed).
-func WriteFile(path string, fn func(io.Writer) error) (sumHex string, err error) {
+//
+// Cancellation is observed at entry and again just before the rename;
+// a cancelled write leaves the destination untouched. Once the rename
+// starts it always completes — atomicity is never traded for latency.
+func WriteFile(ctx context.Context, path string, fn func(io.Writer) error) (sumHex string, err error) {
+	//lint:ignore detrand wall-clock feeds the safeio.write.seconds metric only, never experiment output
 	start := time.Now()
 	defer func() {
 		metricWriteSecs.ObserveSince(start)
@@ -96,6 +102,9 @@ func WriteFile(path string, fn func(io.Writer) error) (sumHex string, err error)
 			metricWrites.Inc()
 		}
 	}()
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("safeio: writing %s: %w", path, err)
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -104,7 +113,9 @@ func WriteFile(path string, fn func(io.Writer) error) (sumHex string, err error)
 	tmpName := tmp.Name()
 	defer func() {
 		if err != nil {
+			//lint:ignore errdrop best-effort cleanup on the error path; the original write error is what the caller needs
 			tmp.Close()
+			//lint:ignore errdrop best-effort cleanup on the error path; the original write error is what the caller needs
 			os.Remove(tmpName)
 		}
 	}()
@@ -132,7 +143,13 @@ func WriteFile(path string, fn func(io.Writer) error) (sumHex string, err error)
 	if err := closeFile(tmp); err != nil {
 		return "", fmt.Errorf("safeio: closing %s: %w", path, err)
 	}
+	if err := ctx.Err(); err != nil {
+		//lint:ignore errdrop best-effort temp cleanup on cancellation; the cancellation error is what the caller needs
+		os.Remove(tmpName)
+		return "", fmt.Errorf("safeio: writing %s: %w", path, err)
+	}
 	if err := os.Rename(tmpName, path); err != nil {
+		//lint:ignore errdrop best-effort temp cleanup; the rename error is already being returned
 		os.Remove(tmpName)
 		return "", fmt.Errorf("safeio: renaming into %s: %w", path, err)
 	}
@@ -141,9 +158,9 @@ func WriteFile(path string, fn func(io.Writer) error) (sumHex string, err error)
 }
 
 // WriteFileBytes atomically writes data to path and returns its
-// SHA-256.
-func WriteFileBytes(path string, data []byte) (string, error) {
-	return WriteFile(path, func(w io.Writer) error {
+// SHA-256. Cancellation semantics are those of WriteFile.
+func WriteFileBytes(ctx context.Context, path string, data []byte) (string, error) {
+	return WriteFile(ctx, path, func(w io.Writer) error {
 		_, err := w.Write(data)
 		return err
 	})
@@ -158,19 +175,26 @@ func syncDir(dir string) {
 	if err != nil {
 		return
 	}
+	//lint:ignore errdrop documented: some filesystems refuse directory fsync and the data file is already durable
 	d.Sync()
+	//lint:ignore errdrop closing a read-only directory handle after a best-effort sync
 	d.Close()
 }
 
 // ReadFileVerified reads path fully and, when wantSum is nonempty,
 // verifies its SHA-256 against wantSum before returning the bytes. A
 // mismatch — a truncated file, a flipped byte, any post-write
-// corruption — is an error, never silently accepted.
-func ReadFileVerified(path, wantSum string) ([]byte, error) {
+// corruption — is an error, never silently accepted. Cancellation is
+// observed at entry.
+func ReadFileVerified(ctx context.Context, path, wantSum string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("safeio: reading %s: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore errdrop closing a read-only file; read errors are surfaced by ReadAll
 	defer f.Close()
 	var r io.Reader = f
 	if hook := readHook(); hook != nil {

@@ -2,6 +2,7 @@ package safeio
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"os"
@@ -11,16 +12,17 @@ import (
 )
 
 func TestWriteFileRoundTrip(t *testing.T) {
+	ctx := context.Background()
 	path := filepath.Join(t.TempDir(), "data.csv")
 	payload := []byte("header\n1,2,3\n")
-	sum, err := WriteFileBytes(path, payload)
+	sum, err := WriteFileBytes(ctx, path, payload)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if want := SHA256Hex(payload); sum != want {
 		t.Errorf("sum = %s, want %s", sum, want)
 	}
-	back, err := ReadFileVerified(path, sum)
+	back, err := ReadFileVerified(ctx, path, sum)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,12 +40,13 @@ func TestWriteFileRoundTrip(t *testing.T) {
 }
 
 func TestWriteFileReplacesAtomically(t *testing.T) {
+	ctx := context.Background()
 	path := filepath.Join(t.TempDir(), "data.csv")
-	if _, err := WriteFileBytes(path, []byte("old contents")); err != nil {
+	if _, err := WriteFileBytes(ctx, path, []byte("old contents")); err != nil {
 		t.Fatal(err)
 	}
 	// A failed overwrite must leave the old contents untouched.
-	_, err := WriteFile(path, func(w io.Writer) error {
+	_, err := WriteFile(ctx, path, func(w io.Writer) error {
 		if _, err := io.WriteString(w, "new par"); err != nil {
 			return err
 		}
@@ -66,6 +69,7 @@ func TestWriteFileReplacesAtomically(t *testing.T) {
 }
 
 func TestWriteFileErrorMatrix(t *testing.T) {
+	ctx := context.Background()
 	boom := errors.New("boom")
 	cases := []struct {
 		name    string
@@ -109,7 +113,7 @@ func TestWriteFileErrorMatrix(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			tc.install(t)
 			path := filepath.Join(t.TempDir(), "out.bin")
-			_, err := WriteFileBytes(path, []byte("twelve bytes"))
+			_, err := WriteFileBytes(ctx, path, []byte("twelve bytes"))
 			if err == nil {
 				t.Fatal("fault did not surface as an error")
 			}
@@ -124,10 +128,11 @@ func TestWriteFileErrorMatrix(t *testing.T) {
 }
 
 func TestReadFileVerifiedErrors(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	path := filepath.Join(dir, "data.csv")
 	payload := []byte("cells,go,here\n1,2,3\n")
-	sum, err := WriteFileBytes(path, payload)
+	sum, err := WriteFileBytes(ctx, path, payload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +143,7 @@ func TestReadFileVerifiedErrors(t *testing.T) {
 		if err := os.WriteFile(path, flipped, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		_, err := ReadFileVerified(path, sum)
+		_, err := ReadFileVerified(ctx, path, sum)
 		if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
 			t.Errorf("flipped byte not caught: %v", err)
 		}
@@ -151,7 +156,7 @@ func TestReadFileVerifiedErrors(t *testing.T) {
 		if err := os.WriteFile(path, payload[:7], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := ReadFileVerified(path, sum); err == nil {
+		if _, err := ReadFileVerified(ctx, path, sum); err == nil {
 			t.Error("truncated file not caught")
 		}
 		if err := os.WriteFile(path, payload, 0o644); err != nil {
@@ -164,7 +169,7 @@ func TestReadFileVerifiedErrors(t *testing.T) {
 		defer SetReadFault(func(path string, r io.Reader) io.Reader {
 			return &FaultReader{R: r, FailAfter: 3, Err: boom}
 		})()
-		if _, err := ReadFileVerified(path, sum); !errors.Is(err, boom) {
+		if _, err := ReadFileVerified(ctx, path, sum); !errors.Is(err, boom) {
 			t.Errorf("err = %v, want %v", err, boom)
 		}
 	})
@@ -173,19 +178,19 @@ func TestReadFileVerifiedErrors(t *testing.T) {
 		defer SetReadFault(func(path string, r io.Reader) io.Reader {
 			return &FaultReader{R: r, FailAfter: 3, Short: true}
 		})()
-		if _, err := ReadFileVerified(path, sum); err == nil {
+		if _, err := ReadFileVerified(ctx, path, sum); err == nil {
 			t.Error("short read not caught by checksum")
 		}
 	})
 
 	t.Run("missing file", func(t *testing.T) {
-		if _, err := ReadFileVerified(filepath.Join(dir, "nope"), sum); err == nil {
+		if _, err := ReadFileVerified(ctx, filepath.Join(dir, "nope"), sum); err == nil {
 			t.Error("missing file not reported")
 		}
 	})
 
 	t.Run("empty wantSum skips verification", func(t *testing.T) {
-		back, err := ReadFileVerified(path, "")
+		back, err := ReadFileVerified(ctx, path, "")
 		if err != nil || !bytes.Equal(back, payload) {
 			t.Errorf("unverified read failed: %v", err)
 		}

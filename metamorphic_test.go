@@ -28,10 +28,10 @@ func TestSaveLoadRerunFixpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	if err := ds.Save(dir); err != nil {
+	if err := ds.Save(ctx, dir); err != nil {
 		t.Fatalf("save: %v", err)
 	}
-	loaded, err := LoadDataset(dir)
+	loaded, err := LoadDataset(ctx, dir)
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}

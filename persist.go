@@ -2,6 +2,7 @@ package leodivide
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -50,17 +51,19 @@ type datasetMeta struct {
 // written atomically; any write, flush, or close failure surfaces as a
 // non-nil error. The manifest is written last, so a directory with a
 // valid manifest always has fully written, checksummed data files.
-func (d *Dataset) Save(dir string) error {
+// Cancellation is observed between files (see safeio.WriteFile); a
+// cancelled Save never leaves a directory with a valid manifest.
+func (d *Dataset) Save(ctx context.Context, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	cellsSum, err := safeio.WriteFile(filepath.Join(dir, datasetCellsFile), func(w io.Writer) error {
+	cellsSum, err := safeio.WriteFile(ctx, filepath.Join(dir, datasetCellsFile), func(w io.Writer) error {
 		return bdc.WriteCellsCSV(w, d.Cells)
 	})
 	if err != nil {
 		return fmt.Errorf("leodivide: saving cells: %w", err)
 	}
-	incomesSum, err := safeio.WriteFile(filepath.Join(dir, datasetIncomesFile), func(w io.Writer) error {
+	incomesSum, err := safeio.WriteFile(ctx, filepath.Join(dir, datasetIncomesFile), func(w io.Writer) error {
 		return d.Incomes.WriteCSV(w)
 	})
 	if err != nil {
@@ -81,7 +84,7 @@ func (d *Dataset) Save(dir string) error {
 	if err != nil {
 		return err
 	}
-	if _, err := safeio.WriteFileBytes(filepath.Join(dir, datasetMetaFile), append(metaBytes, '\n')); err != nil {
+	if _, err := safeio.WriteFileBytes(ctx, filepath.Join(dir, datasetMetaFile), append(metaBytes, '\n')); err != nil {
 		return fmt.Errorf("leodivide: saving metadata: %w", err)
 	}
 	return nil
@@ -93,8 +96,8 @@ func (d *Dataset) Save(dir string) error {
 // the parsed records are validated against the metadata: cell count,
 // per-cell resolution, location total, and county coverage of the
 // income table.
-func LoadDataset(dir string) (*Dataset, error) {
-	metaBytes, err := safeio.ReadFileVerified(filepath.Join(dir, datasetMetaFile), "")
+func LoadDataset(ctx context.Context, dir string) (*Dataset, error) {
+	metaBytes, err := safeio.ReadFileVerified(ctx, filepath.Join(dir, datasetMetaFile), "")
 	if err != nil {
 		return nil, fmt.Errorf("leodivide: reading metadata: %w", err)
 	}
@@ -122,7 +125,7 @@ func LoadDataset(dir string) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	cellsBytes, err := safeio.ReadFileVerified(filepath.Join(dir, datasetCellsFile), cellsSum)
+	cellsBytes, err := safeio.ReadFileVerified(ctx, filepath.Join(dir, datasetCellsFile), cellsSum)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +146,7 @@ func LoadDataset(dir string) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	incomesBytes, err := safeio.ReadFileVerified(filepath.Join(dir, datasetIncomesFile), incomesSum)
+	incomesBytes, err := safeio.ReadFileVerified(ctx, filepath.Join(dir, datasetIncomesFile), incomesSum)
 	if err != nil {
 		return nil, err
 	}

@@ -15,15 +15,16 @@ import (
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
+	ctx := context.Background()
 	ds, err := GenerateDataset(context.Background(), WithSeed(5), WithScale(0.03))
 	if err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	if err := ds.Save(dir); err != nil {
+	if err := ds.Save(ctx, dir); err != nil {
 		t.Fatal(err)
 	}
-	back, err := LoadDataset(dir)
+	back, err := LoadDataset(ctx, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestLoadDatasetErrors(t *testing.T) {
-	if _, err := LoadDataset(t.TempDir()); err == nil {
+	ctx := context.Background()
+	if _, err := LoadDataset(ctx, t.TempDir()); err == nil {
 		t.Error("empty dir should fail")
 	}
 	// Corrupt metadata.
@@ -76,7 +78,7 @@ func TestLoadDatasetErrors(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, datasetMetaFile), []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadDataset(dir); err == nil {
+	if _, err := LoadDataset(ctx, dir); err == nil {
 		t.Error("corrupt metadata should fail")
 	}
 	// Metadata/file mismatch.
@@ -85,14 +87,14 @@ func TestLoadDatasetErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir2 := t.TempDir()
-	if err := ds.Save(dir2); err != nil {
+	if err := ds.Save(ctx, dir2); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(filepath.Join(dir2, datasetMetaFile),
 		[]byte(`{"seed":6,"resolution":5,"locations":1,"cells":1}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadDataset(dir2); err == nil {
+	if _, err := LoadDataset(ctx, dir2); err == nil {
 		t.Error("cell-count mismatch should fail")
 	}
 }
@@ -115,6 +117,7 @@ func smallDataset(t *testing.T, seed int64) *Dataset {
 // close) must now surface at Save, and the destination directory must
 // not gain a manifest that would let LoadDataset succeed.
 func TestSaveReportsWriteFailures(t *testing.T) {
+	ctx := context.Background()
 	ds := smallDataset(t, 7)
 	boom := errors.New("device error")
 	artifacts := []string{datasetCellsFile, datasetIncomesFile, datasetMetaFile}
@@ -184,7 +187,7 @@ func TestSaveReportsWriteFailures(t *testing.T) {
 				restore := mode.install()
 				defer restore()
 				dir := t.TempDir()
-				err := ds.Save(dir)
+				err := ds.Save(ctx, dir)
 				if err == nil {
 					t.Fatal("Save swallowed the injected failure")
 				}
@@ -192,7 +195,7 @@ func TestSaveReportsWriteFailures(t *testing.T) {
 					t.Errorf("Save error = %v, want %v", err, mode.wantErr)
 				}
 				restore()
-				if _, err := LoadDataset(dir); err == nil {
+				if _, err := LoadDataset(ctx, dir); err == nil {
 					t.Error("failed Save left a loadable dataset behind")
 				}
 			})
@@ -201,10 +204,11 @@ func TestSaveReportsWriteFailures(t *testing.T) {
 }
 
 func TestLoadDatasetCorruption(t *testing.T) {
+	ctx := context.Background()
 	ds := smallDataset(t, 9)
 	save := func(t *testing.T) string {
 		dir := t.TempDir()
-		if err := ds.Save(dir); err != nil {
+		if err := ds.Save(ctx, dir); err != nil {
 			t.Fatal(err)
 		}
 		return dir
@@ -221,7 +225,7 @@ func TestLoadDatasetCorruption(t *testing.T) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		_, err = LoadDataset(dir)
+		_, err = LoadDataset(ctx, dir)
 		if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
 			t.Errorf("flipped byte not caught by checksum: %v", err)
 		}
@@ -237,7 +241,7 @@ func TestLoadDatasetCorruption(t *testing.T) {
 		if err := os.Truncate(path, info.Size()/2); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := LoadDataset(dir); err == nil {
+		if _, err := LoadDataset(ctx, dir); err == nil {
 			t.Error("truncated cells.csv loaded without error")
 		}
 	})
@@ -253,7 +257,7 @@ func TestLoadDatasetCorruption(t *testing.T) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		_, err = LoadDataset(dir)
+		_, err = LoadDataset(ctx, dir)
 		if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
 			t.Errorf("flipped byte not caught by checksum: %v", err)
 		}
@@ -278,7 +282,7 @@ func TestLoadDatasetCorruption(t *testing.T) {
 		if err := os.WriteFile(metaPath, edited, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		_, err = LoadDataset(dir)
+		_, err = LoadDataset(ctx, dir)
 		if err == nil || !strings.Contains(err.Error(), "resolution") {
 			t.Errorf("resolution disagreement not caught: %v", err)
 		}
@@ -303,7 +307,7 @@ func TestLoadDatasetCorruption(t *testing.T) {
 		if err := os.WriteFile(metaPath, edited, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		_, err = LoadDataset(dir)
+		_, err = LoadDataset(ctx, dir)
 		if err == nil || !strings.Contains(err.Error(), "no checksum") {
 			t.Errorf("missing manifest entry not caught: %v", err)
 		}
@@ -318,7 +322,7 @@ func TestLoadDatasetCorruption(t *testing.T) {
 			}
 			return r
 		})()
-		if _, err := LoadDataset(dir); !errors.Is(err, boom) {
+		if _, err := LoadDataset(ctx, dir); !errors.Is(err, boom) {
 			t.Errorf("LoadDataset error = %v, want %v", err, boom)
 		}
 	})
@@ -331,7 +335,7 @@ func TestLoadDatasetCorruption(t *testing.T) {
 			}
 			return r
 		})()
-		if _, err := LoadDataset(dir); err == nil {
+		if _, err := LoadDataset(ctx, dir); err == nil {
 			t.Error("short read not caught")
 		}
 	})
@@ -341,12 +345,13 @@ func TestLoadDatasetCorruption(t *testing.T) {
 // byte-identical files — the property that makes the manifest
 // checksums meaningful across machines and sessions.
 func TestSaveByteIdentical(t *testing.T) {
+	ctx := context.Background()
 	ds := smallDataset(t, 11)
 	dirA, dirB := t.TempDir(), t.TempDir()
-	if err := ds.Save(dirA); err != nil {
+	if err := ds.Save(ctx, dirA); err != nil {
 		t.Fatal(err)
 	}
-	if err := ds.Save(dirB); err != nil {
+	if err := ds.Save(ctx, dirB); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{datasetMetaFile, datasetCellsFile, datasetIncomesFile} {
@@ -391,9 +396,10 @@ func TestSaveByteIdentical(t *testing.T) {
 // TestLoadDatasetLegacyFormat: a version-1 directory (no checksums in
 // the manifest) still loads, with structural validation only.
 func TestLoadDatasetLegacyFormat(t *testing.T) {
+	ctx := context.Background()
 	ds := smallDataset(t, 13)
 	dir := t.TempDir()
-	if err := ds.Save(dir); err != nil {
+	if err := ds.Save(ctx, dir); err != nil {
 		t.Fatal(err)
 	}
 	legacy, err := json.Marshal(map[string]interface{}{
@@ -408,7 +414,7 @@ func TestLoadDatasetLegacyFormat(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, datasetMetaFile), legacy, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	back, err := LoadDataset(dir)
+	back, err := LoadDataset(ctx, dir)
 	if err != nil {
 		t.Fatalf("legacy manifest rejected: %v", err)
 	}
