@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test race vet lint bench bench-parallel bench-json fmt check \
-	verify fuzz-smoke cover cover-check
+	verify fuzz-smoke cover cover-check serve-smoke
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,27 @@ fmt:
 # Replay the committed golden corpus; exits nonzero on drift.
 verify:
 	$(GO) run ./cmd/leodivide verify
+
+# End-to-end smoke of the scenario-query server: start `leodivide
+# serve` on a small dataset in the background, drive it with loadgen
+# (which polls /healthz until the dataset is ready), and require zero
+# request errors plus a nonzero cache hit rate. Override SERVE_* to
+# change the load shape.
+SERVE_SCALE ?= 0.02
+SERVE_ADDR ?= 127.0.0.1:8931
+SERVE_N ?= 200
+SERVE_CONCURRENCY ?= 16
+serve-smoke:
+	$(GO) build -o leodivide-smoke ./cmd/leodivide
+	./leodivide-smoke -scale $(SERVE_SCALE) serve -addr $(SERVE_ADDR) & \
+	server_pid=$$!; \
+	trap 'kill $$server_pid 2>/dev/null' EXIT; \
+	./leodivide-smoke loadgen -addr $(SERVE_ADDR) -n $(SERVE_N) \
+		-concurrency $(SERVE_CONCURRENCY) -wait 120s -min-hit-rate 0.05; \
+	status=$$?; \
+	kill $$server_pid 2>/dev/null; wait $$server_pid 2>/dev/null; \
+	rm -f leodivide-smoke; \
+	exit $$status
 
 # Short fuzzing pass over every fuzz target, FUZZ_TIME each. The seed
 # corpora live under <pkg>/testdata/fuzz/<FuzzName>/ and also run as

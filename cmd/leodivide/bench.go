@@ -106,7 +106,9 @@ func runBench(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []
 			}
 			report.Results = append(report.Results, res)
 		}
-		fmt.Fprintf(w, "bench: workers=%d done (%d experiments)\n", n, len(selected))
+		// The canonical RunConfig rendering, so bench logs name the run
+		// the same way cache keys and verify lines do.
+		fmt.Fprintf(w, "bench: %s done (%d experiments)\n", wcfg, len(selected))
 	}
 
 	// Full runs must cover every experiment at >= 2 worker counts; a

@@ -1,0 +1,206 @@
+package main
+
+// `leodivide loadgen` drives a running `leodivide serve` instance with
+// concurrent scenario queries and reports latency percentiles and cache
+// traffic. The scenario mix is a deterministic cycle (no randomness):
+// request i always names the same scenario, so a given -n/-experiments
+// pair exercises the same key set on every run — which is what makes
+// the CI smoke assertion on hit rate meaningful.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"leodivide"
+)
+
+// loadgenVariants are the knob variations cycled across requests. Each
+// is a JSON fragment spliced into the request body; the empty variant
+// is the server default. Repeats of the same (experiment, variant) pair
+// are what generate cache hits.
+var loadgenVariants = []string{
+	"",
+	`"max_oversub":25`,
+	`"max_oversub":30`,
+	`"afford_share":0.025`,
+}
+
+type loadgenOutcome struct {
+	latency time.Duration
+	status  string // X-Leodivide-Cache value, or "" on error
+	err     error
+}
+
+func runLoadgen(ctx context.Context, w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("leodivide loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8080", "server address (host:port or full URL)")
+	n := fs.Int("n", 1000, "total requests to issue")
+	concurrency := fs.Int("concurrency", 16, "concurrent client workers")
+	experiments := fs.String("experiments", "table1,fig1,table2,findings", "comma-separated experiments to query")
+	wait := fs.Duration("wait", 0, "poll /healthz for up to this long before driving load (0 = server must be up)")
+	minHitRate := fs.Float64("min-hit-rate", 0, "fail if (hits+coalesced)/requests falls below this")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("loadgen: -n must be >= 1, got %d", *n)
+	}
+	if *concurrency < 1 {
+		return fmt.Errorf("loadgen: -concurrency must be >= 1, got %d", *concurrency)
+	}
+	var names []string
+	for _, name := range strings.Split(*experiments, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("loadgen: -experiments lists no experiments")
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	if *wait > 0 {
+		if err := waitHealthy(ctx, base, *wait); err != nil {
+			return err
+		}
+	}
+
+	// The deterministic mix: request i cycles experiments fastest and
+	// knob variants slowest, so every (experiment, variant) pair recurs
+	// every len(names)*len(loadgenVariants) requests.
+	bodies := make([]string, *n)
+	for i := range bodies {
+		name := names[i%len(names)]
+		variant := loadgenVariants[(i/len(names))%len(loadgenVariants)]
+		body := fmt.Sprintf(`{"schema":%q,"experiment":%q`, leodivide.ScenarioSchema, name)
+		if variant != "" {
+			body += "," + variant
+		}
+		bodies[i] = body + "}"
+	}
+
+	outcomes := make([]loadgenOutcome, *n)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < *concurrency; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				outcomes[i] = issueScenario(ctx, base, bodies[i])
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	var errs int
+	byStatus := map[string]int{}
+	latencies := make([]time.Duration, 0, *n)
+	var firstErr error
+	for _, o := range outcomes {
+		if o.err != nil {
+			errs++
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		byStatus[o.status]++
+		latencies = append(latencies, o.latency)
+	}
+	ok := *n - errs
+	hitRate := 0.0
+	if ok > 0 {
+		hitRate = float64(byStatus["hit"]+byStatus["coalesced"]) / float64(ok)
+	}
+	fmt.Fprintf(w, "loadgen: %d requests to %s, %d workers, %d errors\n", *n, base, *concurrency, errs)
+	fmt.Fprintf(w, "loadgen: cache: %d miss, %d hit, %d coalesced (hit rate %.1f%%)\n",
+		byStatus["miss"], byStatus["hit"], byStatus["coalesced"], 100*hitRate)
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		fmt.Fprintf(w, "loadgen: latency: p50 %s  p99 %s  max %s\n",
+			percentile(latencies, 0.50), percentile(latencies, 0.99), latencies[len(latencies)-1])
+	}
+	if errs > 0 {
+		return fmt.Errorf("loadgen: %d of %d requests failed (first: %w)", errs, *n, firstErr)
+	}
+	if hitRate < *minHitRate {
+		return fmt.Errorf("loadgen: hit rate %.3f below required %.3f", hitRate, *minHitRate)
+	}
+	return nil
+}
+
+// issueScenario posts one scenario query and classifies the response by
+// its cache header. Non-200 statuses are errors: loadgen only sends
+// well-formed requests, so any rejection means the server is misbehaving.
+func issueScenario(ctx context.Context, base, body string) loadgenOutcome {
+	//lint:ignore detrand wall-clock measures client-observed latency; it never feeds experiment results
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/scenario", strings.NewReader(body))
+	if err != nil {
+		return loadgenOutcome{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return loadgenOutcome{err: err}
+	}
+	//lint:ignore errdrop close of a fully-drained response body; a close error after a read-only exchange is not actionable
+	defer resp.Body.Close()
+	//lint:ignore errdrop draining the body only enables connection reuse; the bytes themselves are not checked here
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return loadgenOutcome{err: fmt.Errorf("status %d for %s", resp.StatusCode, body)}
+	}
+	return loadgenOutcome{latency: time.Since(start), status: resp.Header.Get("X-Leodivide-Cache")}
+}
+
+// waitHealthy polls /healthz until the server answers or the budget
+// runs out — CI starts the server in the background and must not race
+// its dataset generation.
+func waitHealthy(ctx context.Context, base string, budget time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	var lastErr error
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			//lint:ignore errdrop health-poll body close; only the status code matters here
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("healthz returned %d", resp.StatusCode)
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("loadgen: server at %s not healthy within %s: %w", base, budget, lastErr)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// percentile reads the q-quantile from an ascending latency slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx].Round(time.Microsecond)
+}

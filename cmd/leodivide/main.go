@@ -24,6 +24,8 @@
 //	gen        write the dataset as CSV (cells, and optionally locations)
 //	bench      emit a schema-versioned BENCH_*.json performance report
 //	verify     replay the committed golden corpus; exit nonzero on drift
+//	serve      answer scenario queries over HTTP/JSON with a memoized cache
+//	loadgen    drive a running serve instance and report latency + hit rate
 //	all        run every experiment in order
 //
 // Observability flags: -metrics prints the obs metric snapshot to
@@ -128,6 +130,10 @@ func run(args []string, w io.Writer) error {
 		return runBench(ctx, w, cfg, fs.Args()[1:])
 	case "verify":
 		return runVerify(ctx, w, cfg, fs.Args()[1:])
+	case "serve":
+		return runServe(ctx, w, cfg, fs.Args()[1:])
+	case "loadgen":
+		return runLoadgen(ctx, w, fs.Args()[1:])
 	}
 
 	ds, err := cfg.Generate(ctx)
@@ -234,7 +240,7 @@ func runExperimentList(w io.Writer, m leodivide.Model) error {
 	if _, err := t.WriteTo(w); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "CLI-only analyses: simcheck, ablate, linkbudget, states, latency, stability, export, gen, verify.")
+	fmt.Fprintln(w, "CLI-only analyses: simcheck, ablate, linkbudget, states, latency, stability, export, gen, verify, serve, loadgen.")
 	return nil
 }
 

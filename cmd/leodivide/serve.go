@@ -1,0 +1,57 @@
+package main
+
+// `leodivide serve` runs the scenario-query API (internal/serve): one
+// shared dataset generated at startup, then HTTP/JSON what-if queries
+// memoized by canonical scenario key. SIGINT/SIGTERM drain in-flight
+// requests before exit, so a supervisor restart never truncates a
+// response mid-body.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"leodivide"
+	"leodivide/internal/serve"
+)
+
+func runServe(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []string) error {
+	fs := flag.NewFlagSet("leodivide serve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address (host:port; :0 picks a free port)")
+	cacheEntries := fs.Int("cache-entries", 1024, "bound on memoized scenario results")
+	maxInflight := fs.Int("max-inflight", 0, "bound on concurrently running experiments (0 = one per CPU)")
+	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// SIGINT/SIGTERM cancel the context; Run turns that into a graceful
+	// drain. A second signal kills the process the ordinary way.
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s, err := serve.New(ctx, serve.Config{
+		Scenario:     leodivide.ScenarioConfig{RunConfig: cfg},
+		CacheEntries: *cacheEntries,
+		MaxInflight:  *maxInflight,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintf(w, "serve: dataset ready (%s); listening on http://%s\n", cfg, ln.Addr())
+	if err := s.Run(ctx, ln, *drain); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintln(w, "serve: drained and stopped")
+	return nil
+}

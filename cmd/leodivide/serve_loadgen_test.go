@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"leodivide"
+)
+
+// syncBuffer lets the test read server output while the serve goroutine
+// is still writing it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on http://(\S+)`)
+
+// TestServeLoadgenEndToEnd is the CI smoke test in miniature: start the
+// server on a free port, drive it with loadgen (which must observe a
+// healthy hit rate and zero errors), then cancel the context and expect
+// a clean drain.
+func TestServeLoadgenEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a server and generates a dataset")
+	}
+	cfg := leodivide.DefaultRunConfig()
+	cfg.Scale = 0.02
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe(ctx, &out, cfg, []string{"-addr", "127.0.0.1:0", "-drain", "10s"})
+	}()
+
+	// The listening line prints only after the dataset is generated.
+	var addr string
+	for i := 0; i < 600; i++ {
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server exited before listening: %v (output %q)", err, out.String())
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	if addr == "" {
+		t.Fatalf("server never printed its address; output %q", out.String())
+	}
+
+	// 40 requests over 2 experiments x 4 knob variants = 8 distinct
+	// scenarios, so at least 32/40 must be hits or coalesced.
+	var lout bytes.Buffer
+	err := runLoadgen(context.Background(), &lout, []string{
+		"-addr", addr, "-n", "40", "-concurrency", "8",
+		"-experiments", "table1,fig1", "-wait", "5s", "-min-hit-rate", "0.5",
+	})
+	if err != nil {
+		t.Fatalf("loadgen failed: %v\n%s", err, lout.String())
+	}
+	rep := lout.String()
+	if !strings.Contains(rep, "0 errors") {
+		t.Errorf("loadgen report missing zero-error line:\n%s", rep)
+	}
+	if !strings.Contains(rep, "p50") || !strings.Contains(rep, "p99") {
+		t.Errorf("loadgen report missing latency percentiles:\n%s", rep)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve returned %v after cancellation, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not drain after context cancellation")
+	}
+	if !strings.Contains(out.String(), "drained and stopped") {
+		t.Errorf("serve output missing drain confirmation: %q", out.String())
+	}
+}
+
+func TestLoadgenFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"zero requests", []string{"-n", "0"}},
+		{"zero workers", []string{"-concurrency", "0"}},
+		{"empty experiments", []string{"-experiments", " , "}},
+		{"unknown flag", []string{"-no-such-flag"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := runLoadgen(context.Background(), &buf, tc.args); err == nil {
+				t.Errorf("loadgen %v should fail", tc.args)
+			}
+		})
+	}
+}
+
+func TestLoadgenUnreachableServer(t *testing.T) {
+	var buf bytes.Buffer
+	// A reserved port nothing listens on: every request must error, and
+	// loadgen must report that as a nonzero exit, not a quiet success.
+	err := runLoadgen(context.Background(), &buf, []string{
+		"-addr", "127.0.0.1:1", "-n", "3", "-concurrency", "2",
+	})
+	if err == nil || !strings.Contains(err.Error(), "requests failed") {
+		t.Errorf("loadgen against a dead server returned %v, want request failures", err)
+	}
+}

@@ -77,7 +77,7 @@ func runVerify(ctx context.Context, w io.Writer, global leodivide.RunConfig, arg
 
 		ds, err := rc.Generate(ctx)
 		if err != nil {
-			return fmt.Errorf("verify: generate seed=%d scale=%s: %w", cc.Seed, golden.FormatScale(cc.Scale), err)
+			return fmt.Errorf("verify: generate %s: %w", rc, err)
 		}
 		m := rc.BuildModel()
 		for _, exp := range registry {
@@ -87,7 +87,7 @@ func runVerify(ctx context.Context, w io.Writer, global leodivide.RunConfig, arg
 			}
 			v, err := e.Run(ctx, ds)
 			if err != nil {
-				return fmt.Errorf("verify: run %s seed=%d scale=%s: %w", exp.Name, cc.Seed, golden.FormatScale(cc.Scale), err)
+				return fmt.Errorf("verify: run %s (%s): %w", exp.Name, rc, err)
 			}
 			got, err := golden.Encode(v)
 			if err != nil {
@@ -107,8 +107,9 @@ func runVerify(ctx context.Context, w io.Writer, global leodivide.RunConfig, arg
 				golden.WriteDiffs(w, exp.Name, cc, diffs, *maxDiffs)
 			}
 		}
-		fmt.Fprintf(w, "verify: seed=%d scale=%s: %d experiments replayed\n",
-			cc.Seed, golden.FormatScale(cc.Scale), len(registry))
+		// The canonical RunConfig rendering (RunConfig.String), so the
+		// replay log names the run the same way cache keys do.
+		fmt.Fprintf(w, "verify: %s: %d experiments replayed\n", rc, len(registry))
 	}
 	if drifted > 0 {
 		return fmt.Errorf("verify: %d of %d experiment replays drifted from the golden corpus", drifted, replayed)

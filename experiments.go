@@ -131,7 +131,7 @@ func (m Model) Experiments() []Experiment {
 			Name:        "fig3",
 			Description: "diminishing returns over the demand tail (Figure 3)",
 			Run: instrument("fig3", func(ctx context.Context, d *Dataset) (any, error) {
-				return m.Fig3(ctx, d)
+				return m.Fig3(ctx, d, m.Fig3Spreads...)
 			}),
 		},
 		{

@@ -50,6 +50,7 @@ func TestAnalyzers(t *testing.T) {
 		{"errdrop", "leodivide/lintest/errdrop", Errdrop},
 		{"ctxfirst_par", "leodivide/internal/par", Ctxfirst},
 		{"ctxfirst_root", "leodivide", Ctxfirst},
+		{"ctxfirst_serve", "leodivide/internal/serve", Ctxfirst},
 	}
 	loader := testLoader(t)
 	for _, tc := range cases {

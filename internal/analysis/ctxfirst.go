@@ -10,25 +10,28 @@ import (
 //
 //  1. In every package, a function that takes a context.Context must
 //     take it as the first parameter (after the receiver).
-//  2. In the contract packages — internal/par, internal/safeio — every
-//     exported function whose last result is an error must accept a
-//     context first: these are the blocking building blocks everything
-//     else threads cancellation through. In the root package the same
-//     holds for the experiment registry surface: exported Model
-//     methods that consume a *Dataset and can fail.
+//  2. In the contract packages — internal/par, internal/safeio,
+//     internal/serve — every exported function whose last result is an
+//     error must accept a context first: these are the blocking
+//     building blocks everything else threads cancellation through
+//     (and, for serve, the long-running request paths a shutdown must
+//     be able to drain). In the root package the same holds for the
+//     experiment registry surface: exported Model methods that consume
+//     a *Dataset and can fail.
 //  3. In those same packages, an exported function that accepts a
 //     context must actually use it — an ignored ctx parameter
 //     advertises cancellation it does not deliver.
 var Ctxfirst = &Analyzer{
 	Name: "ctxfirst",
 	Doc: "context.Context must be the first parameter everywhere; exported fallible functions in " +
-		"internal/par, internal/safeio, and the experiment registry must take and actually thread one",
+		"internal/par, internal/safeio, internal/serve, and the experiment registry must take and actually thread one",
 	Run: ctxfirstRun,
 }
 
 var ctxfirstContractPkgs = map[string]bool{
 	"leodivide/internal/par":    true,
 	"leodivide/internal/safeio": true,
+	"leodivide/internal/serve":  true,
 }
 
 const ctxfirstRootPkg = "leodivide"

@@ -1,0 +1,33 @@
+// Testdata for ctxfirst in the serving layer: this directory is loaded
+// under the import path leodivide/internal/serve, so every exported
+// fallible function must take a context first and actually use it — a
+// server that cannot be cancelled cannot drain on shutdown.
+package serve
+
+import "context"
+
+// New is the compliant shape: context first, threaded into the
+// long-running setup work (dataset generation).
+func New(ctx context.Context, entries int) error {
+	return ctx.Err()
+}
+
+func Listen(addr string) error { // want "exported fallible serve.Listen must take context.Context as its first parameter"
+	return nil
+}
+
+func Query(key string, ctx context.Context) error { // want "Query takes context.Context as parameter 2" "exported fallible serve.Query must take context.Context as its first parameter"
+	return ctx.Err()
+}
+
+func Warm(ctx context.Context) error { // want "Warm accepts a context but never uses it"
+	return nil
+}
+
+func drain(addr string) error { // ok: unexported helpers choose their own contract
+	return nil
+}
+
+func CacheSize(entries int) int { // ok: cannot fail, nothing to cancel
+	return entries
+}

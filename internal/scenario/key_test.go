@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestKeyBuilderLayout(t *testing.T) {
+	key, err := NewKey(Schema).
+		Float("afford_share", 0.02).
+		Bool("calibrated", false).
+		Floats("oversubs", []float64{5, 20}).
+		Strings("plans", []string{"Starlink Residential", "Xfinity 300"}).
+		Float("scale", 0.02).
+		Int64("seed", 1).
+		Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Schema + "|afford_share=0.02|calibrated=false|oversubs=5,20" +
+		"|plans=Starlink Residential,Xfinity 300|scale=0.02|seed=1"
+	if key != want {
+		t.Errorf("key = %q, want %q", key, want)
+	}
+}
+
+// The same fields must always produce the same bytes; the builder is a
+// pure function of its inputs.
+func TestKeyBuilderDeterministic(t *testing.T) {
+	build := func() string {
+		k, err := NewKey(Schema).Float("a", 1.5).Int64("b", -3).Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("two builds of the same fields differ: %q vs %q", a, b)
+	}
+}
+
+func TestKeyBuilderEnforcesOrder(t *testing.T) {
+	if _, err := NewKey(Schema).Int64("b", 1).Int64("a", 2).Key(); err == nil {
+		t.Error("out-of-order fields must fail")
+	}
+	if _, err := NewKey(Schema).Int64("a", 1).Int64("a", 2).Key(); err == nil {
+		t.Error("duplicate field must fail")
+	}
+}
+
+func TestKeyBuilderRejectsBadInputs(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (string, error)
+	}{
+		{"empty schema", func() (string, error) { return NewKey("").Int64("a", 1).Key() }},
+		{"empty name", func() (string, error) { return NewKey(Schema).Int64("", 1).Key() }},
+		{"name with delimiter", func() (string, error) { return NewKey(Schema).Int64("a|b", 1).Key() }},
+		{"name with space", func() (string, error) { return NewKey(Schema).Int64("a b", 1).Key() }},
+		{"NaN float", func() (string, error) { return NewKey(Schema).Float("a", math.NaN()).Key() }},
+		{"Inf float", func() (string, error) { return NewKey(Schema).Float("a", math.Inf(1)).Key() }},
+		{"NaN in list", func() (string, error) { return NewKey(Schema).Floats("a", []float64{1, math.NaN()}).Key() }},
+		{"empty string value", func() (string, error) { return NewKey(Schema).Strings("a", []string{""}).Key() }},
+		{"comma in string value", func() (string, error) { return NewKey(Schema).Strings("a", []string{"x,y"}).Key() }},
+		{"padded string value", func() (string, error) { return NewKey(Schema).Strings("a", []string{" x"}).Key() }},
+	}
+	for _, tc := range cases {
+		if _, err := tc.build(); err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}
+
+// Errors are sticky: the first failure wins and later valid appends do
+// not clear it.
+func TestKeyBuilderStickyError(t *testing.T) {
+	_, err := NewKey(Schema).Float("a", math.NaN()).Int64("b", 1).Key()
+	if err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Errorf("sticky error lost: %v", err)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0.02, "0.02"}, {1, "1"}, {20, "20"}, {0.055, "0.055"}, {1e-5, "1e-05"},
+	}
+	for _, tc := range cases {
+		if got := FormatFloat(tc.v); got != tc.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

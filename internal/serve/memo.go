@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Status classifies how a memo.get was satisfied.
+type Status int
+
+const (
+	// StatusMiss: this caller ran the fill function.
+	StatusMiss Status = iota
+	// StatusHit: the cache already held the bytes.
+	StatusHit
+	// StatusCoalesced: an identical query was already in flight; this
+	// caller waited for its result instead of running a second fill.
+	StatusCoalesced
+)
+
+// String names the status in lowercase, matching the X-Leodivide-Cache
+// response header values.
+func (s Status) String() string {
+	switch s {
+	case StatusHit:
+		return "hit"
+	case StatusCoalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// memo is the serving layer's result store: a bounded LRU cache of
+// canonical-key → response bytes, fronted by singleflight coalescing so
+// identical in-flight queries run the underlying experiment exactly
+// once. Determinism makes this sound: a scenario's canonical key fully
+// determines its response bytes, so a cached or coalesced answer is
+// byte-identical to a fresh run.
+type memo struct {
+	mu         sync.Mutex
+	entries    map[string]*list.Element
+	ll         *list.List // front = most recently used
+	maxEntries int
+	flight     map[string]*call
+	evictions  int64
+}
+
+type memoEntry struct {
+	key string
+	val []byte
+}
+
+// call is one in-flight fill; followers wait on done and then read
+// val/err, which the leader writes before closing done.
+type call struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// newMemo returns a memo bounded to maxEntries cached results
+// (maxEntries <= 0 selects a single-entry cache; a serving layer with
+// no cache at all would defeat the point).
+func newMemo(maxEntries int) *memo {
+	if maxEntries <= 0 {
+		maxEntries = 1
+	}
+	return &memo{
+		entries:    make(map[string]*list.Element),
+		ll:         list.New(),
+		maxEntries: maxEntries,
+		flight:     make(map[string]*call),
+	}
+}
+
+// get returns the bytes for key, filling on a miss. Concurrent gets of
+// the same key share one fill: the first caller (the leader) runs fill,
+// later callers block until it completes and receive the same bytes and
+// error. Successful fills are cached; errors are not, so a transient
+// failure does not poison the key. A follower whose ctx ends before the
+// leader finishes returns its own ctx error.
+func (m *memo) get(ctx context.Context, key string, fill func() ([]byte, error)) ([]byte, Status, error) {
+	m.mu.Lock()
+	if el, ok := m.entries[key]; ok {
+		m.ll.MoveToFront(el)
+		val := el.Value.(*memoEntry).val
+		m.mu.Unlock()
+		return val, StatusHit, nil
+	}
+	if c, ok := m.flight[key]; ok {
+		m.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, StatusCoalesced, c.err
+		case <-ctx.Done():
+			return nil, StatusCoalesced, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	m.flight[key] = c
+	m.mu.Unlock()
+
+	c.val, c.err = fill()
+
+	m.mu.Lock()
+	delete(m.flight, key)
+	if c.err == nil {
+		m.add(key, c.val)
+	}
+	m.mu.Unlock()
+	close(c.done)
+	return c.val, StatusMiss, c.err
+}
+
+// add inserts under m.mu, evicting the least recently used entries past
+// the bound.
+func (m *memo) add(key string, val []byte) {
+	if el, ok := m.entries[key]; ok {
+		m.ll.MoveToFront(el)
+		el.Value.(*memoEntry).val = val
+		return
+	}
+	m.entries[key] = m.ll.PushFront(&memoEntry{key: key, val: val})
+	for m.ll.Len() > m.maxEntries {
+		oldest := m.ll.Back()
+		m.ll.Remove(oldest)
+		delete(m.entries, oldest.Value.(*memoEntry).key)
+		m.evictions++
+		metricEvictions.Inc()
+	}
+}
+
+// stats returns a consistent snapshot of the cache shape.
+func (m *memo) stats() (entries int, evictions int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len(), m.evictions
+}

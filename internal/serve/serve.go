@@ -1,0 +1,393 @@
+// Package serve is the scenario-query serving layer behind
+// `leodivide serve`: an HTTP/JSON API answering what-if requests
+// against one shared immutable in-memory Dataset.
+//
+// Production concerns are the point of the package:
+//
+//   - Every response is memoized in a bounded LRU cache keyed by the
+//     scenario's canonical key (ScenarioConfig.CanonicalKey). The
+//     determinism contract — a result is a pure function of the
+//     scenario — is what makes a cached response exactly as good as a
+//     fresh run, byte for byte.
+//   - Identical in-flight queries coalesce (singleflight): one
+//     experiment run feeds every concurrent requester of the same key.
+//   - Experiment runs pass a bounded admission gate (par.Gate), so a
+//     burst of distinct scenarios cannot oversubscribe the worker
+//     pools each run fans out on.
+//   - Request counts, latency histograms and cache traffic record into
+//     internal/obs, so the CLI's -debug-addr endpoint (and the
+//     server's own /metrics route) expose them live.
+//   - Run drains connections on context cancellation (the CLI wires
+//     SIGTERM/SIGINT to that context), so in-flight queries finish
+//     before the process exits.
+//
+// Wire contract (schema leodivide-serve/v1):
+//
+//	POST /v1/scenario   {"schema":"leodivide-serve/v1","experiment":"table2",...}
+//	GET  /v1/experiments
+//	GET  /v1/stats
+//	GET  /healthz
+//	GET  /metrics
+//
+// The X-Leodivide-Cache response header reports hit, miss or coalesced;
+// the body is byte-identical across all three for the same scenario.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"leodivide"
+	"leodivide/internal/obs"
+	"leodivide/internal/par"
+)
+
+// Serving-layer observability (see internal/obs): request counts and
+// latency, cache traffic, and experiment admission wait.
+var (
+	metricRequests  = obs.Default.Counter("serve.requests")
+	metricErrors    = obs.Default.Counter("serve.errors")
+	metricHits      = obs.Default.Counter("serve.cache.hits")
+	metricMisses    = obs.Default.Counter("serve.cache.misses")
+	metricCoalesced = obs.Default.Counter("serve.cache.coalesced")
+	metricEvictions = obs.Default.Counter("serve.cache.evictions")
+	metricReqSecs   = obs.Default.Histogram("serve.request.seconds", obs.DurationBuckets)
+	metricRunSecs   = obs.Default.Histogram("serve.run.seconds", obs.DurationBuckets)
+	metricWaitSecs  = obs.Default.Histogram("serve.admission_wait.seconds", obs.DurationBuckets)
+)
+
+// CacheHeader is the response header naming how the query was served:
+// "hit", "miss" or "coalesced".
+const CacheHeader = "X-Leodivide-Cache"
+
+// Config describes a Server.
+type Config struct {
+	// Scenario pins the dataset identity (seed, scale, parallelism,
+	// calibration default) every query runs against. Its Experiment
+	// field is ignored — requests name their own.
+	Scenario leodivide.ScenarioConfig
+	// Dataset optionally supplies a pre-generated dataset matching
+	// Scenario; nil makes New generate it.
+	Dataset *leodivide.Dataset
+	// CacheEntries bounds the memoized result cache (default 1024).
+	CacheEntries int
+	// MaxInflight bounds concurrently running experiments (0 = one per
+	// CPU, via par.Workers).
+	MaxInflight int
+}
+
+// Server answers scenario queries against one shared immutable dataset.
+type Server struct {
+	ds   *leodivide.Dataset
+	base leodivide.ScenarioConfig
+	memo *memo
+	gate *par.Gate
+	mux  *http.ServeMux
+
+	// Server-local traffic counters backing /v1/stats (the obs
+	// counters are process-global and shared across servers).
+	requests, hits, misses, coalesced, errs atomic.Int64
+}
+
+// New builds a server: validates the base scenario, generates the
+// shared dataset (unless cfg.Dataset supplies it) and wires the routes.
+// The context cancels dataset generation.
+func New(ctx context.Context, cfg Config) (*Server, error) {
+	base := cfg.Scenario
+	base.Experiment = ""
+	if err := base.RunConfig.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	ds := cfg.Dataset
+	if ds == nil {
+		var err error
+		if ds, err = base.RunConfig.Generate(ctx); err != nil {
+			return nil, fmt.Errorf("serve: generate dataset: %w", err)
+		}
+	}
+	entries := cfg.CacheEntries
+	if entries == 0 {
+		entries = 1024
+	}
+	s := &Server{
+		ds:   ds,
+		base: base,
+		memo: newMemo(entries),
+		gate: par.NewGate(cfg.MaxInflight),
+		mux:  http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/scenario", s.handleScenario)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Dataset returns the shared dataset the server answers against.
+func (s *Server) Dataset() *leodivide.Dataset { return s.ds }
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Run serves on ln until ctx is cancelled, then shuts down gracefully:
+// the listener closes immediately, in-flight requests get up to drain
+// to finish. A nil error means a clean start-to-drain lifecycle.
+func (s *Server) Run(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	srv := &http.Server{Handler: s.mux}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		dctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(dctx)
+	}()
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-shutdownErr
+}
+
+// Request is the JSON body of POST /v1/scenario. Dataset-identity
+// fields (seed, scale, calibrated) are pointers: absent means "inherit
+// the server's dataset"; present-but-different is a 409, because the
+// server answers against one immutable dataset. Parallelism is not a
+// request knob at all — results are identical at every worker count.
+type Request struct {
+	Schema      string    `json:"schema"`
+	Experiment  string    `json:"experiment"`
+	Seed        *int64    `json:"seed,omitempty"`
+	Scale       *float64  `json:"scale,omitempty"`
+	Calibrated  *bool     `json:"calibrated,omitempty"`
+	MaxOversub  float64   `json:"max_oversub,omitempty"`
+	AffordShare float64   `json:"afford_share,omitempty"`
+	Spreads     []float64 `json:"spreads,omitempty"`
+	Plans       []string  `json:"plans,omitempty"`
+}
+
+// Response is the JSON body of a successful scenario query. Key is the
+// scenario's canonical cache key; Result is the experiment's result
+// exactly as the registry returned it.
+type Response struct {
+	Schema     string  `json:"schema"`
+	Key        string  `json:"key"`
+	Experiment string  `json:"experiment"`
+	Seed       int64   `json:"seed"`
+	Scale      float64 `json:"scale"`
+	Result     any     `json:"result"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// httpError carries a status code through the resolve path.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// resolve merges a request into the server's base scenario.
+func (s *Server) resolve(req Request) (leodivide.ScenarioConfig, error) {
+	if req.Schema != leodivide.ScenarioSchema {
+		return leodivide.ScenarioConfig{}, &httpError{http.StatusBadRequest,
+			fmt.Sprintf("unsupported schema %q (want %q)", req.Schema, leodivide.ScenarioSchema)}
+	}
+	c := s.base
+	c.Experiment = req.Experiment
+	if req.Seed != nil && *req.Seed != s.base.Seed {
+		return leodivide.ScenarioConfig{}, &httpError{http.StatusConflict,
+			fmt.Sprintf("seed %d does not match the server dataset (%s)", *req.Seed, s.base.RunConfig)}
+	}
+	//lint:ignore floatcmp dataset identity is exact, not arithmetic: a request either names the server's scale bit-for-bit or targets a different dataset
+	if req.Scale != nil && *req.Scale != s.base.Scale {
+		return leodivide.ScenarioConfig{}, &httpError{http.StatusConflict,
+			fmt.Sprintf("scale %v does not match the server dataset (%s)", *req.Scale, s.base.RunConfig)}
+	}
+	if req.Calibrated != nil {
+		c.Calibrated = *req.Calibrated
+	}
+	c.MaxOversub = req.MaxOversub
+	c.AffordShare = req.AffordShare
+	c.Spreads = req.Spreads
+	c.Plans = req.Plans
+	if err := c.Validate(); err != nil {
+		return leodivide.ScenarioConfig{}, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	return c, nil
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	metricErrors.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	//lint:ignore errdrop HTTP error-response write; a disconnected client is not actionable
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	metricRequests.Inc()
+	//lint:ignore detrand wall-clock feeds the request latency histogram only, never the response
+	start := time.Now()
+	defer metricReqSecs.ObserveSince(start)
+
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.errs.Add(1)
+		writeJSONError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	cfg, err := s.resolve(req)
+	if err != nil {
+		s.errs.Add(1)
+		var he *httpError
+		if errors.As(err, &he) {
+			writeJSONError(w, he.code, he.msg)
+		} else {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	key, err := cfg.CanonicalKey()
+	if err != nil {
+		s.errs.Add(1)
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx := r.Context()
+	body, status, err := s.memo.get(ctx, key, func() ([]byte, error) {
+		return s.runScenario(ctx, cfg, key)
+	})
+	if err != nil {
+		s.errs.Add(1)
+		code := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSONError(w, code, err.Error())
+		return
+	}
+	switch status {
+	case StatusHit:
+		s.hits.Add(1)
+		metricHits.Inc()
+	case StatusCoalesced:
+		s.coalesced.Add(1)
+		metricCoalesced.Inc()
+	default:
+		s.misses.Add(1)
+		metricMisses.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(CacheHeader, status.String())
+	//lint:ignore errdrop HTTP response write; a disconnected client is not actionable
+	w.Write(body)
+}
+
+// runScenario runs one experiment under the admission gate and encodes
+// the response bytes that the cache will hold. The encoding happens
+// once, here — hits and coalesced followers replay the identical bytes.
+func (s *Server) runScenario(ctx context.Context, cfg leodivide.ScenarioConfig, key string) ([]byte, error) {
+	//lint:ignore detrand wall-clock feeds the admission-wait histogram only, never the response
+	waitStart := time.Now()
+	if err := s.gate.Acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.gate.Release()
+	metricWaitSecs.ObserveSince(waitStart)
+
+	m := cfg.BuildModel()
+	exp, ok := m.ExperimentByName(cfg.Experiment)
+	if !ok {
+		// Validate checked the registry already; losing the name here
+		// would be a registry bug, not a client error.
+		return nil, fmt.Errorf("experiment %q vanished from the registry", cfg.Experiment)
+	}
+	//lint:ignore detrand wall-clock feeds the run-duration histogram only, never the response
+	runStart := time.Now()
+	v, err := exp.Run(ctx, s.ds)
+	if err != nil {
+		return nil, err
+	}
+	metricRunSecs.ObserveSince(runStart)
+	n := cfg.Normalized()
+	return json.Marshal(Response{
+		Schema:     leodivide.ScenarioSchema,
+		Key:        key,
+		Experiment: n.Experiment,
+		Seed:       n.Seed,
+		Scale:      n.Scale,
+		Result:     v,
+	})
+}
+
+// experimentInfo is one row of GET /v1/experiments.
+type experimentInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	var out []experimentInfo
+	for _, e := range s.base.BuildModel().Experiments() {
+		out = append(out, experimentInfo{Name: e.Name, Description: e.Description})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore errdrop HTTP response write; a disconnected client is not actionable
+	json.NewEncoder(w).Encode(out)
+}
+
+// Stats is the JSON body of GET /v1/stats: server-local traffic and
+// cache shape since startup.
+type Stats struct {
+	Requests     int64 `json:"requests"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Coalesced    int64 `json:"coalesced"`
+	Errors       int64 `json:"errors"`
+	CacheEntries int   `json:"cache_entries"`
+	Evictions    int64 `json:"evictions"`
+	InflightCap  int   `json:"inflight_cap"`
+	Inflight     int   `json:"inflight"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	entries, evictions := s.memo.stats()
+	st := Stats{
+		Requests:     s.requests.Load(),
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Coalesced:    s.coalesced.Load(),
+		Errors:       s.errs.Load(),
+		CacheEntries: entries,
+		Evictions:    evictions,
+		InflightCap:  s.gate.Cap(),
+		Inflight:     s.gate.InUse(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore errdrop HTTP response write; a disconnected client is not actionable
+	json.NewEncoder(w).Encode(st)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	//lint:ignore errdrop HTTP response write; a disconnected client is not actionable
+	obs.Default.Snapshot().WriteText(w)
+}

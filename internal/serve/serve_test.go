@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"leodivide"
+	"leodivide/internal/obs"
+)
+
+// The test scale: small enough that dataset generation stays in the
+// hundreds of milliseconds, the same scale the golden corpus freezes.
+const testScale = 0.02
+
+var (
+	testDatasetOnce sync.Once
+	testDataset     *leodivide.Dataset
+	testDatasetErr  error
+)
+
+// sharedDataset generates the scale-0.02 dataset once for the whole
+// package; the server treats it as immutable, so sharing is safe.
+func sharedDataset(t *testing.T) *leodivide.Dataset {
+	t.Helper()
+	testDatasetOnce.Do(func() {
+		cfg := leodivide.DefaultRunConfig()
+		cfg.Scale = testScale
+		testDataset, testDatasetErr = cfg.Generate(context.Background())
+	})
+	if testDatasetErr != nil {
+		t.Fatal(testDatasetErr)
+	}
+	return testDataset
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	base := leodivide.DefaultRunConfig()
+	base.Scale = testScale
+	cfg.Scenario = leodivide.ScenarioConfig{RunConfig: base}
+	if cfg.Dataset == nil {
+		cfg.Dataset = sharedDataset(t)
+	}
+	s, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postScenario(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/scenario", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func scenarioBody(experiment string, extra string) string {
+	body := fmt.Sprintf(`{"schema":%q,"experiment":%q`, leodivide.ScenarioSchema, experiment)
+	if extra != "" {
+		body += "," + extra
+	}
+	return body + "}"
+}
+
+// TestScenarioCacheHit is the acceptance check: serving the same
+// scenario twice hits the cache — the second response arrives without
+// re-running the experiment (obs run counter unchanged) and is
+// byte-identical to the first.
+func TestScenarioCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	runs := obs.Default.Counter("experiment.table1.runs")
+
+	before := runs.Value()
+	resp1, body1 := postScenario(t, ts.URL, scenarioBody("table1", ""))
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first request: %d %s", resp1.StatusCode, body1)
+	}
+	if h := resp1.Header.Get(CacheHeader); h != "miss" {
+		t.Errorf("first request %s = %q, want miss", CacheHeader, h)
+	}
+	afterFirst := runs.Value()
+	if afterFirst != before+1 {
+		t.Fatalf("first request ran the experiment %d times, want 1", afterFirst-before)
+	}
+
+	resp2, body2 := postScenario(t, ts.URL, scenarioBody("table1", ""))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: %d %s", resp2.StatusCode, body2)
+	}
+	if h := resp2.Header.Get(CacheHeader); h != "hit" {
+		t.Errorf("second request %s = %q, want hit", CacheHeader, h)
+	}
+	if got := runs.Value(); got != afterFirst {
+		t.Errorf("second request re-ran the experiment (runs %d -> %d); cache must serve it", afterFirst, got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("cached response differs from the original bytes")
+	}
+
+	var r Response
+	if err := json.Unmarshal(body1, &r); err != nil {
+		t.Fatalf("response is not valid JSON: %v", err)
+	}
+	cfg := leodivide.DefaultScenarioConfig("table1")
+	cfg.Scale = testScale
+	wantKey, err := cfg.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Key != wantKey {
+		t.Errorf("response key %q, want canonical key %q", r.Key, wantKey)
+	}
+	if r.Schema != leodivide.ScenarioSchema || r.Experiment != "table1" || r.Scale != testScale {
+		t.Errorf("response envelope %+v mismatches the scenario", r)
+	}
+}
+
+// TestScenarioConcurrentIdentical: after a warm-up, N concurrent
+// identical queries are all served from the cache — zero further
+// experiment runs, byte-identical bodies — under `go test -race`.
+func TestScenarioConcurrentIdentical(t *testing.T) {
+	const n = 16
+	_, ts := newTestServer(t, Config{})
+	runs := obs.Default.Counter("experiment.fig1.runs")
+	body := scenarioBody("fig1", "")
+
+	_, warm := postScenario(t, ts.URL, body)
+	before := runs.Value()
+
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/scenario", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, b)
+				return
+			}
+			bodies[i] = b
+		}(i)
+	}
+	wg.Wait()
+	if got := runs.Value(); got != before {
+		t.Errorf("concurrent identical queries ran the experiment %d more times, want 0", got-before)
+	}
+	for i, b := range bodies {
+		if !bytes.Equal(b, warm) {
+			t.Errorf("response %d differs from the warm response", i)
+		}
+	}
+}
+
+// TestScenarioKnobs: a promoted knob (max_oversub) changes the key and
+// the result; the default and an explicit default collapse to one key.
+func TestScenarioKnobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	_, def := postScenario(t, ts.URL, scenarioBody("findings", ""))
+	resp, explicit := postScenario(t, ts.URL, scenarioBody("findings", `"max_oversub":20`))
+	if h := resp.Header.Get(CacheHeader); h != "hit" {
+		t.Errorf("explicit default max_oversub should share the default's cache entry, got %q", h)
+	}
+	if !bytes.Equal(def, explicit) {
+		t.Error("explicit default produced different bytes than the implicit default")
+	}
+
+	respLoose, loose := postScenario(t, ts.URL, scenarioBody("findings", `"max_oversub":35`))
+	if respLoose.StatusCode != http.StatusOK {
+		t.Fatalf("max_oversub 35: %d %s", respLoose.StatusCode, loose)
+	}
+	if respLoose.Header.Get(CacheHeader) != "miss" {
+		t.Errorf("a new oversubscription cap must be a cache miss")
+	}
+	var d, l Response
+	if err := json.Unmarshal(def, &d); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(loose, &l); err != nil {
+		t.Fatal(err)
+	}
+	if d.Key == l.Key {
+		t.Error("different oversubscription caps share a canonical key")
+	}
+	if bytes.Equal(def, loose) {
+		t.Error("findings at 35:1 should differ from 20:1 (F1 depends on the cap)")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"wrong schema", `{"schema":"nope/v9","experiment":"table1"}`, http.StatusBadRequest},
+		{"missing experiment", scenarioBody("", ""), http.StatusBadRequest},
+		{"unknown experiment", scenarioBody("tableau", ""), http.StatusBadRequest},
+		{"unknown field", scenarioBody("table1", `"warp":9`), http.StatusBadRequest},
+		{"negative oversub", scenarioBody("table2", `"max_oversub":-5`), http.StatusBadRequest},
+		{"share above 1", scenarioBody("fig4", `"afford_share":1.5`), http.StatusBadRequest},
+		{"descending spreads", scenarioBody("fig3", `"spreads":[10,2]`), http.StatusBadRequest},
+		{"unknown plan", scenarioBody("fig4", `"plans":["Dialup Deluxe"]`), http.StatusInternalServerError},
+		{"seed mismatch", scenarioBody("table1", `"seed":99`), http.StatusConflict},
+		{"scale mismatch", scenarioBody("table1", `"scale":0.5`), http.StatusConflict},
+		{"not json", `table1 please`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postScenario(t, ts.URL, tc.body)
+			if resp.StatusCode != tc.code {
+				t.Errorf("status %d, want %d (%s)", resp.StatusCode, tc.code, body)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Errorf("error body %q is not {\"error\": ...}", body)
+			}
+		})
+	}
+}
+
+// A plan filter is a real knob: fig4 restricted to one plan returns a
+// smaller comparison.
+func TestScenarioPlanFilter(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postScenario(t, ts.URL,
+		scenarioBody("fig4", `"plans":["Starlink Residential"]`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fig4 with plan filter: %d %s", resp.StatusCode, body)
+	}
+	var r struct {
+		Result leodivide.Fig4Result `json:"result"`
+	}
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Result.Results) != 1 || r.Result.Results[0].Plan.Name != "Starlink Residential" {
+		t.Errorf("filtered fig4 returned %d results, want exactly Starlink Residential", len(r.Result.Results))
+	}
+}
+
+func TestExperimentsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	want := leodivide.NewModel().Experiments()
+	if len(list) != len(want) {
+		t.Fatalf("listed %d experiments, registry has %d", len(list), len(want))
+	}
+	for i, e := range want {
+		if list[i].Name != e.Name {
+			t.Errorf("experiment %d = %q, want %q", i, list[i].Name, e.Name)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postScenario(t, ts.URL, scenarioBody("table1", ""))
+	postScenario(t, ts.URL, scenarioBody("table1", ""))
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 2 || st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 requests, 1 miss, 1 hit", st)
+	}
+	if st.CacheEntries != 1 {
+		t.Errorf("cache entries = %d, want 1", st.CacheEntries)
+	}
+}
+
+func TestHealthAndMetricsEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(b)) != "ok" {
+		t.Errorf("healthz = %d %q", resp.StatusCode, b)
+	}
+	postScenario(t, ts.URL, scenarioBody("table1", ""))
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "serve.requests") {
+		t.Errorf("metrics endpoint does not expose serve.requests:\n%.400s", b)
+	}
+}
+
+// TestRunGracefulShutdown: Run serves until its context is cancelled,
+// then drains and returns nil.
+func TestRunGracefulShutdown(t *testing.T) {
+	base := leodivide.DefaultRunConfig()
+	base.Scale = testScale
+	s, err := New(context.Background(), Config{
+		Scenario: leodivide.ScenarioConfig{RunConfig: base},
+		Dataset:  sharedDataset(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, ln, 5*time.Second) }()
+
+	url := "http://" + ln.Addr().String()
+	var resp *http.Response
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Run returned %v after graceful shutdown, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after context cancellation")
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("server still accepting connections after shutdown")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -260,6 +261,14 @@ type Model struct {
 	// MaxOversub is the acceptable oversubscription cap (default the
 	// FCC fixed-wireless 20:1).
 	MaxOversub float64
+	// Fig3Spreads overrides the beamspread factors Fig3 evaluates when
+	// run through the registry (nil = PaperTable2Spreads). Promoted to
+	// a ScenarioConfig knob so the serving layer can sweep it.
+	Fig3Spreads []float64
+	// PlanFilter restricts Fig4's plan comparison to the named plan
+	// labels (nil = the paper's full comparison). Unknown labels are a
+	// run-time error naming the valid set.
+	PlanFilter []string
 	// Workers bounds the worker count for facade-level fan-outs (Fig3
 	// curves, Fig4 plan curves, Stability seeds). 0 means one worker
 	// per CPU; 1 is the serial path.
@@ -499,7 +508,10 @@ func (m Model) Fig4(ctx context.Context, d *Dataset) (Fig4Result, error) {
 	if err != nil {
 		return Fig4Result{}, err
 	}
-	options := afford.PaperComparison()
+	options, err := m.planOptions()
+	if err != nil {
+		return Fig4Result{}, err
+	}
 	curves, err := in.EvaluateCurves(ctx, options, m.AffordShare, 0.055, 110, m.Workers)
 	if err != nil {
 		return Fig4Result{}, err
@@ -528,6 +540,34 @@ func planLabel(opt afford.PlanOption) string {
 		return opt.Plan.Name + " w/ " + opt.Subsidy.Name
 	}
 	return opt.Plan.Name
+}
+
+// planOptions resolves the Fig4 comparison set: the paper's full
+// four-option comparison, narrowed by PlanFilter when set. Filtering by
+// label (not index) keeps the knob stable under catalog reordering; an
+// unknown label errors with the valid set so scenario authors get a
+// usable message instead of a silently empty figure.
+func (m Model) planOptions() ([]afford.PlanOption, error) {
+	all := afford.PaperComparison()
+	if len(m.PlanFilter) == 0 {
+		return all, nil
+	}
+	byLabel := make(map[string]afford.PlanOption, len(all))
+	labels := make([]string, 0, len(all))
+	for _, opt := range all {
+		byLabel[planLabel(opt)] = opt
+		labels = append(labels, planLabel(opt))
+	}
+	out := make([]afford.PlanOption, 0, len(m.PlanFilter))
+	for _, name := range m.PlanFilter {
+		opt, ok := byLabel[name]
+		if !ok {
+			return nil, fmt.Errorf("leodivide: unknown plan %q (valid: %s)",
+				name, strings.Join(labels, ", "))
+		}
+		out = append(out, opt)
+	}
+	return out, nil
 }
 
 // AffordabilityInput exposes the location-weighted income distribution
@@ -565,10 +605,18 @@ func (m Model) RunFindings(ctx context.Context, d *Dataset) (Findings, error) {
 		return Findings{}, err
 	}
 	var starlink afford.Result
+	found := false
 	for _, r := range f4.Results {
 		if r.Plan.Name == afford.StarlinkResidential().Name && r.Subsidy == nil {
 			starlink = r
+			found = true
 		}
+	}
+	if !found {
+		// A PlanFilter that excludes the unsubsidized Starlink plan
+		// leaves F4 undefined; fail loudly rather than report zeros.
+		return Findings{}, fmt.Errorf("leodivide: findings needs %q in the plan comparison (PlanFilter excludes it)",
+			afford.StarlinkResidential().Name)
 	}
 	if err := ctx.Err(); err != nil {
 		return Findings{}, err

@@ -9,6 +9,9 @@ package leodivide
 import (
 	"context"
 	"fmt"
+	"math"
+
+	"leodivide/internal/scenario"
 )
 
 // RunConfig is the one shared option set for standing up the pipeline.
@@ -40,12 +43,30 @@ func DefaultRunConfig() RunConfig {
 	return RunConfig{Seed: 1, Scale: 1}
 }
 
-// Validate reports whether the configuration is usable.
+// Validate reports whether the configuration is usable. Scale must be
+// a finite value in (0, 1]: NaN fails both ordered comparisons, so it
+// is rejected explicitly rather than slipping through the range check.
 func (c RunConfig) Validate() error {
+	if math.IsNaN(c.Scale) || math.IsInf(c.Scale, 0) {
+		return fmt.Errorf("leodivide: scale must be finite, got %v", c.Scale)
+	}
 	if c.Scale <= 0 || c.Scale > 1 {
 		return fmt.Errorf("leodivide: scale must be in (0,1], got %v", c.Scale)
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("leodivide: parallelism must be >= 0, got %d", c.Parallelism)
+	}
 	return nil
+}
+
+// String renders the canonical human-readable form of the
+// configuration. The scale is formatted exactly as the scenario cache
+// key and the golden-corpus directory names format it
+// (strconv 'g'/-1), so a config printed in a log line can be matched
+// against a cache key or corpus path by eye.
+func (c RunConfig) String() string {
+	return fmt.Sprintf("seed=%d scale=%s parallelism=%d calibrated=%t",
+		c.Seed, scenario.FormatFloat(c.Scale), c.Parallelism, c.Calibrated)
 }
 
 // BuildModel constructs the model this configuration describes.

@@ -3,6 +3,7 @@ package leodivide
 import (
 	"context"
 	"errors"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -50,7 +51,9 @@ func TestRunConfigValidate(t *testing.T) {
 	if err := cfg.Validate(); err != nil {
 		t.Errorf("default config invalid: %v", err)
 	}
-	for _, bad := range []float64{0, -1, 1.5} {
+	// NaN is the regression case: it fails both sides of the (0,1] range
+	// comparison, so a plain range check lets it through.
+	for _, bad := range []float64{0, -1, 1.5, math.NaN(), math.Inf(1), math.Inf(-1)} {
 		c := cfg
 		c.Scale = bad
 		if err := c.Validate(); err == nil {
@@ -59,6 +62,29 @@ func TestRunConfigValidate(t *testing.T) {
 		if _, err := c.Generate(context.Background()); err == nil {
 			t.Errorf("Generate with scale %v should fail", bad)
 		}
+	}
+	neg := cfg
+	neg.Parallelism = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative parallelism should be invalid")
+	}
+}
+
+// TestRunConfigString: the canonical human rendering every log line
+// shares (bench, verify, serve). Scale formats exactly as it does in
+// golden corpus paths and scenario cache keys.
+func TestRunConfigString(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.Seed = 7
+	cfg.Scale = 0.02
+	if got, want := cfg.String(), "seed=7 scale=0.02 parallelism=0 calibrated=false"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	cfg.Scale = 1
+	cfg.Parallelism = 4
+	cfg.Calibrated = true
+	if got, want := cfg.String(), "seed=7 scale=1 parallelism=4 calibrated=true"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
 	}
 }
 

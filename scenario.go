@@ -1,0 +1,173 @@
+package leodivide
+
+// ScenarioConfig: the versioned, validated "what-if" option set behind
+// `leodivide serve`. It extends RunConfig (dataset identity) with the
+// model knobs that used to live only as writable Model fields —
+// oversubscription cap, affordability share, Fig3 beamspread selection,
+// Fig4 plan/subsidy selection — plus the experiment name, so library,
+// CLI, bench and server all describe a scenario with one type and none
+// can drift. CanonicalKey is the single byte encoding of a scenario:
+// the result-cache key, the golden identity, and the serve/v1 wire
+// contract all derive from it.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"leodivide/internal/afford"
+	"leodivide/internal/scenario"
+	"leodivide/internal/spectrum"
+)
+
+// ScenarioSchema is the versioned identifier of the scenario encoding
+// and the `leodivide serve` HTTP contract.
+const ScenarioSchema = scenario.Schema
+
+// ScenarioConfig describes one scenario query: which experiment to run,
+// on which dataset (the embedded RunConfig), under which model knobs.
+// The zero value of every knob means "the paper's default"; obtain a
+// fully-populated copy from Normalized.
+type ScenarioConfig struct {
+	RunConfig
+
+	// Experiment names the registry experiment to run ("table2", ...).
+	Experiment string
+	// MaxOversub is the acceptable oversubscription cap (0 = the FCC
+	// fixed-wireless 20:1 default).
+	MaxOversub float64
+	// AffordShare is the affordability threshold as a share of monthly
+	// income (0 = the paper's 2%).
+	AffordShare float64
+	// Spreads overrides the beamspread factors Fig3 evaluates (nil =
+	// the paper's Table 2 spreads). Must be strictly ascending.
+	Spreads []float64
+	// Plans restricts the Fig4 comparison to the named plan labels
+	// (nil = the paper's full four-option comparison). Labels follow
+	// the catalog naming: "Starlink Residential", "Starlink Residential
+	// w/ Lifeline", "Xfinity 300", "Spectrum Internet Premier".
+	Plans []string
+}
+
+// DefaultScenarioConfig returns the paper's configuration with the
+// named experiment selected.
+func DefaultScenarioConfig(experiment string) ScenarioConfig {
+	return ScenarioConfig{RunConfig: DefaultRunConfig(), Experiment: experiment}
+}
+
+// Normalized returns a copy with every defaulted knob materialized:
+// zero MaxOversub/AffordShare become the paper's values, empty Spreads
+// become PaperTable2Spreads, and Plans are sorted into canonical order.
+// Two configs describing the same scenario normalize to equal values,
+// which is what makes CanonicalKey a cache identity.
+func (c ScenarioConfig) Normalized() ScenarioConfig {
+	if c.MaxOversub == 0 {
+		c.MaxOversub = spectrum.FCCFixedWirelessOversubscription
+	}
+	if c.AffordShare == 0 {
+		c.AffordShare = afford.DefaultAffordabilityShare
+	}
+	if len(c.Spreads) == 0 {
+		c.Spreads = PaperTable2Spreads
+	}
+	if len(c.Plans) == 0 {
+		c.Plans = nil
+	} else {
+		plans := make([]string, len(c.Plans))
+		copy(plans, c.Plans)
+		sort.Strings(plans)
+		c.Plans = plans
+	}
+	return c
+}
+
+// Validate reports whether the scenario is runnable: a valid RunConfig,
+// a known experiment name, and every knob finite and in range.
+func (c ScenarioConfig) Validate() error {
+	if err := c.RunConfig.Validate(); err != nil {
+		return err
+	}
+	if c.Experiment == "" {
+		return fmt.Errorf("leodivide: scenario names no experiment")
+	}
+	if _, ok := NewModel().ExperimentByName(c.Experiment); !ok {
+		return fmt.Errorf("leodivide: unknown experiment %q (see `leodivide experiments`)", c.Experiment)
+	}
+	n := c.Normalized()
+	if math.IsNaN(n.MaxOversub) || math.IsInf(n.MaxOversub, 0) || n.MaxOversub < 1 || n.MaxOversub > 1000 {
+		return fmt.Errorf("leodivide: max oversubscription must be in [1,1000], got %v", n.MaxOversub)
+	}
+	if math.IsNaN(n.AffordShare) || n.AffordShare <= 0 || n.AffordShare > 1 {
+		return fmt.Errorf("leodivide: affordability share must be in (0,1], got %v", n.AffordShare)
+	}
+	for i, s := range n.Spreads {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 1 || s > 1000 {
+			return fmt.Errorf("leodivide: beamspread %v at index %d must be in [1,1000]", s, i)
+		}
+		if i > 0 && s <= n.Spreads[i-1] {
+			return fmt.Errorf("leodivide: beamspreads must be strictly ascending, got %v after %v", s, n.Spreads[i-1])
+		}
+	}
+	seen := make(map[string]bool, len(n.Plans))
+	for _, p := range n.Plans {
+		if p == "" || p != strings.TrimSpace(p) {
+			return fmt.Errorf("leodivide: invalid plan label %q", p)
+		}
+		if seen[p] {
+			return fmt.Errorf("leodivide: duplicate plan label %q", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// CanonicalKey returns the scenario's canonical byte encoding: the
+// versioned, validated, normalized field sequence that serves as the
+// one cache and wire identity of the scenario. Parallelism is
+// deliberately excluded — experiment output is byte-identical at every
+// worker count (the determinism contract), so two runs differing only
+// in parallelism share a cache entry.
+func (c ScenarioConfig) CanonicalKey() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	n := c.Normalized()
+	return scenario.NewKey(scenario.Schema).
+		Float("afford_share", n.AffordShare).
+		Bool("calibrated", n.Calibrated).
+		Str("experiment", n.Experiment).
+		Float("max_oversub", n.MaxOversub).
+		Strings("plans", n.Plans).
+		Float("scale", n.Scale).
+		Int64("seed", n.Seed).
+		Floats("spreads", n.Spreads).
+		Key()
+}
+
+// BuildModel constructs the model this scenario describes, extending
+// RunConfig.BuildModel with the promoted knobs.
+func (c ScenarioConfig) BuildModel() Model {
+	n := c.Normalized()
+	m := n.RunConfig.BuildModel()
+	m.MaxOversub = n.MaxOversub
+	m.AffordShare = n.AffordShare
+	if len(n.Spreads) > 0 && !sameFloats(n.Spreads, PaperTable2Spreads) {
+		m.Fig3Spreads = n.Spreads
+	}
+	m.PlanFilter = n.Plans
+	return m
+}
+
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		//lint:ignore floatcmp canonical-identity comparison: spreads are the same scenario only if bit-identical, the same rule the canonical key encodes
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,199 @@
+package leodivide
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestScenarioCanonicalKeyGolden pins the exact byte layout of the
+// canonical key. This string is a wire and cache contract: changing it
+// invalidates every cached result and requires a schema bump.
+func TestScenarioCanonicalKeyGolden(t *testing.T) {
+	key, err := DefaultScenarioConfig("table2").CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "leodivide-serve/v1|afford_share=0.02|calibrated=false|experiment=table2" +
+		"|max_oversub=20|plans=|scale=1|seed=1|spreads=1,2,5,10,15"
+	if key != want {
+		t.Errorf("canonical key:\n got %q\nwant %q", key, want)
+	}
+}
+
+func TestScenarioCanonicalKeyIdentity(t *testing.T) {
+	base := DefaultScenarioConfig("fig4")
+	baseKey, err := base.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Parallelism never changes experiment output, so it must not
+	// change the key: two servers at different worker counts share
+	// cache entries.
+	par := base
+	par.Parallelism = 8
+	if k, err := par.CanonicalKey(); err != nil || k != baseKey {
+		t.Errorf("parallelism changed the key: %q vs %q (err %v)", k, baseKey, err)
+	}
+
+	// Spelling out the paper defaults is the same scenario as leaving
+	// the knobs zero.
+	explicit := base
+	explicit.MaxOversub = 20
+	explicit.AffordShare = 0.02
+	explicit.Spreads = []float64{1, 2, 5, 10, 15}
+	if k, err := explicit.CanonicalKey(); err != nil || k != baseKey {
+		t.Errorf("explicit paper defaults changed the key: %q vs %q (err %v)", k, baseKey, err)
+	}
+
+	// Plans normalize to sorted order: request order is presentation,
+	// not identity.
+	p1, p2 := base, base
+	p1.Plans = []string{"Xfinity 300", "Starlink Residential"}
+	p2.Plans = []string{"Starlink Residential", "Xfinity 300"}
+	k1, err1 := p1.CanonicalKey()
+	k2, err2 := p2.CanonicalKey()
+	if err1 != nil || err2 != nil || k1 != k2 {
+		t.Errorf("plan order changed the key: %q vs %q (errs %v, %v)", k1, k2, err1, err2)
+	}
+	if k1 == baseKey {
+		t.Error("a plan filter must change the key")
+	}
+
+	// Every real knob is identity-bearing.
+	knobs := []func(*ScenarioConfig){
+		func(c *ScenarioConfig) { c.MaxOversub = 35 },
+		func(c *ScenarioConfig) { c.AffordShare = 0.05 },
+		func(c *ScenarioConfig) { c.Spreads = []float64{2, 4} },
+		func(c *ScenarioConfig) { c.Calibrated = true },
+		func(c *ScenarioConfig) { c.Seed = 2 },
+		func(c *ScenarioConfig) { c.Scale = 0.5 },
+		func(c *ScenarioConfig) { c.Experiment = "fig3" },
+	}
+	for i, mutate := range knobs {
+		c := base
+		mutate(&c)
+		k, err := c.CanonicalKey()
+		if err != nil {
+			t.Errorf("knob %d: %v", i, err)
+			continue
+		}
+		if k == baseKey {
+			t.Errorf("knob %d did not change the key %q", i, k)
+		}
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	if err := DefaultScenarioConfig("table1").Validate(); err != nil {
+		t.Errorf("default scenario invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*ScenarioConfig)
+		want   string
+	}{
+		{"no experiment", func(c *ScenarioConfig) { c.Experiment = "" }, "names no experiment"},
+		{"unknown experiment", func(c *ScenarioConfig) { c.Experiment = "warpdrive" }, "unknown experiment"},
+		{"bad scale", func(c *ScenarioConfig) { c.Scale = 0 }, "scale"},
+		{"NaN oversub", func(c *ScenarioConfig) { c.MaxOversub = math.NaN() }, "oversubscription"},
+		{"oversub below 1", func(c *ScenarioConfig) { c.MaxOversub = 0.5 }, "oversubscription"},
+		{"oversub huge", func(c *ScenarioConfig) { c.MaxOversub = 1e6 }, "oversubscription"},
+		{"share above 1", func(c *ScenarioConfig) { c.AffordShare = 2 }, "share"},
+		{"share NaN", func(c *ScenarioConfig) { c.AffordShare = math.NaN() }, "share"},
+		{"spread out of range", func(c *ScenarioConfig) { c.Spreads = []float64{0.5} }, "beamspread"},
+		{"spreads descending", func(c *ScenarioConfig) { c.Spreads = []float64{5, 2} }, "ascending"},
+		{"spreads duplicate", func(c *ScenarioConfig) { c.Spreads = []float64{2, 2} }, "ascending"},
+		{"empty plan label", func(c *ScenarioConfig) { c.Plans = []string{""} }, "plan label"},
+		{"padded plan label", func(c *ScenarioConfig) { c.Plans = []string{" Xfinity 300"} }, "plan label"},
+		{"duplicate plan", func(c *ScenarioConfig) { c.Plans = []string{"Xfinity 300", "Xfinity 300"} }, "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := DefaultScenarioConfig("table1")
+			tc.mutate(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid scenario")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			if _, err := c.CanonicalKey(); err == nil {
+				t.Error("CanonicalKey must refuse what Validate refuses")
+			}
+		})
+	}
+}
+
+// TestScenarioBuildModel: the promoted knobs land on the Model, and a
+// default scenario builds exactly what RunConfig alone builds — the
+// scenario layer adds nothing when nothing is asked for.
+func TestScenarioBuildModel(t *testing.T) {
+	def := DefaultScenarioConfig("table2")
+	if got, want := def.BuildModel(), def.RunConfig.BuildModel(); !reflect.DeepEqual(got, want) {
+		t.Errorf("default scenario model %+v differs from plain RunConfig model %+v", got, want)
+	}
+
+	c := def
+	c.MaxOversub = 35
+	c.AffordShare = 0.05
+	c.Spreads = []float64{2, 4}
+	c.Plans = []string{"Starlink Residential"}
+	m := c.BuildModel()
+	if m.MaxOversub != 35 || m.AffordShare != 0.05 {
+		t.Errorf("knobs not applied: MaxOversub=%v AffordShare=%v", m.MaxOversub, m.AffordShare)
+	}
+	if !reflect.DeepEqual(m.Fig3Spreads, []float64{2, 4}) {
+		t.Errorf("Fig3Spreads = %v, want [2 4]", m.Fig3Spreads)
+	}
+	if !reflect.DeepEqual(m.PlanFilter, []string{"Starlink Residential"}) {
+		t.Errorf("PlanFilter = %v", m.PlanFilter)
+	}
+
+	// Explicit paper spreads leave Fig3Spreads nil — the same model as
+	// the default, so DeepEqual-based equivalence keeps holding.
+	paper := def
+	paper.Spreads = []float64{1, 2, 5, 10, 15}
+	if m := paper.BuildModel(); m.Fig3Spreads != nil {
+		t.Errorf("paper spreads should normalize to nil Fig3Spreads, got %v", m.Fig3Spreads)
+	}
+}
+
+// TestFig4PlanFilter drives the promoted plan/subsidy selection end to
+// end on the real dataset.
+func TestFig4PlanFilter(t *testing.T) {
+	ctx := context.Background()
+	ds := fullDataset(t)
+
+	m := NewModel()
+	m.PlanFilter = []string{"Starlink Residential"}
+	r, err := m.Fig4(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Results) != 1 || r.Results[0].Plan.Name != "Starlink Residential" {
+		t.Fatalf("filtered Fig4 returned %d results, want exactly Starlink Residential", len(r.Results))
+	}
+
+	unknown := NewModel()
+	unknown.PlanFilter = []string{"Dialup Deluxe"}
+	if _, err := unknown.Fig4(ctx, ds); err == nil || !strings.Contains(err.Error(), "Dialup Deluxe") {
+		t.Errorf("unknown plan label: err = %v, want the label named", err)
+	}
+
+	// Findings needs the unsubsidized Starlink row; a filter that
+	// excludes it must fail loudly, not report a wrong F4.
+	noStarlink := NewModel()
+	noStarlink.PlanFilter = []string{"Xfinity 300"}
+	exp, ok := noStarlink.ExperimentByName("findings")
+	if !ok {
+		t.Fatal("findings experiment missing")
+	}
+	if _, err := exp.Run(ctx, ds); err == nil || !strings.Contains(err.Error(), "PlanFilter") {
+		t.Errorf("findings without Starlink: err = %v, want a PlanFilter error", err)
+	}
+}
