@@ -1,7 +1,7 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-parallel bench-json fmt check \
-	verify fuzz-smoke cover cover-check serve-smoke
+.PHONY: build test race vet lint bench bench-parallel bench-json bench-check \
+	fmt check verify fuzz-smoke cover cover-check serve-smoke
 
 build:
 	$(GO) build ./...
@@ -29,15 +29,33 @@ bench-parallel:
 	$(GO) test -bench BenchmarkParallelSpeedup -benchtime 5x -run '^$$' .
 
 # Machine-readable bench report (internal/benchfmt schema). Override
-# BENCH_SCALE / BENCH_WORKERS / BENCH_OUT for other sweeps; CI runs
-# this at small scale and validates the artifact with `bench -check`.
+# BENCH_SCALE / BENCH_WORKERS / BENCH_REPS / BENCH_OUT for other
+# sweeps; CI runs this at small scale and validates the artifact with
+# `bench -check`. Reps default to 3 so per-dataset stage warm-up (the
+# internal/stage memo) is amortized the way a sweep amortizes it.
 BENCH_SCALE ?= 0.05
 BENCH_WORKERS ?= 1,2
+BENCH_REPS ?= 3
 BENCH_OUT ?= BENCH_latest.json
 bench-json:
 	$(GO) run ./cmd/leodivide -scale $(BENCH_SCALE) bench \
-		-workers $(BENCH_WORKERS) -out $(BENCH_OUT)
+		-workers $(BENCH_WORKERS) -reps $(BENCH_REPS) -out $(BENCH_OUT)
 	$(GO) run ./cmd/leodivide bench -check $(BENCH_OUT)
+
+# Regression tripwire against the committed baseline: re-measure the
+# sweep-heavy experiments at the baseline's scale and fail on any cell
+# more than BENCH_MAX_REGRESS slower. The staged sweep experiments now
+# run in microseconds, so the check uses many reps to push the
+# measurement above scheduler noise; even so, wall-clock comparison
+# catches step changes (a dropped cache, an accidental quadratic), not
+# percent-level drift.
+BENCH_MAX_REGRESS ?= 0.20
+BENCH_CHECK_REPS ?= 30
+bench-check:
+	$(GO) run ./cmd/leodivide -scale 0.25 bench -workers 1 \
+		-reps $(BENCH_CHECK_REPS) -experiments table2,fig2,fig3,fleets,busyhour \
+		-out BENCH_check.json \
+		-against BENCH_baseline.json -max-regress $(BENCH_MAX_REGRESS)
 
 fmt:
 	gofmt -s -l -w .

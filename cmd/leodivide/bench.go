@@ -38,6 +38,8 @@ func runBench(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []
 	out := fs.String("out", "BENCH_latest.json", "output path for the JSON report")
 	check := fs.String("check", "", "validate an existing report instead of benchmarking")
 	filter := fs.String("experiments", "", "comma-separated subset to run (default: all; coverage validation is skipped)")
+	against := fs.String("against", "", "baseline report to compare against; fail on ns/op regressions beyond -max-regress")
+	maxRegress := fs.Float64("max-regress", 0.20, "allowed fractional ns/op regression per cell vs -against")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,19 +129,85 @@ func runBench(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []
 	}
 	fmt.Fprintf(w, "bench: wrote %d results to %s (schema %s)\n",
 		len(report.Results), *out, benchfmt.Schema)
+
+	if *against != "" {
+		base, err := readBenchReport(ctx, *against)
+		if err != nil {
+			return err
+		}
+		return compareBenchReports(w, report, base, *against, *maxRegress)
+	}
+	return nil
+}
+
+// readBenchReport loads and parses a bench report from disk.
+func readBenchReport(ctx context.Context, path string) (benchfmt.Report, error) {
+	f, err := safeio.ReadFileVerified(ctx, path, "")
+	if err != nil {
+		return benchfmt.Report{}, err
+	}
+	report, err := benchfmt.Read(strings.NewReader(string(f)))
+	if err != nil {
+		return benchfmt.Report{}, fmt.Errorf("bench: baseline %s: %w", path, err)
+	}
+	return report, nil
+}
+
+// compareBenchReports gates the fresh report against a baseline: every
+// (experiment, workers) cell present in BOTH reports must not regress
+// ns/op by more than maxRegress (fractional). Cells only one report has
+// are ignored — a filtered run compares just what it measured. Seed and
+// scale must match, or the comparison is meaningless and errors out.
+// Single-run wall-clock is noisy, so the threshold is a tripwire for
+// step-change regressions, not a microbenchmark verdict.
+func compareBenchReports(w io.Writer, fresh, base benchfmt.Report, basePath string, maxRegress float64) error {
+	//lint:ignore floatcmp scale is a configuration identity (flag-parsed, JSON round-tripped), not computed arithmetic; two reports are comparable only when it matches exactly
+	if fresh.Seed != base.Seed || fresh.Scale != base.Scale {
+		return fmt.Errorf("bench: cannot compare against %s: seed/scale (%d, %g) vs baseline (%d, %g)",
+			basePath, fresh.Seed, fresh.Scale, base.Seed, base.Scale)
+	}
+	type cell struct {
+		exp     string
+		workers int
+	}
+	baseNs := make(map[cell]int64, len(base.Results))
+	for _, r := range base.Results {
+		baseNs[cell{r.Experiment, r.Workers}] = r.NsPerOp
+	}
+	var regressions []string
+	matched := 0
+	for _, r := range fresh.Results {
+		b, ok := baseNs[cell{r.Experiment, r.Workers}]
+		if !ok || b <= 0 {
+			continue
+		}
+		matched++
+		ratio := float64(r.NsPerOp) / float64(b)
+		fmt.Fprintf(w, "bench vs %s: %s workers=%d %.2fx (%d -> %d ns/op)\n",
+			basePath, r.Experiment, r.Workers, ratio, b, r.NsPerOp)
+		if ratio > 1+maxRegress {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s workers=%d: %d -> %d ns/op (%.2fx > %.2fx allowed)",
+				r.Experiment, r.Workers, b, r.NsPerOp, ratio, 1+maxRegress))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("bench: no (experiment, workers) cells in common with %s", basePath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench: %d regression(s) vs %s:\n  %s",
+			len(regressions), basePath, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "bench: %d cells within %.0f%% of %s\n", matched, 100*maxRegress, basePath)
 	return nil
 }
 
 // runBenchCheck validates a report on disk: schema, structure, and full
 // experiment coverage at >= 2 worker counts. CI fails on any error.
 func runBenchCheck(ctx context.Context, w io.Writer, path string) error {
-	f, err := safeio.ReadFileVerified(ctx, path, "")
+	report, err := readBenchReport(ctx, path)
 	if err != nil {
 		return err
-	}
-	report, err := benchfmt.Read(strings.NewReader(string(f)))
-	if err != nil {
-		return fmt.Errorf("bench check %s: %w", path, err)
 	}
 	all := benchExperiments(leodivide.NewModel())
 	if err := report.ValidateCoverage(all, 2); err != nil {

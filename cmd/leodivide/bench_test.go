@@ -88,6 +88,96 @@ func TestBenchFilterSkipsCoverageGate(t *testing.T) {
 	}
 }
 
+// TestCompareBenchReports pins the -against gate: within-threshold
+// cells pass, a step-change regression fails naming the cell, mismatched
+// seed/scale refuse to compare, and disjoint cell sets are an error
+// rather than a silent pass.
+func TestCompareBenchReports(t *testing.T) {
+	mk := func(ns map[string]int64) benchfmt.Report {
+		r := benchfmt.Report{Schema: benchfmt.Schema, Seed: 1, Scale: 0.25, Reps: 1}
+		for exp, v := range ns {
+			r.Results = append(r.Results, benchfmt.Result{Experiment: exp, Workers: 1, NsPerOp: v})
+		}
+		return r
+	}
+	var buf bytes.Buffer
+
+	base := mk(map[string]int64{"table2": 1000, "fig3": 2000})
+	within := mk(map[string]int64{"table2": 1100, "fig3": 1500})
+	if err := compareBenchReports(&buf, within, base, "base.json", 0.20); err != nil {
+		t.Errorf("10%% slower + 25%% faster should pass at 20%%: %v", err)
+	}
+
+	regressed := mk(map[string]int64{"table2": 1500, "fig3": 2000})
+	err := compareBenchReports(&buf, regressed, base, "base.json", 0.20)
+	if err == nil || !strings.Contains(err.Error(), "table2") {
+		t.Errorf("50%% regression: err = %v, want table2 named", err)
+	}
+
+	// A fresh cell the baseline lacks is ignored, not a failure.
+	extra := mk(map[string]int64{"table2": 1000, "newexp": 1 << 40})
+	if err := compareBenchReports(&buf, extra, base, "base.json", 0.20); err != nil {
+		t.Errorf("unmatched cell should be ignored: %v", err)
+	}
+
+	scaled := mk(map[string]int64{"table2": 1000})
+	scaled.Scale = 0.5
+	if err := compareBenchReports(&buf, scaled, base, "base.json", 0.20); err == nil {
+		t.Error("mismatched scale must refuse to compare")
+	}
+
+	disjoint := mk(map[string]int64{"nosuch": 1})
+	if err := compareBenchReports(&buf, disjoint, base, "base.json", 0.20); err == nil {
+		t.Error("zero matched cells must be an error, not a silent pass")
+	}
+}
+
+// TestBenchAgainstEndToEnd drives -against through the CLI: a run
+// compared against its own output must pass (identical cells), and a
+// doctored much-faster baseline must trip the gate.
+func TestBenchAgainstEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	baseOut := filepath.Join(dir, "BENCH_base.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "0.02", "bench",
+		"-workers", "1", "-experiments", "table1", "-out", baseOut}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	freshOut := filepath.Join(dir, "BENCH_fresh.json")
+	// Generous threshold: single-run wall-clock on a shared CI box is
+	// noisy, and this test asserts plumbing, not performance.
+	if err := run([]string{"-scale", "0.02", "bench", "-workers", "1",
+		"-experiments", "table1", "-out", freshOut,
+		"-against", baseOut, "-max-regress", "25"}, &buf); err != nil {
+		t.Errorf("bench -against its own cells should pass at 2500%%: %v", err)
+	}
+
+	data, err := os.ReadFile(baseOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := benchfmt.Read(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Results {
+		base.Results[i].NsPerOp = 1 // everything regresses vs this
+	}
+	doctored := filepath.Join(dir, "BENCH_fast.json")
+	var enc bytes.Buffer
+	if err := base.Write(&enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(doctored, enc.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "0.02", "bench", "-workers", "1",
+		"-experiments", "table1", "-out", freshOut,
+		"-against", doctored}, &buf); err == nil {
+		t.Error("bench -against a 1ns baseline should report a regression")
+	}
+}
+
 func TestBenchBadFlags(t *testing.T) {
 	var buf bytes.Buffer
 	cases := [][]string{

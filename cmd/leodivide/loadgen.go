@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -199,8 +200,23 @@ func waitHealthy(ctx context.Context, base string, budget time.Duration) error {
 	}
 }
 
-// percentile reads the q-quantile from an ascending latency slice.
+// percentile reads the q-quantile from an ascending latency slice using
+// the nearest-rank definition: the smallest element with at least q of
+// the samples at or below it, ceil(q*n) in 1-based rank terms. The
+// previous truncating index (int(q*(n-1))) rounded the rank DOWN, which
+// under-reported the tail — at n=100 it called the 99th-fastest sample
+// "p99" when nearest-rank says the 99th is sorted[98]... and, worse, at
+// small n it collapsed p99 onto the median (n=2: idx 0).
 func percentile(sorted []time.Duration, q float64) time.Duration {
-	idx := int(q * float64(len(sorted)-1))
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
 	return sorted[idx].Round(time.Microsecond)
 }

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentileNearestRank pins the nearest-rank definition: the
+// smallest element with at least q of the samples at or below it. The
+// old truncating index (int(q*(n-1))) failed exactly these cases — at
+// n=2 it reported p99 as the FASTER sample, and at n=100 it read p99
+// one rank early.
+func TestPercentileNearestRank(t *testing.T) {
+	ms := func(vs ...int) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v) * time.Millisecond
+		}
+		return out
+	}
+	seq := func(n int) []time.Duration {
+		vs := make([]int, n)
+		for i := range vs {
+			vs[i] = i + 1
+		}
+		return ms(vs...)
+	}
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		q      float64
+		want   time.Duration
+	}{
+		{"empty", nil, 0.99, 0},
+		{"n=1 p50", ms(7), 0.50, 7 * time.Millisecond},
+		{"n=1 p99", ms(7), 0.99, 7 * time.Millisecond},
+		// ceil(0.5*2)=1 → first element for p50, but p99 must be the
+		// slower of the two (the old code returned sorted[0] for both).
+		{"n=2 p50", ms(3, 9), 0.50, 3 * time.Millisecond},
+		{"n=2 p99", ms(3, 9), 0.99, 9 * time.Millisecond},
+		{"n=3 p50", ms(1, 5, 9), 0.50, 5 * time.Millisecond},
+		{"n=3 p99", ms(1, 5, 9), 0.99, 9 * time.Millisecond},
+		// n=100: ceil(0.99*100)=99 → sorted[98], the 99th value. The old
+		// truncating form indexed int(0.99*99)=98 too — but only by the
+		// accident that 0.99*99 = 98.01; at n=101 it dropped a rank.
+		{"n=100 p99", seq(100), 0.99, 99 * time.Millisecond},
+		{"n=101 p99", seq(101), 0.99, 100 * time.Millisecond},
+		{"n=100 p50", seq(100), 0.50, 50 * time.Millisecond},
+		// q=1 is the max; q=0 clamps to the min rather than indexing -1.
+		{"n=3 p100", ms(1, 5, 9), 1.0, 9 * time.Millisecond},
+		{"n=3 p0", ms(1, 5, 9), 0.0, 1 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := percentile(tc.sorted, tc.q); got != tc.want {
+				t.Errorf("percentile(%v, %v) = %v, want %v", tc.sorted, tc.q, got, tc.want)
+			}
+		})
+	}
+}

@@ -21,10 +21,22 @@ import (
 	"leodivide/internal/serve"
 )
 
+// flagCacheBytes maps the CLI convention (<= 0 = unbounded) onto the
+// serve.Config one (negative = unbounded, 0 = default): the flag's
+// default already names the serve default explicitly, so a zero here is
+// the operator asking for no byte bound, not for the default.
+func flagCacheBytes(v int64) int64 {
+	if v <= 0 {
+		return -1
+	}
+	return v
+}
+
 func runServe(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []string) error {
 	fs := flag.NewFlagSet("leodivide serve", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address (host:port; :0 picks a free port)")
 	cacheEntries := fs.Int("cache-entries", 1024, "bound on memoized scenario results")
+	cacheBytes := fs.Int64("cache-bytes", serve.DefaultCacheBytes, "bound on memoized result bytes (<= 0 = unbounded)")
 	maxInflight := fs.Int("max-inflight", 0, "bound on concurrently running experiments (0 = one per CPU)")
 	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
 	if err := fs.Parse(args); err != nil {
@@ -39,6 +51,7 @@ func runServe(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []
 	s, err := serve.New(ctx, serve.Config{
 		Scenario:     leodivide.ScenarioConfig{RunConfig: cfg},
 		CacheEntries: *cacheEntries,
+		CacheBytes:   flagCacheBytes(*cacheBytes),
 		MaxInflight:  *maxInflight,
 	})
 	if err != nil {

@@ -70,11 +70,11 @@ func (m Model) Fig4Refined(ctx context.Context, d *Dataset, sigmaLog float64, ho
 	if householdSize <= 0 {
 		householdSize = 3
 	}
-	in, err := afford.NewInput(d.Incomes)
+	in, err := d.affordInput()
 	if err != nil {
 		return RefinedFig4Result{}, err
 	}
-	din, err := afford.NewDispersedInput(d.Incomes, sigmaLog)
+	din, err := d.dispersedInput(sigmaLog)
 	if err != nil {
 		return RefinedFig4Result{}, err
 	}
@@ -177,7 +177,7 @@ func (m Model) Economics(ctx context.Context, d *Dataset) (EconomicsResult, erro
 		}
 		out.Scenarios = append(out.Scenarios, sc)
 	}
-	fig3, err := m.Fig3(ctx, d, 10)
+	fig3, err := m.fig3At(ctx, d, []float64{10})
 	if err != nil {
 		return EconomicsResult{}, err
 	}

@@ -37,14 +37,17 @@ func (m Model) ServedFractionOverDay(ctx context.Context, p traffic.DiurnalProfi
 	}
 	// A cell is served at multiplier k iff k·L ≤ L1(ρ, s): the diurnal
 	// multiplier effectively scales the cell's location count. Each UTC
-	// step scans every cell, so the sweep fans out over steps.
+	// step scans every cell, so the sweep fans out over steps; the scan
+	// runs over columnar projections (location count, diurnal phase)
+	// built once per call, not over the Cell structs.
 	limit := float64(m.Beams.MaxLocationsUnderSpread(maxOversub, spread))
+	cols := traffic.NewColumns(cells)
 	return par.Map(ctx, m.Parallelism, steps, func(s int) (DailyPoint, error) {
 		utc := 24 * float64(s) / float64(steps)
 		served := 0
-		for _, c := range cells {
-			k := traffic.CellDemandAt(p, c, utc)
-			if float64(c.Locations)*k <= limit {
+		for i := range cols.Loc {
+			k := p.MultiplierAt(utc, cols.Phase[i])
+			if cols.Loc[i]*k <= limit {
 				served++
 			}
 		}

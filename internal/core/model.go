@@ -261,56 +261,23 @@ func (m Model) Size(d *demand.Distribution, sc Scenario, spread, maxOversub floa
 }
 
 // sizeWithCap sizes the constellation when every cell is served up to
-// capLoc locations at the given oversubscription.
+// capLoc locations at the given oversubscription. In peak-only mode
+// the binding scan is spread-invariant, so it is memoized in the
+// dataset's stage memo and only the final ConstellationSize evaluation
+// runs per call; all-cells mode folds the spread into every cell's
+// constraint and runs the full columnar loop (see stage.go for both).
 func (m Model) sizeWithCap(d *demand.Distribution, spread, oversub float64, capLoc int) SizingResult {
-	maxBeams := 0
-	var bindingBeams demand.Cell
-	bindingBeamsF := math.Inf(1)
-	bestN := 0
-	var bindingAll demand.Cell
-	bindingAllBeams := 0
-	for _, c := range d.Cells() {
-		served := c.Locations
-		if served > capLoc {
-			served = capLoc
-		}
-		b, _ := m.Beams.BeamsForCell(served, oversub)
-		f := orbit.DensityFactor(m.InclinationDeg, c.Center.Lat)
-		switch {
-		case b > maxBeams, b == maxBeams && f < bindingBeamsF:
-			if b > maxBeams {
-				maxBeams = b
-				bindingBeamsF = math.Inf(1)
-			}
-			if f < bindingBeamsF {
-				bindingBeamsF = f
-				bindingBeams = c
-			}
-		}
-		if m.Binding == BindAllCells {
-			n := m.ConstellationSize(spread, b, c.Center.Lat)
-			if n > bestN {
-				bestN = n
-				bindingAll = c
-				bindingAllBeams = b
-			}
-		}
-	}
 	if m.Binding == BindAllCells {
-		return SizingResult{
-			Spread:      spread,
-			Oversub:     oversub,
-			PeakBeams:   bindingAllBeams,
-			BindingCell: bindingAll,
-			Satellites:  bestN,
-		}
+		return m.sizeAllCells(d, spread, oversub, capLoc)
 	}
+	scan := m.peakScan(d, oversub, capLoc)
+	binding := d.Cells()[scan.bindIdx]
 	return SizingResult{
 		Spread:      spread,
 		Oversub:     oversub,
-		PeakBeams:   maxBeams,
-		BindingCell: bindingBeams,
-		Satellites:  m.ConstellationSize(spread, maxBeams, bindingBeams.Center.Lat),
+		PeakBeams:   scan.maxBeams,
+		BindingCell: binding,
+		Satellites:  m.ConstellationSize(spread, scan.maxBeams, binding.Center.Lat),
 	}
 }
 
@@ -389,11 +356,23 @@ type ReturnsPoint struct {
 // serial skip-if-unchanged emission is equivalent to run-compressing the
 // full precomputed sequence, so the curve is identical at every worker
 // count.
+//
+// In peak-only mode the per-cap (unserved, beams) profile is
+// spread-invariant and memoized in the dataset's stage memo; each call
+// then maps it through the per-band satellite table for its spread and
+// compresses — so a multi-spread Figure 3 pays for one profile sweep
+// total, not one per spread.
 func (m Model) DiminishingReturns(ctx context.Context, d *demand.Distribution, spread, oversub float64) ([]ReturnsPoint, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	hardCap := m.Beams.MaxServableLocations(oversub)
 	perBeam := m.Beams.LocationsPerBeam(oversub)
 	if perBeam > hardCap {
 		return nil, nil
+	}
+	if m.Binding != BindPeakOnly {
+		return m.diminishingReturnsAllCells(ctx, d, spread, oversub, hardCap, perBeam)
 	}
 
 	// The paper's narrative sizes every point of the sweep against the
@@ -402,34 +381,51 @@ func (m Model) DiminishingReturns(ctx context.Context, d *demand.Distribution, s
 	// the full-cap sizing and precompute the per-band sizes.
 	maxBand := m.Beams.MaxBeamsPerCell
 	bandSats := make([]int, maxBand+1) // indexed by beams
-	if m.Binding == BindPeakOnly {
-		bindLat := m.sizeWithCap(d, spread, oversub, hardCap).BindingCell.Center.Lat
-		for b := 1; b <= maxBand; b++ {
-			bandSats[b] = m.ConstellationSize(spread, b, bindLat)
-		}
+	bindLat := d.Cells()[m.peakScan(d, oversub, hardCap).bindIdx].Center.Lat
+	for b := 1; b <= maxBand; b++ {
+		bandSats[b] = m.ConstellationSize(spread, b, bindLat)
+	}
+	prof, err := m.returnsProfile(ctx, d, oversub)
+	if err != nil {
+		return nil, err
 	}
 
+	var out []ReturnsPoint
+	lastUnserved, lastSats := -1, -1
+	for i, p := range prof {
+		sats := bandSats[p.beams]
+		if p.unserved == lastUnserved && sats == lastSats {
+			continue
+		}
+		out = append(out, ReturnsPoint{
+			CapLocations:      perBeam + i,
+			UnservedLocations: p.unserved,
+			Satellites:        sats,
+			PeakBeams:         p.beams,
+		})
+		lastUnserved, lastSats = p.unserved, sats
+	}
+	return out, nil
+}
+
+// diminishingReturnsAllCells is the unstaged sweep for BindAllCells,
+// where the constellation size at every cap depends on the spread
+// through every cell's constraint and cannot be shared.
+func (m Model) diminishingReturnsAllCells(ctx context.Context, d *demand.Distribution, spread, oversub float64, hardCap, perBeam int) ([]ReturnsPoint, error) {
 	raw, err := par.Map(ctx, m.Parallelism, hardCap-perBeam+1, func(i int) (ReturnsPoint, error) {
 		t := perBeam + i
 		unserved := d.ExcessAbove(t)
 		b, _ := m.Beams.BeamsForCell(t, oversub)
-		var sats int
-		if m.Binding == BindPeakOnly {
-			sats = bandSats[b]
-		} else {
-			sats = m.sizeWithCap(d, spread, oversub, t).Satellites
-		}
 		return ReturnsPoint{
 			CapLocations:      t,
 			UnservedLocations: unserved,
-			Satellites:        sats,
+			Satellites:        m.sizeWithCap(d, spread, oversub, t).Satellites,
 			PeakBeams:         b,
 		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-
 	var out []ReturnsPoint
 	lastUnserved, lastSats := -1, -1
 	for _, p := range raw {

@@ -13,6 +13,7 @@ import (
 	"leodivide/internal/geo"
 	"leodivide/internal/hexgrid"
 	"leodivide/internal/spectrum"
+	"leodivide/internal/stage"
 	"leodivide/internal/stats"
 )
 
@@ -105,11 +106,21 @@ func Aggregate(locs []Location, res hexgrid.Resolution) ([]Cell, error) {
 
 // Distribution wraps a cell set with the order statistics the model
 // queries repeatedly. Construct with NewDistribution.
+//
+// Alongside the cell slice it keeps columnar projections of the hot
+// per-cell fields (location counts, center latitudes) so the capacity
+// model's inner loops scan dense arrays instead of striding across
+// Cell structs, plus a per-dataset stage memo for derived results that
+// are invariant across sweep points (see package stage).
 type Distribution struct {
 	cells  []Cell // descending by Locations
 	cdf    *stats.CDF
 	total  int
 	suffix []int // suffix[i] = sum of Locations of cells[0..i]
+
+	locs   []int32   // column of cells[i].Locations
+	lats   []float64 // column of cells[i].Center.Lat
+	stages *stage.Memo
 }
 
 // NewDistribution indexes the cells. Cells with zero locations are
@@ -119,6 +130,9 @@ func NewDistribution(cells []Cell) (*Distribution, error) {
 	for _, c := range cells {
 		if c.Locations < 0 {
 			return nil, fmt.Errorf("demand: cell %v has negative locations", c.ID)
+		}
+		if c.Locations > math.MaxInt32 {
+			return nil, fmt.Errorf("demand: cell %v has %d locations, beyond the int32 column range", c.ID, c.Locations)
 		}
 		if c.Locations > 0 {
 			kept = append(kept, c)
@@ -135,17 +149,25 @@ func NewDistribution(cells []Cell) (*Distribution, error) {
 	})
 	samples := make([]float64, len(kept))
 	suffix := make([]int, len(kept))
+	locs := make([]int32, len(kept))
+	lats := make([]float64, len(kept))
 	total := 0
 	for i, c := range kept {
 		samples[i] = float64(c.Locations)
 		total += c.Locations
 		suffix[i] = total
+		locs[i] = int32(c.Locations)
+		lats[i] = c.Center.Lat
 	}
 	cdf, err := stats.NewCDF(samples)
 	if err != nil {
 		return nil, err
 	}
-	return &Distribution{cells: kept, cdf: cdf, total: total, suffix: suffix}, nil
+	return &Distribution{
+		cells: kept, cdf: cdf, total: total, suffix: suffix,
+		locs: locs, lats: lats,
+		stages: stage.New(0),
+	}, nil
 }
 
 // NumCells returns the number of cells with demand.
@@ -164,12 +186,29 @@ func (d *Distribution) Peak() Cell { return d.cells[0] }
 // CDF returns the per-cell location-count CDF.
 func (d *Distribution) CDF() *stats.CDF { return d.cdf }
 
+// Locs returns the per-cell location counts as a dense column, aligned
+// with Cells() (descending). Shared storage; callers must not modify.
+func (d *Distribution) Locs() []int32 { return d.locs }
+
+// Lats returns the per-cell center latitudes as a dense column, aligned
+// with Cells(). Shared storage; callers must not modify.
+func (d *Distribution) Lats() []float64 { return d.lats }
+
+// Stages returns the distribution's compute-stage memo. Derived values
+// that depend only on this dataset (plus model knobs encoded in the
+// key) are cached here and shared across sweep points and concurrent
+// experiments. Nil only for a zero-value Distribution.
+func (d *Distribution) Stages() *stage.Memo { return d.stages }
+
 // Quantile returns the per-cell location count at quantile q.
 func (d *Distribution) Quantile(q float64) int { return int(d.cdf.Quantile(q)) }
 
 // CellsAbove returns the number of cells with more than t locations.
 func (d *Distribution) CellsAbove(t int) int {
-	return d.cdf.CountGT(float64(t))
+	// Integer binary search on the descending locs column; identical to
+	// the former cdf.CountGT(float64(t)) because location counts are
+	// integers far below 2^53 and convert to float64 exactly.
+	return sort.Search(len(d.locs), func(i int) bool { return int(d.locs[i]) <= t })
 }
 
 // LocationsInCellsAbove returns the total locations living in cells with
@@ -203,16 +242,16 @@ func (d *Distribution) ServedFractionWithCap(t int) float64 {
 // FractionOfCellsAtMost returns the fraction of demand cells with at
 // most t locations.
 func (d *Distribution) FractionOfCellsAtMost(t int) float64 {
-	return d.cdf.P(float64(t))
+	// = cdf.P(float64(t)): CountLE is the complement of CellsAbove over
+	// the same integer column, and the division order is unchanged.
+	return float64(len(d.locs)-d.CellsAbove(t)) / float64(len(d.locs))
 }
 
 // Summary returns headline statistics of the per-cell distribution.
 func (d *Distribution) Summary() (stats.Summary, error) {
-	samples := make([]float64, len(d.cells))
-	for i, c := range d.cells {
-		samples[i] = float64(c.Locations)
-	}
-	return stats.Summarize(samples)
+	// The CDF already holds the sorted sample column; summarizing it is
+	// value-identical to re-collecting and re-sorting the samples.
+	return stats.SummarizeCDF(d.cdf)
 }
 
 // CountyWeights returns total locations per county FIPS, for income

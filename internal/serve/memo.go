@@ -43,6 +43,8 @@ type memo struct {
 	entries    map[string]*list.Element
 	ll         *list.List // front = most recently used
 	maxEntries int
+	maxBytes   int64 // 0 = unbounded by size
+	bytes      int64 // sum of key+value sizes of cached entries
 	flight     map[string]*call
 	evictions  int64
 }
@@ -62,15 +64,22 @@ type call struct {
 
 // newMemo returns a memo bounded to maxEntries cached results
 // (maxEntries <= 0 selects a single-entry cache; a serving layer with
-// no cache at all would defeat the point).
-func newMemo(maxEntries int) *memo {
+// no cache at all would defeat the point) and maxBytes of cached
+// key+value data (<= 0 = no byte bound). The byte bound is what keeps
+// a handful of large-scale scenario responses from growing RSS without
+// limit under an entry-count-only cap.
+func newMemo(maxEntries int, maxBytes int64) *memo {
 	if maxEntries <= 0 {
 		maxEntries = 1
+	}
+	if maxBytes < 0 {
+		maxBytes = 0
 	}
 	return &memo{
 		entries:    make(map[string]*list.Element),
 		ll:         list.New(),
 		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
 		flight:     make(map[string]*call),
 	}
 }
@@ -114,27 +123,43 @@ func (m *memo) get(ctx context.Context, key string, fill func() ([]byte, error))
 	return c.val, StatusMiss, c.err
 }
 
+// entrySize is the accounted footprint of one cached entry. Key and
+// value both count: canonical keys are short, but the accounting should
+// not assume so.
+func entrySize(e *memoEntry) int64 {
+	return int64(len(e.key)) + int64(len(e.val))
+}
+
 // add inserts under m.mu, evicting the least recently used entries past
-// the bound.
+// either bound (count or bytes). The newest entry always stays, even if
+// it alone exceeds maxBytes — the caller just computed it, and serving
+// it from cache once is strictly better than thrashing.
 func (m *memo) add(key string, val []byte) {
 	if el, ok := m.entries[key]; ok {
 		m.ll.MoveToFront(el)
-		el.Value.(*memoEntry).val = val
-		return
+		e := el.Value.(*memoEntry)
+		m.bytes -= entrySize(e)
+		e.val = val
+		m.bytes += entrySize(e)
+	} else {
+		e := &memoEntry{key: key, val: val}
+		m.entries[key] = m.ll.PushFront(e)
+		m.bytes += entrySize(e)
 	}
-	m.entries[key] = m.ll.PushFront(&memoEntry{key: key, val: val})
-	for m.ll.Len() > m.maxEntries {
+	for m.ll.Len() > 1 && (m.ll.Len() > m.maxEntries || (m.maxBytes > 0 && m.bytes > m.maxBytes)) {
 		oldest := m.ll.Back()
 		m.ll.Remove(oldest)
-		delete(m.entries, oldest.Value.(*memoEntry).key)
+		e := oldest.Value.(*memoEntry)
+		delete(m.entries, e.key)
+		m.bytes -= entrySize(e)
 		m.evictions++
 		metricEvictions.Inc()
 	}
 }
 
 // stats returns a consistent snapshot of the cache shape.
-func (m *memo) stats() (entries int, evictions int64) {
+func (m *memo) stats() (entries int, bytes int64, evictions int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.ll.Len(), m.evictions
+	return m.ll.Len(), m.bytes, m.evictions
 }

@@ -18,7 +18,7 @@ import (
 // rather than the warm-cache path.
 func TestMemoCoalescesConcurrentFills(t *testing.T) {
 	const followers = 31
-	m := newMemo(8)
+	m := newMemo(8, 0)
 	var fills atomic.Int64
 	entered := make(chan struct{})
 	release := make(chan struct{})
@@ -75,7 +75,7 @@ func TestMemoCoalescesConcurrentFills(t *testing.T) {
 }
 
 func TestMemoHitAfterFill(t *testing.T) {
-	m := newMemo(8)
+	m := newMemo(8, 0)
 	var fills int
 	fill := func() ([]byte, error) { fills++; return []byte("v"), nil }
 	ctx := context.Background()
@@ -92,7 +92,7 @@ func TestMemoHitAfterFill(t *testing.T) {
 }
 
 func TestMemoLRUEviction(t *testing.T) {
-	m := newMemo(2)
+	m := newMemo(2, 0)
 	fillFor := func(k string, n *int) func() ([]byte, error) {
 		return func() ([]byte, error) { *n++; return []byte(k), nil }
 	}
@@ -113,7 +113,7 @@ func TestMemoLRUEviction(t *testing.T) {
 		t.Fatalf("a should be cached, got %v", st)
 	}
 	mustGet("c", fillFor("c", &fc))
-	if entries, evictions := m.stats(); entries != 2 || evictions != 1 {
+	if entries, _, evictions := m.stats(); entries != 2 || evictions != 1 {
 		t.Errorf("stats = (%d entries, %d evictions), want (2, 1)", entries, evictions)
 	}
 	if st := mustGet("a", fillFor("a", &fa)); st != StatusHit {
@@ -132,7 +132,7 @@ func TestMemoLRUEviction(t *testing.T) {
 }
 
 func TestMemoErrorsAreNotCached(t *testing.T) {
-	m := newMemo(8)
+	m := newMemo(8, 0)
 	boom := errors.New("boom")
 	calls := 0
 	ctx := context.Background()
@@ -152,8 +152,67 @@ func TestMemoErrorsAreNotCached(t *testing.T) {
 	}
 }
 
+// TestMemoByteEviction pins the byte-bound behaviour: entries are
+// evicted oldest-first once cached key+value bytes exceed the cap, even
+// when the entry count is far below maxEntries, and the accounted bytes
+// shrink to match. The newest entry is always retained, even when it
+// alone exceeds the cap.
+func TestMemoByteEviction(t *testing.T) {
+	// Each entry: 1-byte key + 40-byte value = 41 bytes. Cap fits two.
+	m := newMemo(100, 90)
+	ctx := context.Background()
+	val := bytes.Repeat([]byte("x"), 40)
+	put := func(k string) {
+		t.Helper()
+		if _, _, err := m.get(ctx, k, func() ([]byte, error) { return val, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b")
+	if entries, size, evictions := m.stats(); entries != 2 || size != 82 || evictions != 0 {
+		t.Fatalf("after 2 puts: stats = (%d, %d, %d), want (2, 82, 0)", entries, size, evictions)
+	}
+	// A third entry pushes bytes to 123 > 90: the oldest ("a") goes.
+	put("c")
+	if entries, size, evictions := m.stats(); entries != 2 || size != 82 || evictions != 1 {
+		t.Errorf("after byte overflow: stats = (%d, %d, %d), want (2, 82, 1)", entries, size, evictions)
+	}
+	if _, st, err := m.get(ctx, "a", func() ([]byte, error) { return val, nil }); err != nil || st != StatusMiss {
+		t.Errorf("oldest key a should have been evicted by bytes, got status %v, err %v", st, err)
+	}
+	// An entry larger than the whole cap evicts everything else but is
+	// itself retained: serving it once from cache beats thrashing.
+	huge := bytes.Repeat([]byte("y"), 200)
+	if _, _, err := m.get(ctx, "h", func() ([]byte, error) { return huge, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if entries, size, _ := m.stats(); entries != 1 || size != 201 {
+		t.Errorf("oversized entry: stats = (%d entries, %d bytes), want (1, 201)", entries, size)
+	}
+	if _, st, err := m.get(ctx, "h", func() ([]byte, error) { return huge, nil }); err != nil || st != StatusHit {
+		t.Errorf("oversized entry should still be served from cache, got status %v, err %v", st, err)
+	}
+}
+
+// TestMemoUnboundedBytes pins that maxBytes <= 0 disables the byte
+// bound entirely: only the entry count evicts.
+func TestMemoUnboundedBytes(t *testing.T) {
+	m := newMemo(4, 0)
+	ctx := context.Background()
+	big := bytes.Repeat([]byte("z"), 1<<16)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		if _, _, err := m.get(ctx, k, func() ([]byte, error) { return big, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if entries, size, evictions := m.stats(); entries != 4 || size != 4*(1<<16)+4 || evictions != 0 {
+		t.Errorf("stats = (%d, %d, %d), want (4, %d, 0)", entries, size, evictions, 4*(1<<16)+4)
+	}
+}
+
 func TestMemoFollowerHonorsOwnContext(t *testing.T) {
-	m := newMemo(8)
+	m := newMemo(8, 0)
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	go func() {

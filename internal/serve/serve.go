@@ -77,10 +77,18 @@ type Config struct {
 	Dataset *leodivide.Dataset
 	// CacheEntries bounds the memoized result cache (default 1024).
 	CacheEntries int
+	// CacheBytes bounds the cache's total key+value bytes. 0 selects
+	// the default (256 MiB); negative means unbounded by size. Without
+	// a byte bound a handful of large-scale scenario responses can
+	// occupy far more memory than the entry count suggests.
+	CacheBytes int64
 	// MaxInflight bounds concurrently running experiments (0 = one per
 	// CPU, via par.Workers).
 	MaxInflight int
 }
+
+// DefaultCacheBytes is the cache byte bound when Config.CacheBytes is 0.
+const DefaultCacheBytes int64 = 256 << 20
 
 // Server answers scenario queries against one shared immutable dataset.
 type Server struct {
@@ -115,10 +123,17 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	if entries == 0 {
 		entries = 1024
 	}
+	bytes := cfg.CacheBytes
+	switch {
+	case bytes == 0:
+		bytes = DefaultCacheBytes
+	case bytes < 0:
+		bytes = 0 // memo-internal convention: 0 = no byte bound
+	}
 	s := &Server{
 		ds:   ds,
 		base: base,
-		memo: newMemo(entries),
+		memo: newMemo(entries, bytes),
 		gate: par.NewGate(cfg.MaxInflight),
 		mux:  http.NewServeMux(),
 	}
@@ -359,23 +374,29 @@ type Stats struct {
 	Coalesced    int64 `json:"coalesced"`
 	Errors       int64 `json:"errors"`
 	CacheEntries int   `json:"cache_entries"`
-	Evictions    int64 `json:"evictions"`
-	InflightCap  int   `json:"inflight_cap"`
-	Inflight     int   `json:"inflight"`
+	// CacheBytes is the cached key+value footprint; CacheMaxBytes is
+	// its bound (0 = unbounded by size).
+	CacheBytes    int64 `json:"cache_bytes"`
+	CacheMaxBytes int64 `json:"cache_max_bytes"`
+	Evictions     int64 `json:"evictions"`
+	InflightCap   int   `json:"inflight_cap"`
+	Inflight      int   `json:"inflight"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	entries, evictions := s.memo.stats()
+	entries, bytes, evictions := s.memo.stats()
 	st := Stats{
-		Requests:     s.requests.Load(),
-		Hits:         s.hits.Load(),
-		Misses:       s.misses.Load(),
-		Coalesced:    s.coalesced.Load(),
-		Errors:       s.errs.Load(),
-		CacheEntries: entries,
-		Evictions:    evictions,
-		InflightCap:  s.gate.Cap(),
-		Inflight:     s.gate.InUse(),
+		Requests:      s.requests.Load(),
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Errors:        s.errs.Load(),
+		CacheEntries:  entries,
+		CacheBytes:    bytes,
+		CacheMaxBytes: s.memo.maxBytes,
+		Evictions:     evictions,
+		InflightCap:   s.gate.Cap(),
+		Inflight:      s.gate.InUse(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	//lint:ignore errdrop HTTP response write; a disconnected client is not actionable

@@ -317,6 +317,12 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.CacheEntries != 1 {
 		t.Errorf("cache entries = %d, want 1", st.CacheEntries)
 	}
+	if st.CacheBytes <= 0 {
+		t.Errorf("cache bytes = %d, want > 0 after a cached result", st.CacheBytes)
+	}
+	if st.CacheMaxBytes != DefaultCacheBytes {
+		t.Errorf("cache max bytes = %d, want the default %d", st.CacheMaxBytes, DefaultCacheBytes)
+	}
 }
 
 func TestHealthAndMetricsEndpoints(t *testing.T) {

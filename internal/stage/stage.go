@@ -1,0 +1,168 @@
+// Package stage is the compute-stage memo behind the columnar hot-path
+// engine: invariant stages of the analysis pipeline — per-dataset
+// demand columns, affordability inputs, spread-invariant binding scans,
+// diminishing-returns profiles — are computed once per dataset and
+// shared across sweep points and across concurrently running
+// experiments (including concurrent `leodivide serve` queries against
+// the same dataset).
+//
+// A Memo hangs off the dataset object it describes (demand.Distribution
+// owns one), so the invalidation contract is structural: stage results
+// live exactly as long as the dataset, and a new dataset starts with an
+// empty memo. Keys therefore never encode dataset identity — only the
+// stage name and the model knobs the stage's value depends on. Model
+// knobs that do not change a stage's value (parallelism above all) must
+// stay out of its key, mirroring the canonical-scenario-key rule.
+//
+// Concurrency: Do is safe for concurrent use and coalesces identical
+// in-flight computes (singleflight) — the first caller runs compute,
+// later callers of the same key block until it finishes and share the
+// result. Stage computes are short and pure, so followers wait without
+// a context; a compute that errors is not cached, and the error is
+// returned to every coalesced caller of that round only.
+package stage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Memo is a bounded, singleflight-coalesced memo of stage results.
+// Construct with New; the zero value is not usable, but a nil *Memo is:
+// every Do on a nil memo just runs compute (no caching), so optional
+// staging degrades gracefully.
+type Memo struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	ll      *list.List // front = most recently used
+	max     int
+	flight  map[string]*flight
+
+	hits, misses, coalesced, evictions int64
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// flight is one in-flight compute; followers wait on done and then read
+// val/err, which the leader writes before closing done.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// DefaultEntries bounds a dataset's stage memo. Stage values are small
+// (columns and scan summaries, not experiment results), but serve-layer
+// queries can mint one binding-scan entry per distinct oversubscription
+// knob, so the memo is LRU-bounded rather than unbounded.
+const DefaultEntries = 128
+
+// New returns a memo bounded to maxEntries stage results (<= 0 selects
+// DefaultEntries).
+func New(maxEntries int) *Memo {
+	if maxEntries <= 0 {
+		maxEntries = DefaultEntries
+	}
+	return &Memo{
+		entries: make(map[string]*list.Element),
+		ll:      list.New(),
+		max:     maxEntries,
+		flight:  make(map[string]*flight),
+	}
+}
+
+// Do returns the stage value for key, running compute on first use.
+// Concurrent calls with the same key share one compute. Successful
+// results are cached (LRU past the bound); errors are not, so a
+// transient failure does not poison the key.
+func (m *Memo) Do(key string, compute func() (any, error)) (any, error) {
+	if m == nil {
+		return compute()
+	}
+	m.mu.Lock()
+	if el, ok := m.entries[key]; ok {
+		m.ll.MoveToFront(el)
+		v := el.Value.(*entry).val
+		m.hits++
+		m.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := m.flight[key]; ok {
+		m.coalesced++
+		m.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	m.flight[key] = f
+	m.misses++
+	m.mu.Unlock()
+
+	f.val, f.err = compute()
+
+	m.mu.Lock()
+	delete(m.flight, key)
+	if f.err == nil {
+		m.add(key, f.val)
+	}
+	m.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
+}
+
+// add inserts under m.mu, evicting least recently used entries past the
+// bound.
+func (m *Memo) add(key string, val any) {
+	if el, ok := m.entries[key]; ok {
+		m.ll.MoveToFront(el)
+		el.Value.(*entry).val = val
+		return
+	}
+	m.entries[key] = m.ll.PushFront(&entry{key: key, val: val})
+	for m.ll.Len() > m.max {
+		oldest := m.ll.Back()
+		m.ll.Remove(oldest)
+		delete(m.entries, oldest.Value.(*entry).key)
+		m.evictions++
+	}
+}
+
+// Len reports the number of cached stage results.
+func (m *Memo) Len() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}
+
+// Counters returns the memo's lifetime traffic counts.
+func (m *Memo) Counters() (hits, misses, coalesced, evictions int64) {
+	if m == nil {
+		return 0, 0, 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses, m.coalesced, m.evictions
+}
+
+// Get memoizes a fallible typed compute under key.
+func Get[T any](m *Memo, key string, compute func() (T, error)) (T, error) {
+	v, err := m.Do(key, func() (any, error) { return compute() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// Cached memoizes an infallible typed compute under key.
+func Cached[T any](m *Memo, key string, compute func() T) T {
+	//lint:ignore errdrop compute is infallible and Do only propagates compute's error, which is nil by construction here
+	v, _ := m.Do(key, func() (any, error) { return compute(), nil })
+	return v.(T)
+}

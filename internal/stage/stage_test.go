@@ -1,0 +1,200 @@
+package stage
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCachesFirstResult(t *testing.T) {
+	m := New(4)
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, err := m.Do("k", func() (any, error) {
+			calls++
+			return 42, nil
+		})
+		if err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+		if v.(int) != 42 {
+			t.Fatalf("Do = %v, want 42", v)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	hits, misses, _, _ := m.Counters()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("counters hits=%d misses=%d, want 2/1", hits, misses)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	m := New(4)
+	boom := errors.New("boom")
+	calls := 0
+	compute := func() (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return "ok", nil
+	}
+	if _, err := m.Do("k", compute); !errors.Is(err, boom) {
+		t.Fatalf("first Do err = %v, want boom", err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("error was cached: Len = %d", m.Len())
+	}
+	v, err := m.Do("k", compute)
+	if err != nil || v.(string) != "ok" {
+		t.Fatalf("second Do = %v, %v; want ok, nil", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
+	}
+}
+
+func TestEvictionOrderLRU(t *testing.T) {
+	m := New(2)
+	put := func(k string) {
+		if _, err := m.Do(k, func() (any, error) { return k, nil }); err != nil {
+			t.Fatalf("Do(%q): %v", k, err)
+		}
+	}
+	put("a")
+	put("b")
+	put("a") // refresh a; b is now least recently used
+	put("c") // evicts b
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	stillCached := true
+	if _, err := m.Do("a", func() (any, error) { stillCached = false; return "a", nil }); err != nil {
+		t.Fatalf("Do(a): %v", err)
+	}
+	if !stillCached {
+		t.Fatal("a was evicted; want the refreshed entry retained")
+	}
+	recomputed := false
+	if _, err := m.Do("b", func() (any, error) { recomputed = true; return "b", nil }); err != nil {
+		t.Fatalf("Do(b): %v", err)
+	}
+	if !recomputed {
+		t.Fatal("b survived eviction; want it recomputed")
+	}
+	if _, _, _, ev := m.Counters(); ev == 0 {
+		t.Fatal("eviction counter never incremented")
+	}
+}
+
+// TestDoCoalescesConcurrent drives many goroutines at one key with a
+// blocked leader: exactly one compute may run, and every waiter must
+// see its result. Run under -race this also exercises the
+// flight-handoff ordering.
+func TestDoCoalescesConcurrent(t *testing.T) {
+	m := New(4)
+	release := make(chan struct{})
+	var computes atomic.Int64
+	leaderIn := make(chan struct{})
+	go func() {
+		_, _ = m.Do("k", func() (any, error) {
+			computes.Add(1)
+			close(leaderIn)
+			<-release
+			return 7, nil
+		})
+	}()
+	<-leaderIn
+
+	const followers = 16
+	var wg sync.WaitGroup
+	results := make([]int, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := m.Do("k", func() (any, error) {
+				computes.Add(1)
+				return -1, nil
+			})
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+				return
+			}
+			results[i] = v.(int)
+		}(i)
+	}
+	// Wait for every follower to register against the in-flight compute
+	// before releasing the leader, so none of them race to a plain hit.
+	for {
+		if _, _, coalesced, _ := m.Counters(); coalesced == followers {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("%d computes ran, want 1", n)
+	}
+	for i, v := range results {
+		if v != 7 {
+			t.Fatalf("follower %d got %d, want 7", i, v)
+		}
+	}
+	if _, _, coalesced, _ := m.Counters(); coalesced == 0 {
+		t.Fatal("no followers coalesced")
+	}
+}
+
+func TestNilMemoRunsCompute(t *testing.T) {
+	var m *Memo
+	calls := 0
+	for i := 0; i < 2; i++ {
+		v, err := m.Do("k", func() (any, error) { calls++; return i, nil })
+		if err != nil || v.(int) != i {
+			t.Fatalf("nil Do = %v, %v; want %d, nil", v, err, i)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("nil memo cached: %d calls, want 2", calls)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("nil Len = %d", m.Len())
+	}
+	if h, mi, c, e := m.Counters(); h|mi|c|e != 0 {
+		t.Fatal("nil Counters nonzero")
+	}
+}
+
+func TestGetAndCachedTyped(t *testing.T) {
+	m := New(4)
+	s, err := Get(m, "s", func() (string, error) { return "hello", nil })
+	if err != nil || s != "hello" {
+		t.Fatalf("Get = %q, %v", s, err)
+	}
+	boom := errors.New("boom")
+	if _, err := Get(m, "e", func() ([]int, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("Get err = %v, want boom", err)
+	}
+	calls := 0
+	for i := 0; i < 2; i++ {
+		if got := Cached(m, "c", func() int { calls++; return 9 }); got != 9 {
+			t.Fatalf("Cached = %d, want 9", got)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("Cached compute ran %d times, want 1", calls)
+	}
+}
+
+func TestNewDefaultBound(t *testing.T) {
+	m := New(0)
+	if m.max != DefaultEntries {
+		t.Fatalf("New(0) bound = %d, want %d", m.max, DefaultEntries)
+	}
+}

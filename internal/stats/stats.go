@@ -261,6 +261,17 @@ func Summarize(samples []float64) (Summary, error) {
 	if err != nil {
 		return Summary{}, err
 	}
+	return SummarizeCDF(c)
+}
+
+// SummarizeCDF computes a Summary from an already-built CDF, reusing
+// its sorted sample array instead of copying and re-sorting. Sorting is
+// deterministic over the sample multiset, so this is value-identical to
+// Summarize on the same samples in any order.
+func SummarizeCDF(c *CDF) (Summary, error) {
+	if c == nil || len(c.sorted) == 0 {
+		return Summary{}, ErrNoSamples
+	}
 	mean := c.Mean()
 	varsum := 0.0
 	for _, v := range c.sorted {

@@ -100,11 +100,64 @@ func CellDemandAt(p DiurnalProfile, c demand.Cell, utcHour float64) float64 {
 	return p.At(LocalHour(utcHour, c.Center.Lng))
 }
 
+// MultiplierAt is the hot-loop form of CellDemandAt over precomputed
+// columns: phase is the cell's longitude divided by 15 (see Columns).
+// The pointer receiver avoids copying the 24-entry profile per cell,
+// and the arithmetic replicates LocalHour followed by At operation for
+// operation — including At's second modulo, whose rounding is
+// observable — so the result is bit-identical.
+func (p *DiurnalProfile) MultiplierAt(utcHour, phase float64) float64 {
+	h := math.Mod(utcHour+phase+48, 24)
+	h = math.Mod(h+24, 24)
+	lo := int(h) % 24
+	hi := (lo + 1) % 24
+	frac := h - math.Floor(h)
+	return p[lo]*(1-frac) + p[hi]*frac
+}
+
+// Columns are dense per-cell projections of the traffic-relevant Cell
+// fields, aligned with the source cell slice: the location count as a
+// float, the sold demand in Gbps, and the diurnal phase (longitude/15,
+// the cell's local-clock offset in hours). Building them once per
+// analysis keeps the per-hour scans cache-friendly and free of repeated
+// field strides and divisions.
+type Columns struct {
+	Loc    []float64
+	Demand []float64
+	Phase  []float64
+}
+
+// NewColumns projects the cells into columns.
+func NewColumns(cells []demand.Cell) Columns {
+	c := Columns{
+		Loc:    make([]float64, len(cells)),
+		Demand: make([]float64, len(cells)),
+		Phase:  make([]float64, len(cells)),
+	}
+	for i := range cells {
+		c.Loc[i] = float64(cells[i].Locations)
+		c.Demand[i] = cells[i].DemandGbps()
+		c.Phase[i] = cells[i].Center.Lng / 15
+	}
+	return c
+}
+
+// Len returns the number of projected cells.
+func (c Columns) Len() int { return len(c.Loc) }
+
 // NationalCurve sums instantaneous demand over all cells for each UTC
 // hour step, returning (utcHour, totalDemandGbps) samples. Time-zone
 // staggering flattens this national curve relative to any single
 // cell's curve.
 func NationalCurve(p DiurnalProfile, cells []demand.Cell, steps int) ([]float64, []float64, error) {
+	return NationalCurveColumns(p, NewColumns(cells), steps)
+}
+
+// NationalCurveColumns is NationalCurve over pre-projected columns, so
+// repeated curves (footprint and national scopes of a stagger analysis)
+// share one projection. Cell order — and with it the floating-point
+// accumulation order — matches the source slice exactly.
+func NationalCurveColumns(p DiurnalProfile, cols Columns, steps int) ([]float64, []float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -117,8 +170,8 @@ func NationalCurve(p DiurnalProfile, cells []demand.Cell, steps int) ([]float64,
 		utc := 24 * float64(s) / float64(steps)
 		hours[s] = utc
 		total := 0.0
-		for _, c := range cells {
-			total += c.DemandGbps() * CellDemandAt(p, c, utc)
+		for i := range cols.Demand {
+			total += cols.Demand[i] * p.MultiplierAt(utc, cols.Phase[i])
 		}
 		totals[s] = total
 	}
@@ -179,19 +232,30 @@ func AnalyzeStagger(p DiurnalProfile, cells []demand.Cell, footprintHalfWidthDeg
 			densest = c
 		}
 	}
-	var footprint []demand.Cell
+	// Project once; the footprint scope reuses the national columns by
+	// counting members first and copying their column entries, in cell
+	// order, instead of building a second cell slice.
+	cols := NewColumns(cells)
+	n := 0
 	for _, c := range cells {
 		if math.Abs(c.Center.Lng-densest.Center.Lng) <= footprintHalfWidthDeg {
-			footprint = append(footprint, c)
+			n++
 		}
 	}
-	_, fpCurve, err := NationalCurve(p, footprint, 96)
+	fp := Columns{Demand: make([]float64, 0, n), Phase: make([]float64, 0, n)}
+	for i, c := range cells {
+		if math.Abs(c.Center.Lng-densest.Center.Lng) <= footprintHalfWidthDeg {
+			fp.Demand = append(fp.Demand, cols.Demand[i])
+			fp.Phase = append(fp.Phase, cols.Phase[i])
+		}
+	}
+	_, fpCurve, err := NationalCurveColumns(p, fp, 96)
 	if err != nil {
 		return StaggerAnalysis{}, err
 	}
 	out.FootprintPeakToMean = PeakToMean(fpCurve)
 
-	_, natCurve, err := NationalCurve(p, cells, 96)
+	_, natCurve, err := NationalCurveColumns(p, cols, 96)
 	if err != nil {
 		return StaggerAnalysis{}, err
 	}

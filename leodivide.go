@@ -43,6 +43,7 @@ import (
 	"leodivide/internal/obs"
 	"leodivide/internal/par"
 	"leodivide/internal/spectrum"
+	"leodivide/internal/stage"
 	"leodivide/internal/stats"
 	"leodivide/internal/usgeo"
 )
@@ -202,12 +203,16 @@ func assignIncomes(ctx context.Context, dist *demand.Distribution, anchors []cen
 	sort.Strings(fipsList)
 	cw, err := par.Map(ctx, workers, len(fipsList), func(i int) (census.CountyWeight, error) {
 		fips := fipsList[i]
+		abbr, err := stateOfFIPS(fips)
+		if err != nil {
+			return census.CountyWeight{}, err
+		}
 		h := fnv.New64a()
 		fmt.Fprintf(h, "%d:%s", seed, fips)
 		jitter := float64(h.Sum64()%10000) / 10000
 		return census.CountyWeight{
 			FIPS:        fips,
-			StateAbbr:   stateOfFIPS(fips),
+			StateAbbr:   abbr,
 			Weight:      float64(weights[fips]),
 			PovertyRank: jitter,
 		}, nil
@@ -219,12 +224,14 @@ func assignIncomes(ctx context.Context, dist *demand.Distribution, anchors []cen
 }
 
 // stateOfFIPS maps a county FIPS prefix to a state abbreviation via the
-// usgeo tables; unknown prefixes return "". The lookup table is built
-// once under sync.Once — income assignment calls this from pool
+// usgeo tables. An unknown or too-short prefix is a hard error: a
+// silently empty state abbreviation used to flow into the income table
+// and skew the poverty ordering without any signal. The lookup table is
+// built once under sync.Once — income assignment calls this from pool
 // workers, so unsynchronized lazy initialization would race.
-func stateOfFIPS(fips string) string {
+func stateOfFIPS(fips string) (string, error) {
 	if len(fips) < 2 {
-		return ""
+		return "", fmt.Errorf("leodivide: county FIPS %q too short for a state prefix", fips)
 	}
 	stateFIPSOnce.Do(func() {
 		m := make(map[string]string)
@@ -233,7 +240,11 @@ func stateOfFIPS(fips string) string {
 		}
 		stateFIPSByPrefix = m
 	})
-	return stateFIPSByPrefix[fips[:2]]
+	abbr, ok := stateFIPSByPrefix[fips[:2]]
+	if !ok {
+		return "", fmt.Errorf("leodivide: unknown state FIPS prefix %q in county FIPS %q", fips[:2], fips)
+	}
+	return abbr, nil
 }
 
 var (
@@ -410,6 +421,18 @@ type Table2Result struct {
 // PaperTable2Spreads are the beamspread factors of the paper's Table 2.
 var PaperTable2Spreads = []float64{1, 2, 5, 10, 15}
 
+// The paper's reported Table 2 constellation sizes, built once: the
+// maps are shared across Table2 results (hot path under bench and
+// serve) and must be treated as read-only.
+var (
+	paperFullServiceSizes = PaperSizes{
+		1: 79287, 2: 40611, 5: 16486, 10: 8284, 15: 5532,
+	}
+	paperCappedSizes = PaperSizes{
+		1: 80567, 2: 41261, 5: 16750, 10: 8417, 15: 5621,
+	}
+)
+
 // Table2 computes constellation sizes for the paper's beamspread
 // factors under both deployment scenarios.
 func (m Model) Table2(ctx context.Context, d *Dataset) (Table2Result, error) {
@@ -418,13 +441,9 @@ func (m Model) Table2(ctx context.Context, d *Dataset) (Table2Result, error) {
 		return Table2Result{}, err
 	}
 	return Table2Result{
-		Rows: rows,
-		PaperFullService: PaperSizes{
-			1: 79287, 2: 40611, 5: 16486, 10: 8284, 15: 5532,
-		},
-		PaperCapped: PaperSizes{
-			1: 80567, 2: 41261, 5: 16750, 10: 8417, 15: 5621,
-		},
+		Rows:             rows,
+		PaperFullService: paperFullServiceSizes,
+		PaperCapped:      paperCappedSizes,
 	}, nil
 }
 
@@ -464,13 +483,39 @@ type Fig3Result struct {
 	FloorUnserved int
 }
 
+// resolveFig3Spreads normalizes Fig3's two override paths — the
+// variadic argument and the Model.Fig3Spreads field (the ScenarioConfig
+// knob) — into one spread list. Either override alone wins; both empty
+// selects the paper's Table 2 spreads; both set is accepted only when
+// they agree, and errors otherwise instead of silently preferring one.
+func (m Model) resolveFig3Spreads(spreads []float64) ([]float64, error) {
+	switch {
+	case len(spreads) == 0 && len(m.Fig3Spreads) == 0:
+		return PaperTable2Spreads, nil
+	case len(spreads) == 0:
+		return m.Fig3Spreads, nil
+	case len(m.Fig3Spreads) == 0 || sameFloats(spreads, m.Fig3Spreads):
+		return spreads, nil
+	default:
+		return nil, fmt.Errorf("leodivide: conflicting Fig3 spread overrides: argument %v vs Model.Fig3Spreads %v", spreads, m.Fig3Spreads)
+	}
+}
+
 // Fig3 computes the diminishing-returns curves for the paper's
 // beamspread factors at the model's oversubscription cap, one worker
-// per spread.
+// per spread. Overrides resolve through resolveFig3Spreads.
 func (m Model) Fig3(ctx context.Context, d *Dataset, spreads ...float64) ([]Fig3Result, error) {
-	if len(spreads) == 0 {
-		spreads = PaperTable2Spreads
+	resolved, err := m.resolveFig3Spreads(spreads)
+	if err != nil {
+		return nil, err
 	}
+	return m.fig3At(ctx, d, resolved)
+}
+
+// fig3At runs the Fig3 sweep at exactly the given spreads, bypassing
+// override resolution: internal fixed-spread consumers (findings,
+// economics) must not conflict with a scenario's Fig3Spreads knob.
+func (m Model) fig3At(ctx context.Context, d *Dataset, spreads []float64) ([]Fig3Result, error) {
 	dist := d.Distribution()
 	floor := dist.ExcessAbove(m.Capacity.Beams.MaxServableLocations(m.MaxOversub))
 	return par.Map(ctx, m.Workers, len(spreads), func(i int) (Fig3Result, error) {
@@ -504,7 +549,7 @@ type Fig4Result struct {
 // The per-plan curves are evaluated concurrently; results are ordered
 // by effective price exactly as the serial comparison was.
 func (m Model) Fig4(ctx context.Context, d *Dataset) (Fig4Result, error) {
-	in, err := afford.NewInput(d.Incomes)
+	in, err := d.affordInput()
 	if err != nil {
 		return Fig4Result{}, err
 	}
@@ -575,7 +620,26 @@ func (m Model) planOptions() ([]afford.PlanOption, error) {
 //
 //lint:ignore ctxfirst pure in-memory accessor over an already-built dataset; nothing blocks, nothing to cancel
 func (m Model) AffordabilityInput(d *Dataset) (*afford.Input, error) {
-	return afford.NewInput(d.Incomes)
+	return d.affordInput()
+}
+
+// affordInput is the staged form of afford.NewInput(d.Incomes): the
+// weighted income CDF is a pure function of the dataset, shared across
+// Fig4, findings and concurrent serve queries via the stage memo.
+// afford.Input is immutable after construction, so sharing is safe.
+func (d *Dataset) affordInput() (*afford.Input, error) {
+	return stage.Get(d.dist.Stages(), "afford.input", func() (*afford.Input, error) {
+		return afford.NewInput(d.Incomes)
+	})
+}
+
+// dispersedInput is the staged form of afford.NewDispersedInput, keyed
+// by the (uncanonicalized) sigma so distinct dispersion shapes coexist.
+func (d *Dataset) dispersedInput(sigmaLog float64) (*afford.DispersedInput, error) {
+	key := "afford.dispersed|sigma=" + strconv.FormatFloat(sigmaLog, 'g', -1, 64)
+	return stage.Get(d.dist.Stages(), key, func() (*afford.DispersedInput, error) {
+		return afford.NewDispersedInput(d.Incomes, sigmaLog)
+	})
 }
 
 // Findings aggregates the paper's four findings in one structure.
@@ -622,7 +686,7 @@ func (m Model) RunFindings(ctx context.Context, d *Dataset) (Findings, error) {
 		return Findings{}, err
 	}
 	capped := m.Capacity.Size(d.Distribution(), core.CappedOversub, 2, m.MaxOversub)
-	fig3, err := m.Fig3(ctx, d, 10)
+	fig3, err := m.fig3At(ctx, d, []float64{10})
 	if err != nil {
 		return Findings{}, err
 	}

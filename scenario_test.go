@@ -163,6 +163,90 @@ func TestScenarioBuildModel(t *testing.T) {
 	}
 }
 
+// TestFig3SpreadOverridePaths pins the resolution contract between
+// Fig3's two override paths — the variadic argument and the
+// Model.Fig3Spreads field (the ScenarioConfig knob): either alone wins,
+// both empty selects the paper spreads, agreement is accepted, and a
+// genuine conflict is a hard error rather than a silent preference.
+func TestFig3SpreadOverridePaths(t *testing.T) {
+	cases := []struct {
+		name     string
+		field    []float64
+		variadic []float64
+		want     []float64
+		wantErr  bool
+	}{
+		{name: "both empty -> paper spreads", want: PaperTable2Spreads},
+		{name: "field only wins", field: []float64{3, 7}, want: []float64{3, 7}},
+		{name: "variadic only wins", variadic: []float64{4}, want: []float64{4}},
+		{name: "agreement accepted", field: []float64{5, 10}, variadic: []float64{5, 10}, want: []float64{5, 10}},
+		{name: "conflict is an error", field: []float64{5, 10}, variadic: []float64{2}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewModel()
+			m.Fig3Spreads = tc.field
+			got, err := m.resolveFig3Spreads(tc.variadic)
+			if tc.wantErr {
+				if err == nil || !strings.Contains(err.Error(), "conflicting Fig3 spread overrides") {
+					t.Fatalf("err = %v, want a conflict error", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("resolved %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestFig3OverridesEndToEnd runs both override paths through Fig3
+// itself on the real dataset: the scenario-knob path and the variadic
+// path must produce identical results at the same spread, and the
+// conflict error must surface from Fig3, not just the resolver.
+func TestFig3OverridesEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	ds := fullDataset(t)
+
+	viaKnob := NewModel()
+	viaKnob.Fig3Spreads = []float64{10}
+	knobRes, err := viaKnob.Fig3(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	argRes, err := NewModel().Fig3(ctx, ds, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(knobRes, argRes) {
+		t.Error("Fig3 via Fig3Spreads knob differs from Fig3 via variadic argument at spread 10")
+	}
+	if len(knobRes) != 1 || knobRes[0].Spread != 10 {
+		t.Fatalf("override produced %d results (spread %v), want one at spread 10", len(knobRes), knobRes)
+	}
+
+	if _, err := viaKnob.Fig3(ctx, ds, 2); err == nil || !strings.Contains(err.Error(), "conflicting") {
+		t.Errorf("conflicting overrides through Fig3: err = %v, want conflict error", err)
+	}
+
+	// The registry's fig3 entry honors the knob — the experiment and
+	// the direct call are the same computation.
+	exp, ok := viaKnob.ExperimentByName("fig3")
+	if !ok {
+		t.Fatal("fig3 experiment missing")
+	}
+	v, err := exp.Run(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v, knobRes) {
+		t.Error("registry fig3 run differs from direct Fig3 call with the same Fig3Spreads")
+	}
+}
+
 // TestFig4PlanFilter drives the promoted plan/subsidy selection end to
 // end on the real dataset.
 func TestFig4PlanFilter(t *testing.T) {
