@@ -31,7 +31,7 @@ func benchExperiments(m leodivide.Model) []string {
 	return names
 }
 
-func runBench(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []string) error {
+func runBench(ctx context.Context, w io.Writer, sc leodivide.ScenarioConfig, args []string) error {
 	fs := flag.NewFlagSet("leodivide bench", flag.ContinueOnError)
 	workersFlag := fs.String("workers", "1,2", "comma-separated worker counts to sweep (0 = all CPUs)")
 	reps := fs.Int("reps", 1, "repetitions per (experiment, workers) cell")
@@ -58,12 +58,12 @@ func runBench(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []
 
 	report := benchfmt.Report{
 		Schema: benchfmt.Schema,
-		Seed:   cfg.Seed, Scale: cfg.Scale, Reps: *reps,
+		Seed:   sc.Seed, Scale: sc.Scale, Reps: *reps,
 		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 		NumCPU: runtime.NumCPU(),
 	}
 
-	all := benchExperiments(cfg.BuildModel())
+	all := benchExperiments(sc.BuildModel())
 	selected := all
 	if *filter != "" {
 		selected, err = selectExperiments(all, *filter)
@@ -73,7 +73,9 @@ func runBench(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []
 	}
 
 	for _, n := range workers {
-		wcfg := cfg
+		// The scenario describes the whole bench run — knobs and
+		// constellation included — with only parallelism swept per pass.
+		wcfg := sc
 		wcfg.Parallelism = n
 		m := wcfg.BuildModel()
 
@@ -83,14 +85,14 @@ func runBench(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []
 		if contains(selected, "generate") {
 			res, err := measure("generate", n, *reps, func() error {
 				var genErr error
-				ds, genErr = wcfg.Generate(ctx)
+				ds, genErr = wcfg.RunConfig.Generate(ctx)
 				return genErr
 			})
 			if err != nil {
 				return err
 			}
 			report.Results = append(report.Results, res)
-		} else if ds, err = wcfg.Generate(ctx); err != nil {
+		} else if ds, err = wcfg.RunConfig.Generate(ctx); err != nil {
 			return err
 		}
 
@@ -110,7 +112,7 @@ func runBench(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []
 		}
 		// The canonical RunConfig rendering, so bench logs name the run
 		// the same way cache keys and verify lines do.
-		fmt.Fprintf(w, "bench: %s done (%d experiments)\n", wcfg, len(selected))
+		fmt.Fprintf(w, "bench: %s done (%d experiments)\n", wcfg.RunConfig, len(selected))
 	}
 
 	// Full runs must cover every experiment at >= 2 worker counts; a
@@ -220,23 +222,31 @@ func runBenchCheck(ctx context.Context, w io.Writer, path string) error {
 
 // measure times reps runs of fn and reads allocation deltas around
 // them. Mallocs/TotalAlloc are monotone, so no GC fence is needed.
+// NsPerOp is the fastest rep, not the mean: on a 1-CPU runner the
+// noise is additive (scheduler preemption, GC pauses land on top of
+// the true cost), so min-of-reps estimates the true cost while a mean
+// inflates with every blip — and a noisy baseline cell turns the
+// bench-check tripwire into a coin flip.
 func measure(name string, workers, reps int, fn func() error) (benchfmt.Result, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	//lint:ignore detrand benchmarks measure wall-clock by definition; timings go to the bench report, never into experiment results
-	start := time.Now()
+	var fastest time.Duration
 	for i := 0; i < reps; i++ {
+		//lint:ignore detrand benchmarks measure wall-clock by definition; timings go to the bench report, never into experiment results
+		start := time.Now()
 		if err := fn(); err != nil {
 			return benchfmt.Result{}, err
 		}
+		if d := time.Since(start); i == 0 || d < fastest {
+			fastest = d
+		}
 	}
-	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	r := int64(reps)
 	return benchfmt.Result{
 		Experiment:   name,
 		Workers:      workers,
-		NsPerOp:      max(1, elapsed.Nanoseconds()/r),
+		NsPerOp:      max(1, fastest.Nanoseconds()),
 		AllocsPerOp:  int64(after.Mallocs-before.Mallocs) / r,
 		BytesPerOp:   int64(after.TotalAlloc-before.TotalAlloc) / r,
 		PeakRSSBytes: benchfmt.PeakRSSBytes(),

@@ -24,13 +24,17 @@ import (
 
 // loadgenVariants are the knob variations cycled across requests. Each
 // is a JSON fragment spliced into the request body; the empty variant
-// is the server default. Repeats of the same (experiment, variant) pair
+// is the server default (Starlink). The constellation variants exercise
+// the cross-constellation paths: each warms its own compute-stage and
+// result-cache entries. Repeats of the same (experiment, variant) pair
 // are what generate cache hits.
 var loadgenVariants = []string{
 	"",
 	`"max_oversub":25`,
 	`"max_oversub":30`,
 	`"afford_share":0.025`,
+	`"constellation":"kuiper"`,
+	`"constellation":"oneweb"`,
 }
 
 type loadgenOutcome struct {
@@ -44,7 +48,7 @@ func runLoadgen(ctx context.Context, w io.Writer, args []string) error {
 	addr := fs.String("addr", "localhost:8080", "server address (host:port or full URL)")
 	n := fs.Int("n", 1000, "total requests to issue")
 	concurrency := fs.Int("concurrency", 16, "concurrent client workers")
-	experiments := fs.String("experiments", "table1,fig1,table2,findings", "comma-separated experiments to query")
+	experiments := fs.String("experiments", "table1,fig1,table2,findings,costcurve,xconst", "comma-separated experiments to query")
 	wait := fs.Duration("wait", 0, "poll /healthz for up to this long before driving load (0 = server must be up)")
 	minHitRate := fs.Float64("min-hit-rate", 0, "fail if (hits+coalesced)/requests falls below this")
 	if err := fs.Parse(args); err != nil {

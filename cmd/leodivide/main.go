@@ -21,12 +21,19 @@
 //	fleets     assess the authorized Gen1/Gen2 fleets against the requirement
 //	linkbudget derive the 4.5 b/Hz spectral-efficiency estimate physically
 //	refined    affordability with income dispersion and Lifeline eligibility
+//	costcurve  cost per served location vs fleet size, per constellation
+//	xconst     which constellation closes the divide cheapest (100/20)
 //	gen        write the dataset as CSV (cells, and optionally locations)
 //	bench      emit a schema-versioned BENCH_*.json performance report
 //	verify     replay the committed golden corpus; exit nonzero on drift
 //	serve      answer scenario queries over HTTP/JSON with a memoized cache
 //	loadgen    drive a running serve instance and report latency + hit rate
 //	all        run every experiment in order
+//
+// The -scenario flag accepts the exact JSON body of POST /v1/scenario
+// (the leodivide.ScenarioRequest wire contract), so a query saved from
+// the HTTP API replays byte-for-byte through the CLI; the individual
+// flags remain as shorthands the scenario's fields override.
 //
 // Observability flags: -metrics prints the obs metric snapshot to
 // stderr after the command (stdout stays byte-identical for result
@@ -77,6 +84,7 @@ func run(args []string, w io.Writer) error {
 	fs.Float64Var(&cfg.Scale, "scale", cfg.Scale, "dataset scale in (0,1]")
 	fs.BoolVar(&cfg.Calibrated, "calibrated", cfg.Calibrated, "pin effective cells to the paper's fitted value")
 	fs.IntVar(&cfg.Parallelism, "parallelism", cfg.Parallelism, "worker bound for generation and experiments (0 = all CPUs, 1 = serial)")
+	scenarioJSON := fs.String("scenario", "", "scenario request JSON (the exact POST /v1/scenario body); overrides the shorthand flags")
 	metrics := fs.Bool("metrics", false, "print the metric snapshot to stderr after the command")
 	trace := fs.Bool("trace", false, "record spans and print the trace tree to stderr after the command")
 	debugAddr := fs.String("debug-addr", "", "serve pprof, expvar and /metrics on this address (e.g. localhost:6060)")
@@ -86,14 +94,36 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() < 1 {
-		fs.Usage()
-		return fmt.Errorf("missing command")
-	}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	cmd := fs.Arg(0)
+
+	// The scenario is the one description of the run every command
+	// shares: the flags form the base, and -scenario (the HTTP wire
+	// contract) merges on top — pointer fields (seed, scale, calibrated)
+	// override the shorthand flags when present.
+	sc := leodivide.ScenarioConfig{RunConfig: cfg}
+	if *scenarioJSON != "" {
+		req, err := leodivide.ParseScenarioRequest([]byte(*scenarioJSON))
+		if err != nil {
+			return err
+		}
+		if sc, err = req.Apply(sc); err != nil {
+			return err
+		}
+	}
+	var cmd string
+	switch {
+	case fs.NArg() >= 1:
+		cmd = fs.Arg(0)
+	case sc.Experiment != "":
+		// `-scenario '{"experiment":"xconst",...}'` with no command arg
+		// runs the scenario's experiment, like the HTTP API would.
+		cmd = sc.Experiment
+	default:
+		fs.Usage()
+		return fmt.Errorf("missing command")
+	}
 	ctx := context.Background()
 
 	if *debugAddr != "" {
@@ -122,21 +152,26 @@ func run(args []string, w io.Writer) error {
 		}()
 	}
 
-	m := cfg.BuildModel()
+	m := sc.BuildModel()
+	if sc.Experiment != "" && cmd != sc.Experiment {
+		if _, ok := m.ExperimentByName(cmd); ok {
+			return fmt.Errorf("command %q conflicts with -scenario experiment %q", cmd, sc.Experiment)
+		}
+	}
 	switch cmd {
 	case "experiments":
 		return runExperimentList(w, m)
 	case "bench":
-		return runBench(ctx, w, cfg, fs.Args()[1:])
+		return runBench(ctx, w, sc, fs.Args()[1:])
 	case "verify":
-		return runVerify(ctx, w, cfg, fs.Args()[1:])
+		return runVerify(ctx, w, sc.RunConfig, fs.Args()[1:])
 	case "serve":
-		return runServe(ctx, w, cfg, fs.Args()[1:])
+		return runServe(ctx, w, sc, fs.Args()[1:])
 	case "loadgen":
 		return runLoadgen(ctx, w, fs.Args()[1:])
 	}
 
-	ds, err := cfg.Generate(ctx)
+	ds, err := sc.RunConfig.Generate(ctx)
 	if err != nil {
 		return err
 	}
@@ -165,7 +200,7 @@ func run(args []string, w io.Writer) error {
 var allOrder = []string{
 	"fig1", "table1", "table2", "fig2", "fig3", "fig4", "findings",
 	"simcheck", "ablate", "fleets", "refined", "linkbudget", "states",
-	"latency", "busyhour", "econ",
+	"latency", "busyhour", "econ", "costcurve", "xconst",
 }
 
 // renderer turns one experiment's result (the registry's `any`) back
@@ -187,17 +222,19 @@ func resultAs[T any](name string, v any) (T, error) {
 // registry entry must have one — TestRegistryCoversRenderers enforces
 // the pairing, which is what keeps CLI and library from drifting.
 var renderers = map[string]renderer{
-	"fig1":     renderFig1,
-	"table1":   renderTable1,
-	"table2":   renderTable2,
-	"fig2":     renderFig2,
-	"fig3":     renderFig3,
-	"fig4":     renderFig4,
-	"findings": renderFindings,
-	"fleets":   renderFleets,
-	"refined":  renderRefined,
-	"busyhour": renderBusyHour,
-	"econ":     renderEcon,
+	"fig1":      renderFig1,
+	"table1":    renderTable1,
+	"table2":    renderTable2,
+	"fig2":      renderFig2,
+	"fig3":      renderFig3,
+	"fig4":      renderFig4,
+	"findings":  renderFindings,
+	"fleets":    renderFleets,
+	"refined":   renderRefined,
+	"busyhour":  renderBusyHour,
+	"econ":      renderEcon,
+	"costcurve": renderCostCurve,
+	"xconst":    renderXConst,
 }
 
 // runOne dispatches one subcommand: registry experiments run through
@@ -870,6 +907,56 @@ func renderEcon(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivi
 		return err
 	}
 	fmt.Fprintf(w, "Starlink Residential sells at $120/month; the paper's affordability bar is 2%% of income.\n")
+	return nil
+}
+
+func renderCostCurve(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
+	r, err := resultAs[leodivide.CostCurveResult]("costcurve", v)
+	if err != nil {
+		return err
+	}
+	for _, sys := range r.Systems {
+		t := report.NewTable(
+			fmt.Sprintf("Cost curve — %s (%d authorized satellites, binding cell %.1f°N, %g:1 cap)",
+				sys.DisplayName, sys.AuthorizedSatellites, sys.BindingLatDeg, r.MaxOversub),
+			"fleet", "satellites", "required spread", "served fraction", "$/loc/month")
+		for _, p := range sys.Points {
+			t.AddRow(fmt.Sprintf("%.0f%%", 100*p.FleetFraction), p.Satellites,
+				fmt.Sprintf("%.1f", p.RequiredSpread),
+				fmt.Sprintf("%.4f", p.ServedFraction),
+				fmt.Sprintf("$%.0f", p.MonthlyPerLocationUSD))
+		}
+		if _, err := t.WriteTo(w); err != nil {
+			return err
+		}
+		if sys.Tail.LocationsGained > 0 {
+			fmt.Fprintf(w, "%s diminishing-returns tail: +%d satellites buy %d more locations at $%.0f per location per month sustaining.\n\n",
+				sys.DisplayName, sys.Tail.AdditionalSatellites, sys.Tail.LocationsGained,
+				sys.Tail.MonthlyPerLocationUSD)
+		}
+	}
+	return nil
+}
+
+func renderXConst(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
+	r, err := resultAs[leodivide.CrossConstellationResult]("xconst", v)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Cross-constellation — closing the divide under the 100/20 benchmark (%g:1 cap)", r.MaxOversub),
+		"system", "authorized", "required", "spread", "served fraction", "capex ($B)", "$/loc/month")
+	for _, row := range r.Rows {
+		t.AddRow(row.DisplayName, row.AuthorizedSatellites, row.RequiredSatellites,
+			fmt.Sprintf("%.1f", row.RequiredSpread),
+			fmt.Sprintf("%.4f", row.ServedFraction),
+			fmt.Sprintf("%.1f", row.FleetCapexUSD/1e9),
+			fmt.Sprintf("$%.0f", row.MonthlyPerLocationUSD))
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cheapest serving system: %s — every system hits the same per-cell cap; cost moves, the divide does not.\n", r.Cheapest)
 	return nil
 }
 

@@ -267,6 +267,60 @@ func TestEconCommand(t *testing.T) {
 	}
 }
 
+func TestCostCurveCommand(t *testing.T) {
+	out := runCmd(t, "costcurve")
+	for _, want := range []string{"Cost curve", "Starlink Gen1", "Kuiper", "OneWeb", "$/loc/month"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("costcurve output missing %q", want)
+		}
+	}
+}
+
+func TestXConstCommand(t *testing.T) {
+	out := runCmd(t, "xconst")
+	for _, want := range []string{"Cross-constellation", "Starlink Gen2", "Kuiper", "cheapest serving system"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("xconst output missing %q", want)
+		}
+	}
+}
+
+// The -scenario flag is the HTTP wire contract on the CLI: a request
+// body selects the experiment, constellation and knobs, and the
+// command argument becomes optional.
+func TestScenarioFlag(t *testing.T) {
+	out := runCmd(t, "-scenario", `{"experiment":"xconst","constellation":"kuiper","max_oversub":25}`)
+	if !strings.Contains(out, "Cross-constellation") || !strings.Contains(out, "25:1 cap") {
+		t.Errorf("scenario-driven xconst output wrong:\n%.400s", out)
+	}
+
+	// The scenario's experiment and an explicit command argument must
+	// agree; disagreement is an error, not a silent preference.
+	var buf bytes.Buffer
+	err := run([]string{"-scale", "0.05", "-scenario", `{"experiment":"table2"}`, "fig1"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "conflicts") {
+		t.Errorf("conflicting command and scenario experiment returned %v, want conflict error", err)
+	}
+
+	// Unknown constellation and malformed JSON fail up front.
+	if err := run([]string{"-scenario", `{"experiment":"table2","constellation":"iridium"}`}, &buf); err == nil {
+		t.Error("unknown constellation in -scenario should fail")
+	}
+	if err := run([]string{"-scenario", `{"experiment":`}, &buf); err == nil {
+		t.Error("malformed -scenario JSON should fail")
+	}
+
+	// A scenario scale override beats the shorthand flag: the pointer
+	// fields round-trip the exact dataset identity.
+	var buf2 bytes.Buffer
+	if err := run([]string{"-scale", "0.02", "-scenario", `{"experiment":"table2","scale":0.05}`}, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "79287") {
+		t.Errorf("scenario scale override did not reproduce the 0.05-scale table2 anchor:\n%.400s", buf2.String())
+	}
+}
+
 func TestAllCommand(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep in -short mode")
@@ -277,7 +331,7 @@ func TestAllCommand(t *testing.T) {
 		"Figure 4", "F1:", "Simulator cross-check", "Ablation",
 		"Starlink Gen2", "Refined affordability", "Link budget",
 		"State report card", "Latency geometry", "Busy hour",
-		"Constellation economics",
+		"Constellation economics", "Cost curve", "Cross-constellation",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("all output missing %q", want)

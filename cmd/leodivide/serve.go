@@ -32,7 +32,7 @@ func flagCacheBytes(v int64) int64 {
 	return v
 }
 
-func runServe(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []string) error {
+func runServe(ctx context.Context, w io.Writer, sc leodivide.ScenarioConfig, args []string) error {
 	fs := flag.NewFlagSet("leodivide serve", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address (host:port; :0 picks a free port)")
 	cacheEntries := fs.Int("cache-entries", 1024, "bound on memoized scenario results")
@@ -49,7 +49,7 @@ func runServe(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []
 	defer stop()
 
 	s, err := serve.New(ctx, serve.Config{
-		Scenario:     leodivide.ScenarioConfig{RunConfig: cfg},
+		Scenario:     sc,
 		CacheEntries: *cacheEntries,
 		CacheBytes:   flagCacheBytes(*cacheBytes),
 		MaxInflight:  *maxInflight,
@@ -61,7 +61,7 @@ func runServe(ctx context.Context, w io.Writer, cfg leodivide.RunConfig, args []
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
-	fmt.Fprintf(w, "serve: dataset ready (%s); listening on http://%s\n", cfg, ln.Addr())
+	fmt.Fprintf(w, "serve: dataset ready (%s); listening on http://%s\n", sc.RunConfig, ln.Addr())
 	if err := s.Run(ctx, ln, *drain); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}

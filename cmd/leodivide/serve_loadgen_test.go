@@ -49,7 +49,7 @@ func TestServeLoadgenEndToEnd(t *testing.T) {
 	var out syncBuffer
 	done := make(chan error, 1)
 	go func() {
-		done <- runServe(ctx, &out, cfg, []string{"-addr", "127.0.0.1:0", "-drain", "10s"})
+		done <- runServe(ctx, &out, leodivide.ScenarioConfig{RunConfig: cfg}, []string{"-addr", "127.0.0.1:0", "-drain", "10s"})
 	}()
 
 	// The listening line prints only after the dataset is generated.
@@ -69,8 +69,8 @@ func TestServeLoadgenEndToEnd(t *testing.T) {
 		t.Fatalf("server never printed its address; output %q", out.String())
 	}
 
-	// 40 requests over 2 experiments x 4 knob variants = 8 distinct
-	// scenarios, so at least 32/40 must be hits or coalesced.
+	// 40 requests over 2 experiments x 6 knob/constellation variants =
+	// 12 distinct scenarios, so at least 28/40 must be hits or coalesced.
 	var lout bytes.Buffer
 	err := runLoadgen(context.Background(), &lout, []string{
 		"-addr", addr, "-n", "40", "-concurrency", "8",

@@ -183,6 +183,20 @@ func (m Model) Experiments() []Experiment {
 				return m.Economics(ctx, d)
 			}),
 		},
+		{
+			Name:        "costcurve",
+			Description: "cost per served location and served fraction vs fleet size, per constellation",
+			Run: instrument("costcurve", func(ctx context.Context, d *Dataset) (any, error) {
+				return m.CostCurve(ctx, d)
+			}),
+		},
+		{
+			Name:        "xconst",
+			Description: "which constellation closes the divide cheapest under the 100/20 benchmark",
+			Run: instrument("xconst", func(ctx context.Context, d *Dataset) (any, error) {
+				return m.CrossConstellation(ctx, d)
+			}),
+		},
 	}
 }
 

@@ -44,6 +44,7 @@ func TestAnalyzers(t *testing.T) {
 	}{
 		{"detrand", "leodivide/lintest/detrand", Detrand},
 		{"detrand_obs", "leodivide/internal/obs", Detrand},
+		{"detrand_econ", "leodivide/internal/econ", Detrand},
 		{"maporder", "leodivide/lintest/maporder", Maporder},
 		{"floatcmp", "leodivide/lintest/floatcmp", Floatcmp},
 		{"floatcmp_testutil", "leodivide/internal/testutil", Floatcmp},

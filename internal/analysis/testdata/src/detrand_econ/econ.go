@@ -1,0 +1,44 @@
+// Testdata for detrand on the techno-economics cost path: this
+// directory is loaded under the import path leodivide/internal/econ,
+// which carries no exemption — cost curves are replayed byte-for-byte
+// in the golden corpus, so a depreciation clock, a jittered price, or
+// an environment-sourced discount would silently break replay.
+package econ
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+type CostModel struct {
+	SatelliteUSD float64
+	LifeYears    float64
+}
+
+// AgeDiscountUSD reads the wall clock to age the fleet, which makes
+// the priced scenario a function of when the run happened.
+func AgeDiscountUSD(m CostModel, launched time.Time) float64 {
+	age := time.Now().Sub(launched) // want "time.Now is ambient wall-clock input"
+	return m.SatelliteUSD * age.Hours() / (m.LifeYears * 365 * 24)
+}
+
+// AgeDiscountAtUSD is the sanctioned shape: the pricing instant is a
+// caller-provided input, so the same scenario prices the same way.
+func AgeDiscountAtUSD(m CostModel, launched, at time.Time) float64 {
+	age := at.Sub(launched) // ok: instant supplied by the caller
+	return m.SatelliteUSD * age.Hours() / (m.LifeYears * 365 * 24)
+}
+
+func JitteredPriceUSD(m CostModel) float64 {
+	return m.SatelliteUSD * (1 + 0.01*rand.Float64()) // want "rand.Float64 draws from the process-global source"
+}
+
+func SeededPriceUSD(m CostModel, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // ok: seeded generator from RunConfig
+	return m.SatelliteUSD * (1 + 0.01*rng.Float64())
+}
+
+func DiscountOverride() string {
+	return os.Getenv("LEODIVIDE_DISCOUNT") // want "os.Getenv makes the run depend on the environment"
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"leodivide/internal/constellation"
 	"leodivide/internal/spectrum"
 )
 
@@ -32,11 +33,23 @@ type Config struct {
 
 // DefaultConfig returns the paper's beam parameters: 24 UT beams of
 // ~4.325 Gbps, at most 4 stacked per cell, 100 Mbps per location.
+// It is the Starlink spec viewed through ForSystem.
 func DefaultConfig() Config {
+	return ForSystem(constellation.StarlinkSystem())
+}
+
+// ForSystem derives the beam configuration a constellation.System
+// implies: the system's per-cell capacity split across its beam
+// stacking limit, the user-terminal beam count its band table
+// supplies, and the FCC 100 Mbps benchmark demand. For the Starlink
+// spec this reproduces the historical constant-derived DefaultConfig
+// bit-identically (the per-cell capacity divides by a power of two, so
+// the runtime split equals the folded constant).
+func ForSystem(sys constellation.System) Config {
 	return Config{
-		BeamCapacityGbps:      spectrum.BeamCapacityGbps(),
-		BeamsPerSatellite:     spectrum.UTBeams(),
-		MaxBeamsPerCell:       spectrum.BeamsPerCellLimit,
+		BeamCapacityGbps:      sys.CellCapacityGbps / float64(sys.MaxBeamsPerCell),
+		BeamsPerSatellite:     spectrum.UTBeamsOf(sys.Bands),
+		MaxBeamsPerCell:       sys.MaxBeamsPerCell,
 		DemandPerLocationGbps: spectrum.FCCDownlinkMbps / 1000.0,
 	}
 }

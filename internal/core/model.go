@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"leodivide/internal/beams"
+	"leodivide/internal/constellation"
 	"leodivide/internal/demand"
 	"leodivide/internal/geo"
 	"leodivide/internal/hexgrid"
@@ -76,6 +77,12 @@ type Model struct {
 	// CalibrationLatDeg is the reference latitude for the calibrated
 	// effective cell count.
 	CalibrationLatDeg float64
+	// UTDownlinkMHz and SpectralEfficiencyBpsPerHz describe the
+	// spectrum behind Beams, reported by Capacity (Table 1). Zero
+	// values fall back to the Starlink Schedule S constants so
+	// hand-built models keep working.
+	UTDownlinkMHz              float64
+	SpectralEfficiencyBpsPerHz float64
 	// Parallelism bounds the worker count for the sweep methods
 	// (SizeTable, ServedFractionGrid, DiminishingReturns, AssessFleet,
 	// ServedFractionOverDay). 0 means one worker per CPU; 1 is the exact
@@ -97,14 +104,26 @@ const PaperEffectiveCells = 1665027
 
 // NewModel returns the model with the paper's parameters: Starlink beam
 // budget, 53° shell, resolution-5 cell area, geometric effective cells,
-// peak-only binding.
+// peak-only binding. It is NewModelFor applied to the Starlink spec.
 func NewModel() Model {
+	return NewModelFor(constellation.StarlinkSystem())
+}
+
+// NewModelFor returns the capacity model a constellation spec implies:
+// the system's beam configuration, its sizing-shell inclination for the
+// latitude density profile, and its spectrum figures for Table 1
+// reporting. Cell area, binding mode and calibration latitude are
+// properties of the demand grid and the paper's fit, not of the
+// system, and stay at their paper defaults.
+func NewModelFor(sys constellation.System) Model {
 	return Model{
-		Beams:             beams.DefaultConfig(),
-		InclinationDeg:    orbit.StarlinkInclinationDeg,
-		CellAreaKm2:       hexgrid.Resolution(5).AvgCellAreaKm2(),
-		Binding:           BindPeakOnly,
-		CalibrationLatDeg: 34.8,
+		Beams:                      beams.ForSystem(sys),
+		InclinationDeg:             sys.SizingInclinationDeg,
+		CellAreaKm2:                hexgrid.Resolution(5).AvgCellAreaKm2(),
+		Binding:                    BindPeakOnly,
+		CalibrationLatDeg:          34.8,
+		UTDownlinkMHz:              spectrum.UTDownlinkMHzOf(sys.Bands),
+		SpectralEfficiencyBpsPerHz: sys.SpectralEfficiencyBpsPerHz,
 	}
 }
 
@@ -152,9 +171,17 @@ type CapacityTable struct {
 func (m Model) Capacity(d *demand.Distribution) CapacityTable {
 	peak := d.Peak()
 	demandGbps := m.Beams.CellDemandGbps(peak.Locations)
+	mhz := m.UTDownlinkMHz
+	if mhz == 0 {
+		mhz = spectrum.UTDownlinkMHz()
+	}
+	eff := m.SpectralEfficiencyBpsPerHz
+	if eff == 0 {
+		eff = spectrum.SpectralEfficiencyBpsPerHz
+	}
 	return CapacityTable{
-		UTDownlinkMHz:              spectrum.UTDownlinkMHz(),
-		SpectralEfficiencyBpsPerHz: spectrum.SpectralEfficiencyBpsPerHz,
+		UTDownlinkMHz:              mhz,
+		SpectralEfficiencyBpsPerHz: eff,
 		MaxCellCapacityGbps:        m.Beams.MaxCellCapacityGbps(),
 		PeakCellLocations:          peak.Locations,
 		FCCDownMbps:                spectrum.FCCDownlinkMbps,

@@ -12,6 +12,7 @@ package econ
 import (
 	"fmt"
 
+	"leodivide/internal/constellation"
 	"leodivide/internal/core"
 )
 
@@ -31,13 +32,26 @@ type CostModel struct {
 
 // DefaultCostModel returns public-estimate Starlink economics:
 // ≈$0.8M to build and ≈$0.7M to launch each satellite, 5-year life,
-// 20% ground-segment overhead.
+// 20% ground-segment overhead. The figures are drawn from the Starlink
+// constellation spec (internal/constellation), so the econ defaults
+// and the cross-constellation cost models share one source of truth;
+// the overhead multiplier 1 + share is exact in binary for the 0.2
+// share, keeping the historical 1.2 byte-identical.
 func DefaultCostModel() CostModel {
+	return FromSystemCost(constellation.StarlinkSystem().Cost)
+}
+
+// FromSystemCost views a constellation cost spec through econ's
+// capex-only lens: build, launch, life and the ground-segment share as
+// a multiplier. Terminal subsidy and per-satellite opex have no econ
+// counterpart and are intentionally dropped — econ prices the space
+// segment the paper's Figure 3 tail argument needs.
+func FromSystemCost(c constellation.CostModel) CostModel {
 	return CostModel{
-		SatelliteUnitUSD:       800_000,
-		LaunchPerSatelliteUSD:  700_000,
-		SatelliteLifetimeYears: 5,
-		GroundSegmentOverhead:  1.2,
+		SatelliteUnitUSD:       c.SatelliteBuildUSD,
+		LaunchPerSatelliteUSD:  c.LaunchPerSatelliteUSD,
+		SatelliteLifetimeYears: c.DesignLifeYears,
+		GroundSegmentOverhead:  1 + c.GroundSegmentShare,
 	}
 }
 

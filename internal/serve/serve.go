@@ -21,10 +21,12 @@
 //     SIGTERM/SIGINT to that context), so in-flight queries finish
 //     before the process exits.
 //
-// Wire contract (schema leodivide-serve/v1):
+// Wire contract (schema leodivide-serve/v2; v1 bodies still accepted —
+// see leodivide.ScenarioRequest.ValidateSchema):
 //
-//	POST /v1/scenario   {"schema":"leodivide-serve/v1","experiment":"table2",...}
+//	POST /v1/scenario       {"schema":"leodivide-serve/v2","experiment":"xconst","constellation":"kuiper",...}
 //	GET  /v1/experiments
+//	GET  /v1/constellations
 //	GET  /v1/stats
 //	GET  /healthz
 //	GET  /metrics
@@ -44,8 +46,10 @@ import (
 	"time"
 
 	"leodivide"
+	"leodivide/internal/constellation"
 	"leodivide/internal/obs"
 	"leodivide/internal/par"
+	"leodivide/internal/spectrum"
 )
 
 // Serving-layer observability (see internal/obs): request counts and
@@ -139,6 +143,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("POST /v1/scenario", s.handleScenario)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/constellations", s.handleConstellations)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -169,22 +174,14 @@ func (s *Server) Run(ctx context.Context, ln net.Listener, drain time.Duration) 
 	return <-shutdownErr
 }
 
-// Request is the JSON body of POST /v1/scenario. Dataset-identity
+// Request is the JSON body of POST /v1/scenario: the shared scenario
+// wire contract (leodivide.ScenarioRequest), so a body the CLI's
+// -scenario flag accepts replays byte-for-byte here. Dataset-identity
 // fields (seed, scale, calibrated) are pointers: absent means "inherit
 // the server's dataset"; present-but-different is a 409, because the
 // server answers against one immutable dataset. Parallelism is not a
 // request knob at all — results are identical at every worker count.
-type Request struct {
-	Schema      string    `json:"schema"`
-	Experiment  string    `json:"experiment"`
-	Seed        *int64    `json:"seed,omitempty"`
-	Scale       *float64  `json:"scale,omitempty"`
-	Calibrated  *bool     `json:"calibrated,omitempty"`
-	MaxOversub  float64   `json:"max_oversub,omitempty"`
-	AffordShare float64   `json:"afford_share,omitempty"`
-	Spreads     []float64 `json:"spreads,omitempty"`
-	Plans       []string  `json:"plans,omitempty"`
-}
+type Request = leodivide.ScenarioRequest
 
 // Response is the JSON body of a successful scenario query. Key is the
 // scenario's canonical cache key; Result is the experiment's result
@@ -211,11 +208,20 @@ type httpError struct {
 
 func (e *httpError) Error() string { return e.msg }
 
-// resolve merges a request into the server's base scenario.
+// resolve merges a request into the server's base scenario. Both wire
+// schemas resolve: a v2 body as-is, a v1 body (which predates the
+// constellation selector and cost overrides and must not carry them)
+// onto the Starlink default — so identities minted under v1 keep
+// hitting the same cache slots.
 func (s *Server) resolve(req Request) (leodivide.ScenarioConfig, error) {
-	if req.Schema != leodivide.ScenarioSchema {
+	if req.Schema == "" {
+		// The HTTP contract is versioned: unlike the CLI convenience
+		// form, a request must declare which schema it speaks.
 		return leodivide.ScenarioConfig{}, &httpError{http.StatusBadRequest,
 			fmt.Sprintf("unsupported schema %q (want %q)", req.Schema, leodivide.ScenarioSchema)}
+	}
+	if err := req.ValidateSchema(); err != nil {
+		return leodivide.ScenarioConfig{}, &httpError{http.StatusBadRequest, err.Error()}
 	}
 	c := s.base
 	c.Experiment = req.Experiment
@@ -235,6 +241,10 @@ func (s *Server) resolve(req Request) (leodivide.ScenarioConfig, error) {
 	c.AffordShare = req.AffordShare
 	c.Spreads = req.Spreads
 	c.Plans = req.Plans
+	c.Constellation = req.Constellation
+	c.CostSatelliteUSD = req.CostSatelliteUSD
+	c.CostLifeYears = req.CostLifeYears
+	c.CostTerminalUSD = req.CostTerminalUSD
 	if err := c.Validate(); err != nil {
 		return leodivide.ScenarioConfig{}, &httpError{http.StatusBadRequest, err.Error()}
 	}
@@ -359,6 +369,43 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	var out []experimentInfo
 	for _, e := range s.base.BuildModel().Experiments() {
 		out = append(out, experimentInfo{Name: e.Name, Description: e.Description})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore errdrop HTTP response write; a disconnected client is not actionable
+	json.NewEncoder(w).Encode(out)
+}
+
+// constellationInfo is one row of GET /v1/constellations: the declared
+// spec a scenario's "constellation" selector names, with its default
+// cost inputs under the same field names the scenario overrides use.
+type constellationInfo struct {
+	Name             string  `json:"name"`
+	DisplayName      string  `json:"display_name"`
+	Shells           int     `json:"shells"`
+	Satellites       int     `json:"satellites"`
+	UTDownlinkMHz    float64 `json:"ut_downlink_mhz"`
+	MaxBeamsPerCell  int     `json:"max_beams_per_cell"`
+	CellCapacityGbps float64 `json:"cell_capacity_gbps"`
+	CostSatelliteUSD float64 `json:"cost_sat_usd"`
+	CostLifeYears    float64 `json:"cost_life_years"`
+	CostTerminalUSD  float64 `json:"cost_terminal_usd"`
+}
+
+func (s *Server) handleConstellations(w http.ResponseWriter, r *http.Request) {
+	var out []constellationInfo
+	for _, sys := range constellation.Systems() {
+		out = append(out, constellationInfo{
+			Name:             sys.Key,
+			DisplayName:      sys.Name,
+			Shells:           len(sys.Shells),
+			Satellites:       sys.TotalSatellites(),
+			UTDownlinkMHz:    spectrum.UTDownlinkMHzOf(sys.Bands),
+			MaxBeamsPerCell:  sys.MaxBeamsPerCell,
+			CellCapacityGbps: sys.CellCapacityGbps,
+			CostSatelliteUSD: sys.Cost.AllInSatelliteUSD(),
+			CostLifeYears:    sys.Cost.DesignLifeYears,
+			CostTerminalUSD:  sys.Cost.TerminalSubsidyUSD,
+		})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	//lint:ignore errdrop HTTP response write; a disconnected client is not actionable

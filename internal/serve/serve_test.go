@@ -273,6 +273,110 @@ func TestScenarioPlanFilter(t *testing.T) {
 	}
 }
 
+// TestScenarioSchemaCompat: a v1 body still resolves — onto the
+// Starlink default, sharing the cache entry of the equivalent v2
+// request — while v1 bodies using v2-only fields are rejected.
+func TestScenarioSchemaCompat(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp2, body2 := postScenario(t, ts.URL, scenarioBody("table1", ""))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("v2 request: %d %s", resp2.StatusCode, body2)
+	}
+	v1Body := fmt.Sprintf(`{"schema":%q,"experiment":"table1"}`, leodivide.ScenarioSchemaV1)
+	resp1, body1 := postScenario(t, ts.URL, v1Body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("v1 request: %d %s", resp1.StatusCode, body1)
+	}
+	if h := resp1.Header.Get(CacheHeader); h != "hit" {
+		t.Errorf("v1 request %s = %q, want hit (must share the v2 default's cache entry)", CacheHeader, h)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("v1 request bytes differ from the equivalent v2 request")
+	}
+
+	resp, body := postScenario(t, ts.URL,
+		fmt.Sprintf(`{"schema":%q,"experiment":"table1","constellation":"kuiper"}`, leodivide.ScenarioSchemaV1))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("v1 request with v2-only field: %d %s, want 400", resp.StatusCode, body)
+	}
+}
+
+// TestScenarioConstellation: selecting a constellation is a real knob —
+// a new cache key and a different result — and unknown names are a 400
+// that lists the valid options, mirroring the unknown-experiment shape.
+func TestScenarioConstellation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	_, def := postScenario(t, ts.URL, scenarioBody("xconst", ""))
+	resp, explicit := postScenario(t, ts.URL, scenarioBody("xconst", `"constellation":"starlink"`))
+	if h := resp.Header.Get(CacheHeader); h != "hit" {
+		t.Errorf("explicit default constellation should share the default's cache entry, got %q", h)
+	}
+	if !bytes.Equal(def, explicit) {
+		t.Error("explicit starlink produced different bytes than the implicit default")
+	}
+
+	respK, kuiper := postScenario(t, ts.URL, scenarioBody("table2", `"constellation":"kuiper"`))
+	if respK.StatusCode != http.StatusOK {
+		t.Fatalf("kuiper table2: %d %s", respK.StatusCode, kuiper)
+	}
+	if respK.Header.Get(CacheHeader) != "miss" {
+		t.Error("a new constellation must be a cache miss")
+	}
+	_, starlink := postScenario(t, ts.URL, scenarioBody("table2", ""))
+	if bytes.Equal(kuiper, starlink) {
+		t.Error("kuiper table2 should differ from starlink table2")
+	}
+
+	respU, bad := postScenario(t, ts.URL, scenarioBody("table2", `"constellation":"iridium"`))
+	if respU.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown constellation: %d %s, want 400", respU.StatusCode, bad)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(bad, &e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, `"iridium"`) {
+		t.Errorf("error %q does not name the unknown constellation", e.Error)
+	}
+	for _, name := range []string{"starlink", "starlink-gen2", "kuiper", "oneweb"} {
+		if !strings.Contains(e.Error, name) {
+			t.Errorf("error %q does not list valid option %q", e.Error, name)
+		}
+	}
+}
+
+func TestConstellationsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/constellations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []constellationInfo
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"starlink", "starlink-gen2", "kuiper", "oneweb"}
+	if len(list) != len(wantNames) {
+		t.Fatalf("listed %d constellations, want %d", len(list), len(wantNames))
+	}
+	for i, c := range list {
+		if c.Name != wantNames[i] {
+			t.Errorf("constellation %d = %q, want %q", i, c.Name, wantNames[i])
+		}
+		if c.Satellites <= 0 || c.Shells <= 0 || c.CellCapacityGbps <= 0 {
+			t.Errorf("constellation %q has degenerate spec: %+v", c.Name, c)
+		}
+		if c.CostSatelliteUSD <= 0 || c.CostLifeYears <= 0 {
+			t.Errorf("constellation %q has degenerate cost defaults: %+v", c.Name, c)
+		}
+	}
+}
+
 func TestExperimentsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/v1/experiments")

@@ -64,11 +64,11 @@ func ScheduleS() []Band {
 	}
 }
 
-// UTDownlinkMHz sums the spectrum available for downlink to user
-// terminals (UT-only plus flexible bands): 3850 MHz.
-func UTDownlinkMHz() float64 {
+// UTDownlinkMHzOf sums the spectrum a band table makes available for
+// downlink to user terminals (UT-only plus flexible bands).
+func UTDownlinkMHzOf(bands []Band) float64 {
 	total := 0.0
-	for _, b := range ScheduleS() {
+	for _, b := range bands {
 		if b.Use == DownlinkUT || b.Use == DownlinkFlexible {
 			total += b.WidthMHz
 		}
@@ -76,21 +76,21 @@ func UTDownlinkMHz() float64 {
 	return total
 }
 
-// TotalDownlinkMHz sums all downlink spectrum including gateway-only
-// bands: 8850 MHz.
-func TotalDownlinkMHz() float64 {
+// TotalDownlinkMHzOf sums all downlink spectrum in a band table,
+// including gateway-only bands.
+func TotalDownlinkMHzOf(bands []Band) float64 {
 	total := 0.0
-	for _, b := range ScheduleS() {
+	for _, b := range bands {
 		total += b.WidthMHz
 	}
 	return total
 }
 
-// UTBeams counts the spot beams a satellite can point at user-terminal
-// cells (UT-only plus flexible bands): 24.
-func UTBeams() int {
+// UTBeamsOf counts the spot beams a band table lets a satellite point
+// at user-terminal cells (UT-only plus flexible bands).
+func UTBeamsOf(bands []Band) int {
 	n := 0
-	for _, b := range ScheduleS() {
+	for _, b := range bands {
 		if b.Use == DownlinkUT || b.Use == DownlinkFlexible {
 			n += b.Beams
 		}
@@ -98,14 +98,29 @@ func UTBeams() int {
 	return n
 }
 
-// TotalBeams counts all downlink beams: 28.
-func TotalBeams() int {
+// TotalBeamsOf counts all downlink beams in a band table.
+func TotalBeamsOf(bands []Band) int {
 	n := 0
-	for _, b := range ScheduleS() {
+	for _, b := range bands {
 		n += b.Beams
 	}
 	return n
 }
+
+// UTDownlinkMHz sums the spectrum available for downlink to user
+// terminals (UT-only plus flexible bands): 3850 MHz.
+func UTDownlinkMHz() float64 { return UTDownlinkMHzOf(ScheduleS()) }
+
+// TotalDownlinkMHz sums all downlink spectrum including gateway-only
+// bands: 8850 MHz.
+func TotalDownlinkMHz() float64 { return TotalDownlinkMHzOf(ScheduleS()) }
+
+// UTBeams counts the spot beams a satellite can point at user-terminal
+// cells (UT-only plus flexible bands): 24.
+func UTBeams() int { return UTBeamsOf(ScheduleS()) }
+
+// TotalBeams counts all downlink beams: 28.
+func TotalBeams() int { return TotalBeamsOf(ScheduleS()) }
 
 // Regulatory and modelling constants.
 const (

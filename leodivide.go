@@ -37,6 +37,7 @@ import (
 	"leodivide/internal/afford"
 	"leodivide/internal/bdc"
 	"leodivide/internal/census"
+	"leodivide/internal/constellation"
 	"leodivide/internal/core"
 	"leodivide/internal/demand"
 	"leodivide/internal/hexgrid"
@@ -263,6 +264,13 @@ func (d *Dataset) NumCells() int { return d.dist.NumCells() }
 
 // Model is the public capacity-and-affordability model.
 type Model struct {
+	// System is the constellation spec the model analyzes (default
+	// Starlink Gen1). Capacity is derived from it at construction;
+	// the cross-constellation experiments (costcurve, xconst) also use
+	// it to identify the active system whose scenario cost overrides
+	// apply. Obtain coherent pairs from NewModelFor rather than
+	// writing the field directly.
+	System constellation.System
 	// Capacity is the underlying capacity model; adjust fields for
 	// ablations.
 	Capacity core.Model
@@ -308,10 +316,19 @@ func (m Model) Parallelism(n int) Model {
 	return m
 }
 
-// NewModel returns the model with the paper's parameters.
+// NewModel returns the model with the paper's parameters: the Starlink
+// spec viewed through NewModelFor.
 func NewModel() Model {
+	return NewModelFor(constellation.StarlinkSystem())
+}
+
+// NewModelFor returns the model for a constellation spec: the system's
+// capacity model plus the paper's affordability share and
+// oversubscription cap (the FCC benchmarks apply to every system).
+func NewModelFor(sys constellation.System) Model {
 	return Model{
-		Capacity:    core.NewModel(),
+		System:      sys,
+		Capacity:    core.NewModelFor(sys),
 		AffordShare: afford.DefaultAffordabilityShare,
 		MaxOversub:  spectrum.FCCFixedWirelessOversubscription,
 	}

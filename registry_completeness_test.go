@@ -12,15 +12,17 @@ import (
 // here (and to Experiments) or to registryExemptMethods with a reason —
 // TestRegistryCompleteness enforces the invariant.
 var registryMethodNames = map[string]string{
-	"Fig1":         "fig1",
-	"Table1":       "table1",
-	"Table2":       "table2",
-	"Fig2":         "fig2",
-	"Fig4":         "fig4",
-	"RunFindings":  "findings",
-	"AssessFleets": "fleets",
-	"BusyHour":     "busyhour",
-	"Economics":    "econ",
+	"Fig1":               "fig1",
+	"Table1":             "table1",
+	"Table2":             "table2",
+	"Fig2":               "fig2",
+	"Fig4":               "fig4",
+	"RunFindings":        "findings",
+	"AssessFleets":       "fleets",
+	"BusyHour":           "busyhour",
+	"Economics":          "econ",
+	"CostCurve":          "costcurve",
+	"CrossConstellation": "xconst",
 }
 
 // registryExemptMethods lists uniform-signature methods deliberately

@@ -17,18 +17,32 @@ import (
 	"strings"
 
 	"leodivide/internal/afford"
+	"leodivide/internal/constellation"
 	"leodivide/internal/scenario"
 	"leodivide/internal/spectrum"
 )
 
 // ScenarioSchema is the versioned identifier of the scenario encoding
-// and the `leodivide serve` HTTP contract.
+// and the `leodivide serve` HTTP contract (currently v2, which added
+// the constellation selector and cost-model overrides).
 const ScenarioSchema = scenario.Schema
+
+// ScenarioSchemaV1 is the previous encoding. Committed v1 keys and v1
+// requests still decode — they map to the Starlink default, so cached
+// identities minted before the constellation selector stay stable; see
+// ParseScenarioKey and UpgradeScenarioKey.
+const ScenarioSchemaV1 = scenario.SchemaV1
 
 // ScenarioConfig describes one scenario query: which experiment to run,
 // on which dataset (the embedded RunConfig), under which model knobs.
 // The zero value of every knob means "the paper's default"; obtain a
 // fully-populated copy from Normalized.
+//
+// Construct scenarios with NewScenarioConfig and functional options
+// (WithConstellation, WithMaxOversub, ...) rather than struct
+// literals: the options validate eagerly, so a typo'd constellation
+// name or out-of-range knob fails at construction instead of
+// surfacing later from CanonicalKey or BuildModel.
 type ScenarioConfig struct {
 	RunConfig
 
@@ -48,6 +62,19 @@ type ScenarioConfig struct {
 	// the catalog naming: "Starlink Residential", "Starlink Residential
 	// w/ Lifeline", "Xfinity 300", "Spectrum Internet Premier".
 	Plans []string
+	// Constellation selects the declared constellation.System the model
+	// analyzes, by canonical key ("" = "starlink"). See
+	// constellation.SystemNames for the valid set.
+	Constellation string
+	// CostSatelliteUSD overrides the selected system's all-in
+	// (build+launch) satellite cost (0 = the system default).
+	CostSatelliteUSD float64
+	// CostLifeYears overrides the system's satellite design life in
+	// years (0 = the system default).
+	CostLifeYears float64
+	// CostTerminalUSD overrides the system's per-subscriber terminal
+	// subsidy (0 = the system default).
+	CostTerminalUSD float64
 }
 
 // DefaultScenarioConfig returns the paper's configuration with the
@@ -58,9 +85,11 @@ func DefaultScenarioConfig(experiment string) ScenarioConfig {
 
 // Normalized returns a copy with every defaulted knob materialized:
 // zero MaxOversub/AffordShare become the paper's values, empty Spreads
-// become PaperTable2Spreads, and Plans are sorted into canonical order.
-// Two configs describing the same scenario normalize to equal values,
-// which is what makes CanonicalKey a cache identity.
+// become PaperTable2Spreads, Plans are sorted into canonical order, an
+// empty Constellation becomes "starlink", and zero cost overrides
+// become the selected system's declared defaults. Two configs
+// describing the same scenario normalize to equal values, which is
+// what makes CanonicalKey a cache identity.
 func (c ScenarioConfig) Normalized() ScenarioConfig {
 	if c.MaxOversub == 0 {
 		c.MaxOversub = spectrum.FCCFixedWirelessOversubscription
@@ -79,6 +108,22 @@ func (c ScenarioConfig) Normalized() ScenarioConfig {
 		sort.Strings(plans)
 		c.Plans = plans
 	}
+	if c.Constellation == "" {
+		c.Constellation = constellation.StarlinkSystem().Key
+	}
+	// Cost defaults come from the selected system; an unknown name is
+	// left untouched for Validate to report.
+	if sys, ok := constellation.SystemByName(c.Constellation); ok {
+		if c.CostSatelliteUSD == 0 {
+			c.CostSatelliteUSD = sys.Cost.AllInSatelliteUSD()
+		}
+		if c.CostLifeYears == 0 {
+			c.CostLifeYears = sys.Cost.DesignLifeYears
+		}
+		if c.CostTerminalUSD == 0 {
+			c.CostTerminalUSD = sys.Cost.TerminalSubsidyUSD
+		}
+	}
 	return c
 }
 
@@ -93,6 +138,16 @@ func (c ScenarioConfig) Validate() error {
 	}
 	if _, ok := NewModel().ExperimentByName(c.Experiment); !ok {
 		return fmt.Errorf("leodivide: unknown experiment %q (see `leodivide experiments`)", c.Experiment)
+	}
+	return c.validateBase()
+}
+
+// validateBase validates everything except the experiment selection:
+// the RunConfig and every promoted knob. It is what a scenario used as
+// a serving or bench base (experiment chosen per request) must satisfy.
+func (c ScenarioConfig) validateBase() error {
+	if err := c.RunConfig.Validate(); err != nil {
+		return err
 	}
 	n := c.Normalized()
 	if math.IsNaN(n.MaxOversub) || math.IsInf(n.MaxOversub, 0) || n.MaxOversub < 1 || n.MaxOversub > 1000 {
@@ -119,6 +174,19 @@ func (c ScenarioConfig) Validate() error {
 		}
 		seen[p] = true
 	}
+	if _, ok := constellation.SystemByName(n.Constellation); !ok {
+		return fmt.Errorf("leodivide: unknown constellation %q (valid: %s)",
+			n.Constellation, strings.Join(constellation.SystemNames(), ", "))
+	}
+	if math.IsNaN(n.CostSatelliteUSD) || math.IsInf(n.CostSatelliteUSD, 0) || n.CostSatelliteUSD < 0 {
+		return fmt.Errorf("leodivide: satellite cost override must be finite and non-negative, got %v", n.CostSatelliteUSD)
+	}
+	if math.IsNaN(n.CostLifeYears) || math.IsInf(n.CostLifeYears, 0) || n.CostLifeYears <= 0 || n.CostLifeYears > 100 {
+		return fmt.Errorf("leodivide: design-life override must be in (0,100] years, got %v", n.CostLifeYears)
+	}
+	if math.IsNaN(n.CostTerminalUSD) || math.IsInf(n.CostTerminalUSD, 0) || n.CostTerminalUSD < 0 {
+		return fmt.Errorf("leodivide: terminal cost override must be finite and non-negative, got %v", n.CostTerminalUSD)
+	}
 	return nil
 }
 
@@ -136,6 +204,10 @@ func (c ScenarioConfig) CanonicalKey() (string, error) {
 	return scenario.NewKey(scenario.Schema).
 		Float("afford_share", n.AffordShare).
 		Bool("calibrated", n.Calibrated).
+		Str("constellation", n.Constellation).
+		Float("cost_life_years", n.CostLifeYears).
+		Float("cost_sat_usd", n.CostSatelliteUSD).
+		Float("cost_terminal_usd", n.CostTerminalUSD).
 		Str("experiment", n.Experiment).
 		Float("max_oversub", n.MaxOversub).
 		Strings("plans", n.Plans).
@@ -145,11 +217,23 @@ func (c ScenarioConfig) CanonicalKey() (string, error) {
 		Key()
 }
 
-// BuildModel constructs the model this scenario describes, extending
-// RunConfig.BuildModel with the promoted knobs.
+// BuildModel constructs the model this scenario describes: the
+// selected constellation's model (with any cost overrides applied),
+// extended with the promoted knobs. For the default scenario this is
+// exactly RunConfig.BuildModel — the Starlink spec, untouched.
 func (c ScenarioConfig) BuildModel() Model {
 	n := c.Normalized()
-	m := n.RunConfig.BuildModel()
+	sys, ok := constellation.SystemByName(n.Constellation)
+	if !ok {
+		// Validate rejects unknown names; keep the method total by
+		// falling back to the default system.
+		sys = constellation.StarlinkSystem()
+	}
+	sys.Cost = n.appliedCost(sys.Cost)
+	m := NewModelFor(sys).Parallelism(n.Parallelism)
+	if n.Calibrated {
+		m = m.Calibrated()
+	}
 	m.MaxOversub = n.MaxOversub
 	m.AffordShare = n.AffordShare
 	if len(n.Spreads) > 0 && !sameFloats(n.Spreads, PaperTable2Spreads) {
@@ -157,6 +241,27 @@ func (c ScenarioConfig) BuildModel() Model {
 	}
 	m.PlanFilter = n.Plans
 	return m
+}
+
+// appliedCost folds the scenario's cost overrides into a system's
+// declared cost model. An all-in satellite-cost override lands on the
+// build line with the launch line zeroed (the override is the sum); an
+// override equal to the declared sum is a no-op, so default scenarios
+// leave the spec's build/launch composition — and the model value —
+// untouched.
+func (c ScenarioConfig) appliedCost(base constellation.CostModel) constellation.CostModel {
+	//lint:ignore floatcmp canonical-identity comparison: the override is the same cost model only when it equals the declared sum bit-identically, the rule the canonical key encodes
+	if c.CostSatelliteUSD > 0 && c.CostSatelliteUSD != base.AllInSatelliteUSD() {
+		base.SatelliteBuildUSD = c.CostSatelliteUSD
+		base.LaunchPerSatelliteUSD = 0
+	}
+	if c.CostLifeYears > 0 {
+		base.DesignLifeYears = c.CostLifeYears
+	}
+	if c.CostTerminalUSD > 0 {
+		base.TerminalSubsidyUSD = c.CostTerminalUSD
+	}
+	return base
 }
 
 func sameFloats(a, b []float64) bool {

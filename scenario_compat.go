@@ -1,0 +1,149 @@
+package leodivide
+
+// Canonical-key decoding and the v1→v2 migration contract. Schema v2
+// added the constellation selector and cost-model overrides to the
+// canonical encoding; every key minted under v1 describes a scenario
+// that is still expressible — the Starlink default with its declared
+// costs — so v1 keys keep decoding and map deterministically onto
+// their v2 identity. That is what keeps cached identities stable
+// across the schema bump: UpgradeScenarioKey(v1Key) equals the
+// CanonicalKey of the same scenario asked for under v2.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"leodivide/internal/scenario"
+)
+
+// scenarioKeyFieldsV1 and scenarioKeyFieldsV2 are the exact ordered
+// field sets each schema's encoder writes. ParseScenarioKey requires a
+// key to carry its schema's fields exactly — nothing missing, nothing
+// unknown — so a truncated or hand-extended key is an error, not a
+// silently defaulted scenario.
+var (
+	scenarioKeyFieldsV1 = []string{
+		"afford_share", "calibrated", "experiment", "max_oversub",
+		"plans", "scale", "seed", "spreads",
+	}
+	scenarioKeyFieldsV2 = []string{
+		"afford_share", "calibrated", "constellation", "cost_life_years",
+		"cost_sat_usd", "cost_terminal_usd", "experiment", "max_oversub",
+		"plans", "scale", "seed", "spreads",
+	}
+)
+
+// ParseScenarioKey decodes a canonical key — schema v1 or v2 — back
+// into the ScenarioConfig it encodes. The returned config validates
+// and re-encodes to a stable identity: for a v2 key, the same key; for
+// a v1 key, its v2 identity (the Starlink default with declared
+// costs). Parallelism is not part of any key and comes back zero.
+func ParseScenarioKey(key string) (ScenarioConfig, error) {
+	schema, fields, err := scenario.ParseKey(key)
+	if err != nil {
+		return ScenarioConfig{}, err
+	}
+	var want []string
+	switch schema {
+	case ScenarioSchemaV1:
+		want = scenarioKeyFieldsV1
+	case ScenarioSchema:
+		want = scenarioKeyFieldsV2
+	default:
+		return ScenarioConfig{}, fmt.Errorf("leodivide: unsupported scenario key schema %q (want %q or %q)",
+			schema, ScenarioSchema, ScenarioSchemaV1)
+	}
+	if len(fields) != len(want) {
+		return ScenarioConfig{}, fmt.Errorf("leodivide: scenario key under %s carries %d fields, want %d",
+			schema, len(fields), len(want))
+	}
+	cfg := ScenarioConfig{RunConfig: DefaultRunConfig()}
+	for i, f := range fields {
+		if f.Name != want[i] {
+			return ScenarioConfig{}, fmt.Errorf("leodivide: scenario key field %q unknown under %s (want %q)",
+				f.Name, schema, want[i])
+		}
+		if err := cfg.setKeyField(f); err != nil {
+			return ScenarioConfig{}, fmt.Errorf("leodivide: scenario key field %s: %w", f.Name, err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return ScenarioConfig{}, err
+	}
+	return cfg, nil
+}
+
+// setKeyField decodes one canonical-key field into the config.
+func (c *ScenarioConfig) setKeyField(f scenario.Field) error {
+	switch f.Name {
+	case "afford_share":
+		return parseKeyFloat(f.Value, &c.AffordShare)
+	case "calibrated":
+		v, err := strconv.ParseBool(f.Value)
+		if err != nil {
+			return err
+		}
+		c.Calibrated = v
+	case "constellation":
+		c.Constellation = f.Value
+	case "cost_life_years":
+		return parseKeyFloat(f.Value, &c.CostLifeYears)
+	case "cost_sat_usd":
+		return parseKeyFloat(f.Value, &c.CostSatelliteUSD)
+	case "cost_terminal_usd":
+		return parseKeyFloat(f.Value, &c.CostTerminalUSD)
+	case "experiment":
+		c.Experiment = f.Value
+	case "max_oversub":
+		return parseKeyFloat(f.Value, &c.MaxOversub)
+	case "plans":
+		if f.Value != "" {
+			c.Plans = strings.Split(f.Value, ",")
+		}
+	case "scale":
+		return parseKeyFloat(f.Value, &c.Scale)
+	case "seed":
+		v, err := strconv.ParseInt(f.Value, 10, 64)
+		if err != nil {
+			return err
+		}
+		c.Seed = v
+	case "spreads":
+		if f.Value == "" {
+			return nil
+		}
+		parts := strings.Split(f.Value, ",")
+		c.Spreads = make([]float64, len(parts))
+		for i, p := range parts {
+			if err := parseKeyFloat(p, &c.Spreads[i]); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unhandled field %q", f.Name)
+	}
+	return nil
+}
+
+func parseKeyFloat(s string, dst *float64) error {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return err
+	}
+	*dst = v
+	return nil
+}
+
+// UpgradeScenarioKey maps any committed canonical key — v1 or v2 — to
+// its identity under the current schema. v2 keys are fixpoints; v1
+// keys land on the Starlink-default v2 key of the same scenario. This
+// is the cache-migration contract: an identity minted under v1 finds
+// the same cache slot after the bump.
+func UpgradeScenarioKey(key string) (string, error) {
+	cfg, err := ParseScenarioKey(key)
+	if err != nil {
+		return "", err
+	}
+	return cfg.CanonicalKey()
+}

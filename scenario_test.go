@@ -8,18 +8,137 @@ import (
 	"testing"
 )
 
-// TestScenarioCanonicalKeyGolden pins the exact byte layout of the
-// canonical key. This string is a wire and cache contract: changing it
+// scenarioKeyGoldenV2 is the exact byte layout of the default table2
+// scenario's canonical key under the current schema; changing it
 // invalidates every cached result and requires a schema bump.
+const scenarioKeyGoldenV2 = "leodivide-serve/v2|afford_share=0.02|calibrated=false" +
+	"|constellation=starlink|cost_life_years=5|cost_sat_usd=1.5e+06|cost_terminal_usd=300" +
+	"|experiment=table2|max_oversub=20|plans=|scale=1|seed=1|spreads=1,2,5,10,15"
+
+// scenarioKeyGoldenV1 is the same scenario's key as committed under
+// schema v1 (the layout every pre-v2 cache and client minted).
+const scenarioKeyGoldenV1 = "leodivide-serve/v1|afford_share=0.02|calibrated=false|experiment=table2" +
+	"|max_oversub=20|plans=|scale=1|seed=1|spreads=1,2,5,10,15"
+
+// TestScenarioCanonicalKeyGolden pins the exact byte layout of the
+// canonical key. This string is a wire and cache contract.
 func TestScenarioCanonicalKeyGolden(t *testing.T) {
 	key, err := DefaultScenarioConfig("table2").CanonicalKey()
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := "leodivide-serve/v1|afford_share=0.02|calibrated=false|experiment=table2" +
-		"|max_oversub=20|plans=|scale=1|seed=1|spreads=1,2,5,10,15"
-	if key != want {
-		t.Errorf("canonical key:\n got %q\nwant %q", key, want)
+	if key != scenarioKeyGoldenV2 {
+		t.Errorf("canonical key:\n got %q\nwant %q", key, scenarioKeyGoldenV2)
+	}
+}
+
+// TestScenarioKeyCompatV1 is the v1→v2 migration table: every
+// committed v1 key layout decodes, maps to the Starlink default, and
+// lands on the same v2 identity a fresh v2 encoding of that scenario
+// produces — cached identities stay stable across the schema bump.
+func TestScenarioKeyCompatV1(t *testing.T) {
+	v1Keys := []string{
+		scenarioKeyGoldenV1,
+		// Knob variants in the exact layout the v1 encoder produced.
+		"leodivide-serve/v1|afford_share=0.025|calibrated=false|experiment=table2" +
+			"|max_oversub=20|plans=|scale=1|seed=1|spreads=1,2,5,10,15",
+		"leodivide-serve/v1|afford_share=0.02|calibrated=true|experiment=fig3" +
+			"|max_oversub=25|plans=|scale=0.05|seed=2|spreads=2,4",
+		"leodivide-serve/v1|afford_share=0.02|calibrated=false|experiment=fig4" +
+			"|max_oversub=20|plans=Starlink Residential,Xfinity 300|scale=0.02|seed=1|spreads=1,2,5,10,15",
+	}
+	for _, v1 := range v1Keys {
+		cfg, err := ParseScenarioKey(v1)
+		if err != nil {
+			t.Errorf("v1 key %q did not decode: %v", v1, err)
+			continue
+		}
+		// v1 predates the selector: it must map to the Starlink default.
+		if got := cfg.Normalized().Constellation; got != "starlink" {
+			t.Errorf("v1 key %q mapped to constellation %q, want starlink", v1, got)
+		}
+		up, err := UpgradeScenarioKey(v1)
+		if err != nil {
+			t.Errorf("v1 key %q did not upgrade: %v", v1, err)
+			continue
+		}
+		want, err := cfg.CanonicalKey()
+		if err != nil || up != want {
+			t.Errorf("v1 key %q upgraded to %q, want %q (err %v)", v1, up, want, err)
+		}
+		if !strings.HasPrefix(up, ScenarioSchema+"|") {
+			t.Errorf("upgraded key %q is not under schema %s", up, ScenarioSchema)
+		}
+		// Upgrading is idempotent: the v2 key is a fixpoint.
+		again, err := UpgradeScenarioKey(up)
+		if err != nil || again != up {
+			t.Errorf("upgrade not a fixpoint: %q -> %q (err %v)", up, again, err)
+		}
+	}
+
+	// The golden v1 key lands exactly on the golden v2 key.
+	if up, err := UpgradeScenarioKey(scenarioKeyGoldenV1); err != nil || up != scenarioKeyGoldenV2 {
+		t.Errorf("golden v1 upgrade:\n got %q\nwant %q (err %v)", up, scenarioKeyGoldenV2, err)
+	}
+}
+
+// TestScenarioKeyParseRejects: unknown fields, missing fields, foreign
+// schemas and out-of-order layouts are decode errors, never silently
+// defaulted scenarios.
+func TestScenarioKeyParseRejects(t *testing.T) {
+	cases := []struct {
+		name, key string
+	}{
+		{"unknown schema", "leodivide-serve/v9|afford_share=0.02"},
+		{"empty schema", "|afford_share=0.02"},
+		{"unknown field", scenarioKeyGoldenV1 + "|zz_custom=1"},
+		{"missing fields", "leodivide-serve/v1|afford_share=0.02|calibrated=false"},
+		{"v2 missing constellation", "leodivide-serve/v2" + scenarioKeyGoldenV1[len("leodivide-serve/v1"):]},
+		{"out of order", "leodivide-serve/v1|calibrated=false|afford_share=0.02|experiment=table2" +
+			"|max_oversub=20|plans=|scale=1|seed=1|spreads=1,2,5,10,15"},
+		{"duplicate field", "leodivide-serve/v1|afford_share=0.02|afford_share=0.02|calibrated=false|experiment=table2" +
+			"|max_oversub=20|plans=|scale=1|seed=1|spreads=1,2,5,10,15"},
+		{"bad float", "leodivide-serve/v1|afford_share=abc|calibrated=false|experiment=table2" +
+			"|max_oversub=20|plans=|scale=1|seed=1|spreads=1,2,5,10,15"},
+		{"unknown experiment", "leodivide-serve/v1|afford_share=0.02|calibrated=false|experiment=warpdrive" +
+			"|max_oversub=20|plans=|scale=1|seed=1|spreads=1,2,5,10,15"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseScenarioKey(tc.key); err == nil {
+				t.Errorf("ParseScenarioKey accepted %q", tc.key)
+			}
+		})
+	}
+}
+
+// TestScenarioKeyRoundTrip: ParseScenarioKey inverts CanonicalKey for
+// non-default scenarios too, including constellation and cost
+// overrides.
+func TestScenarioKeyRoundTrip(t *testing.T) {
+	cfg, err := NewScenarioConfig("xconst",
+		WithConstellation("kuiper"),
+		WithOversub(25),
+		WithSatelliteCostUSD(3e6),
+		WithDesignLifeYears(6),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := cfg.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseScenarioKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2, err := back.CanonicalKey()
+	if err != nil || key2 != key {
+		t.Errorf("round trip changed the key:\n got %q\nwant %q (err %v)", key2, key, err)
+	}
+	if back.Constellation != "kuiper" || back.CostSatelliteUSD != 3e6 {
+		t.Errorf("round trip lost fields: %+v", back)
 	}
 }
 

@@ -1,0 +1,86 @@
+package leodivide
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestScenarioWireRoundTrip: a config rendered to wire form, parsed
+// back strictly, and applied onto a default base reproduces the same
+// canonical key — the contract that lets a query saved from the HTTP
+// API replay byte-for-byte through the CLI's -scenario flag and back.
+func TestScenarioWireRoundTrip(t *testing.T) {
+	cfg, err := NewScenarioConfig("costcurve",
+		WithConstellation("oneweb"), WithAffordShare(0.03), WithTerminalCostUSD(650))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := cfg.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(cfg.Request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := ParseScenarioRequest(data)
+	if err != nil {
+		t.Fatalf("parse of own wire form: %v (body %s)", err, data)
+	}
+	got, err := req.Apply(ScenarioConfig{RunConfig: DefaultRunConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotKey, err := got.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotKey != key {
+		t.Errorf("round-tripped key\n  %s\nwant\n  %s", gotKey, key)
+	}
+}
+
+func TestScenarioRequestValidateSchema(t *testing.T) {
+	base := ScenarioConfig{RunConfig: DefaultRunConfig()}
+
+	// A v1 body without v2-only fields applies (onto the Starlink
+	// default); declaring v1 while using v2-only fields is an error.
+	v1 := ScenarioRequest{Schema: ScenarioSchemaV1, Experiment: "table2"}
+	if _, err := v1.Apply(base); err != nil {
+		t.Errorf("plain v1 request rejected: %v", err)
+	}
+	v1.Constellation = "kuiper"
+	if _, err := v1.Apply(base); err == nil || !strings.Contains(err.Error(), "v2-only") {
+		t.Errorf("v1 request with constellation returned %v, want v2-only rejection", err)
+	}
+	v1.Constellation = ""
+	v1.CostSatelliteUSD = 2e6
+	if _, err := v1.Apply(base); err == nil {
+		t.Error("v1 request with a cost override should be rejected")
+	}
+
+	bad := ScenarioRequest{Schema: "nope/v9", Experiment: "table2"}
+	if err := bad.ValidateSchema(); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}
+
+func TestParseScenarioRequestStrict(t *testing.T) {
+	if _, err := ParseScenarioRequest([]byte(`{"experiment":"table2","warp":9}`)); err == nil {
+		t.Error("unknown wire field accepted")
+	}
+	if _, err := ParseScenarioRequest([]byte(`{"experiment":"table2"}{}`)); err == nil {
+		t.Error("trailing data accepted")
+	}
+	if _, err := ParseScenarioRequest([]byte(`{"experiment":`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	req, err := ParseScenarioRequest([]byte(`{"experiment":"xconst","constellation":"kuiper","seed":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Experiment != "xconst" || req.Constellation != "kuiper" || req.Seed == nil || *req.Seed != 7 {
+		t.Errorf("parsed request %+v lost fields", req)
+	}
+}
