@@ -85,14 +85,14 @@ func runBench(ctx context.Context, w io.Writer, sc leodivide.ScenarioConfig, arg
 		if contains(selected, "generate") {
 			res, err := measure("generate", n, *reps, func() error {
 				var genErr error
-				ds, genErr = wcfg.RunConfig.Generate(ctx)
+				ds, genErr = wcfg.Generate(ctx)
 				return genErr
 			})
 			if err != nil {
 				return err
 			}
 			report.Results = append(report.Results, res)
-		} else if ds, err = wcfg.RunConfig.Generate(ctx); err != nil {
+		} else if ds, err = wcfg.Generate(ctx); err != nil {
 			return err
 		}
 

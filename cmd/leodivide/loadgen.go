@@ -24,10 +24,11 @@ import (
 
 // loadgenVariants are the knob variations cycled across requests. Each
 // is a JSON fragment spliced into the request body; the empty variant
-// is the server default (Starlink). The constellation variants exercise
-// the cross-constellation paths: each warms its own compute-stage and
-// result-cache entries. Repeats of the same (experiment, variant) pair
-// are what generate cache hits.
+// is the server default (Starlink on the US geography). The
+// constellation variants exercise the cross-constellation paths and the
+// region variants the lazily generated sibling geographies: each warms
+// its own compute-stage and result-cache entries. Repeats of the same
+// (experiment, variant) pair are what generate cache hits.
 var loadgenVariants = []string{
 	"",
 	`"max_oversub":25`,
@@ -35,6 +36,8 @@ var loadgenVariants = []string{
 	`"afford_share":0.025`,
 	`"constellation":"kuiper"`,
 	`"constellation":"oneweb"`,
+	`"region":"brazil-rural"`,
+	`"region":"taipei-dense"`,
 }
 
 type loadgenOutcome struct {

@@ -23,6 +23,7 @@
 //	refined    affordability with income dispersion and Lifeline eligibility
 //	costcurve  cost per served location vs fleet size, per constellation
 //	xconst     which constellation closes the divide cheapest (100/20)
+//	xregion    service fraction vs affordability per demand geography
 //	gen        write the dataset as CSV (cells, and optionally locations)
 //	bench      emit a schema-versioned BENCH_*.json performance report
 //	verify     replay the committed golden corpus; exit nonzero on drift
@@ -84,6 +85,7 @@ func run(args []string, w io.Writer) error {
 	fs.Float64Var(&cfg.Scale, "scale", cfg.Scale, "dataset scale in (0,1]")
 	fs.BoolVar(&cfg.Calibrated, "calibrated", cfg.Calibrated, "pin effective cells to the paper's fitted value")
 	fs.IntVar(&cfg.Parallelism, "parallelism", cfg.Parallelism, "worker bound for generation and experiments (0 = all CPUs, 1 = serial)")
+	regionKey := fs.String("region", "", "demand/income geography (us, brazil-rural, taipei-dense; default us)")
 	scenarioJSON := fs.String("scenario", "", "scenario request JSON (the exact POST /v1/scenario body); overrides the shorthand flags")
 	metrics := fs.Bool("metrics", false, "print the metric snapshot to stderr after the command")
 	trace := fs.Bool("trace", false, "record spans and print the trace tree to stderr after the command")
@@ -102,7 +104,7 @@ func run(args []string, w io.Writer) error {
 	// shares: the flags form the base, and -scenario (the HTTP wire
 	// contract) merges on top — pointer fields (seed, scale, calibrated)
 	// override the shorthand flags when present.
-	sc := leodivide.ScenarioConfig{RunConfig: cfg}
+	sc := leodivide.ScenarioConfig{RunConfig: cfg, Region: *regionKey}
 	if *scenarioJSON != "" {
 		req, err := leodivide.ParseScenarioRequest([]byte(*scenarioJSON))
 		if err != nil {
@@ -171,7 +173,7 @@ func run(args []string, w io.Writer) error {
 		return runLoadgen(ctx, w, fs.Args()[1:])
 	}
 
-	ds, err := sc.RunConfig.Generate(ctx)
+	ds, err := sc.Generate(ctx)
 	if err != nil {
 		return err
 	}
@@ -200,7 +202,7 @@ func run(args []string, w io.Writer) error {
 var allOrder = []string{
 	"fig1", "table1", "table2", "fig2", "fig3", "fig4", "findings",
 	"simcheck", "ablate", "fleets", "refined", "linkbudget", "states",
-	"latency", "busyhour", "econ", "costcurve", "xconst",
+	"latency", "busyhour", "econ", "costcurve", "xconst", "xregion",
 }
 
 // renderer turns one experiment's result (the registry's `any`) back
@@ -235,6 +237,7 @@ var renderers = map[string]renderer{
 	"econ":      renderEcon,
 	"costcurve": renderCostCurve,
 	"xconst":    renderXConst,
+	"xregion":   renderXRegion,
 }
 
 // runOne dispatches one subcommand: registry experiments run through
@@ -957,6 +960,31 @@ func renderXConst(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodi
 		return err
 	}
 	fmt.Fprintf(w, "cheapest serving system: %s — every system hits the same per-cell cap; cost moves, the divide does not.\n", r.Cheapest)
+	return nil
+}
+
+func renderXRegion(ctx context.Context, w io.Writer, m leodivide.Model, ds *leodivide.Dataset, v any) error {
+	r, err := resultAs[leodivide.CrossRegionResult]("xregion", v)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Cross-region — which constraint binds where (%s, %g:1 cap, %.0f%% of income)",
+			r.System, r.MaxOversub, 100*r.AffordShare),
+		"region", "locations", "cells", "binding lat", "required sats", "spread", "served", "affordable", "binds")
+	for _, row := range r.Rows {
+		t.AddRow(row.DisplayName, row.TotalLocations, row.NumCells,
+			fmt.Sprintf("%.1f°", row.BindingLatDeg),
+			row.RequiredSatellites,
+			fmt.Sprintf("%.1f", row.RequiredSpread),
+			fmt.Sprintf("%.4f", row.ServedFraction),
+			fmt.Sprintf("%.3f", row.AffordableFraction),
+			row.BindingConstraint)
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "an inclined fleet thins toward the equator: the equatorial geography pays in satellites while low incomes bind; the dense mid-latitude one hits the per-cell cap first.\n")
 	return nil
 }
 

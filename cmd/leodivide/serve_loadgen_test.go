@@ -69,8 +69,9 @@ func TestServeLoadgenEndToEnd(t *testing.T) {
 		t.Fatalf("server never printed its address; output %q", out.String())
 	}
 
-	// 40 requests over 2 experiments x 6 knob/constellation variants =
-	// 12 distinct scenarios, so at least 28/40 must be hits or coalesced.
+	// 40 requests over 2 experiments x 8 knob/constellation/region
+	// variants = 16 distinct scenarios, so at least 24/40 must be hits
+	// or coalesced.
 	var lout bytes.Buffer
 	err := runLoadgen(context.Background(), &lout, []string{
 		"-addr", addr, "-n", "40", "-concurrency", "8",

@@ -8,15 +8,19 @@ import (
 	"testing"
 )
 
-// repoCorpus is the committed golden corpus relative to this package.
-const repoCorpus = "../../testdata/golden"
+// repoCorpus is the committed golden corpus relative to this package;
+// repoRegionCorpus the committed per-region findings corpus.
+const (
+	repoCorpus       = "../../testdata/golden"
+	repoRegionCorpus = "../../testdata/golden-regions"
+)
 
 func TestVerifyPassesOnCommittedCorpus(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full corpus replay is not a -short test")
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"verify", "-corpus", repoCorpus}, &buf); err != nil {
+	if err := run([]string{"verify", "-corpus", repoCorpus, "-region-corpus", repoRegionCorpus}, &buf); err != nil {
 		t.Fatalf("verify on committed corpus: %v\n%s", err, buf.String())
 	}
 	out := buf.String()
@@ -25,6 +29,11 @@ func TestVerifyPassesOnCommittedCorpus(t *testing.T) {
 	}
 	if !strings.Contains(out, "experiment replays match") {
 		t.Errorf("output missing replay count:\n%s", out)
+	}
+	for _, want := range []string{"region brazil-rural", "region taipei-dense"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q replay line:\n%s", want, out)
+		}
 	}
 }
 
@@ -75,7 +84,7 @@ func TestVerifyFailsOnDrift(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	err = run([]string{"verify", "-corpus", corpus}, &buf)
+	err = run([]string{"verify", "-corpus", corpus, "-region-corpus", ""}, &buf)
 	if err == nil {
 		t.Fatalf("verify must fail on a mutated corpus; output:\n%s", buf.String())
 	}
@@ -100,9 +109,54 @@ func TestVerifyFailsOnIncompleteCorpus(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	err := run([]string{"verify", "-corpus", corpus}, &buf)
+	err := run([]string{"verify", "-corpus", corpus, "-region-corpus", ""}, &buf)
 	if err == nil || !strings.Contains(err.Error(), "table2") {
 		t.Errorf("missing-experiment corpus must fail naming table2, got %v", err)
+	}
+}
+
+// TestVerifyFailsOnRegionDrift mutates one frozen per-region finding
+// and expects the replay to fail naming the region.
+func TestVerifyFailsOnRegionDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus replay is not a -short test")
+	}
+	mainCorpus := copyCorpusConfig(t, "1", "0.02")
+
+	regionCorpus := filepath.Join(t.TempDir(), "golden-regions")
+	// The trimmed main corpus holds one config, so trim the region
+	// corpus to the same (seed, scale) per region.
+	for _, key := range []string{"brazil-rural", "taipei-dense"} {
+		dir := filepath.Join(regionCorpus, key, "1", "0.02")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(repoRegionCorpus, key, "1", "0.02", "findings.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key == "brazil-rural" {
+			mutated := strings.Replace(string(b), `"TotalLocations": `, `"TotalLocations": 9`, 1)
+			if mutated == string(b) {
+				t.Fatalf("findings.json has no TotalLocations field to mutate:\n%s", b)
+			}
+			b = []byte(mutated)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "findings.json"), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	err := run([]string{"verify", "-corpus", mainCorpus, "-region-corpus", regionCorpus}, &buf)
+	if err == nil {
+		t.Fatalf("verify must fail on a mutated region corpus; output:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "drifted") {
+		t.Errorf("error %q does not mention drift", err)
+	}
+	if !strings.Contains(buf.String(), "findings[brazil-rural]") {
+		t.Errorf("drift report does not name the drifted region:\n%s", buf.String())
 	}
 }
 

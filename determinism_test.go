@@ -66,35 +66,44 @@ func TestRegistryDeterminismMatrix(t *testing.T) {
 }
 
 // TestGenerateDatasetDeterministicAcrossParallelism proves dataset
-// synthesis is worker-count independent: identical cells (IDs,
-// locations, county assignment, centers) and identical county income
-// tables at every worker count, for several seeds.
+// synthesis is worker-count independent for every declared region:
+// identical cells (IDs, locations, county assignment, centers) and
+// identical county income tables at every worker count, for several
+// seeds. The US path fans out over BDC faces, the synthetic path over
+// footprint-box enumeration — both must collect in canonical order.
 func TestGenerateDatasetDeterministicAcrossParallelism(t *testing.T) {
 	ctx := context.Background()
-	for _, seed := range []int64{1, 2, 3} {
-		serial, err := GenerateDataset(ctx, WithSeed(seed), WithScale(0.05), WithParallelism(1))
-		if err != nil {
-			t.Fatalf("seed %d serial: %v", seed, err)
-		}
-		for _, n := range determinismCounts[1:] {
-			par, err := GenerateDataset(ctx, WithSeed(seed), WithScale(0.05), WithParallelism(n))
-			if err != nil {
-				t.Fatalf("seed %d parallelism %d: %v", seed, n, err)
-			}
-			if len(serial.Cells) != len(par.Cells) {
-				t.Fatalf("seed %d parallelism %d: cell count %d (serial) != %d (parallel)",
-					seed, n, len(serial.Cells), len(par.Cells))
-			}
-			for i := range serial.Cells {
-				if !reflect.DeepEqual(serial.Cells[i], par.Cells[i]) {
-					t.Fatalf("seed %d parallelism %d: cell %d differs: serial %+v parallel %+v",
-						seed, n, i, serial.Cells[i], par.Cells[i])
+	for _, regionKey := range []string{"us", "brazil-rural", "taipei-dense"} {
+		regionKey := regionKey
+		t.Run(regionKey, func(t *testing.T) {
+			for _, seed := range []int64{1, 2, 3} {
+				serial, err := GenerateDataset(ctx, WithSeed(seed), WithScale(0.05),
+					WithRegion(regionKey), WithParallelism(1))
+				if err != nil {
+					t.Fatalf("seed %d serial: %v", seed, err)
+				}
+				for _, n := range determinismCounts[1:] {
+					par, err := GenerateDataset(ctx, WithSeed(seed), WithScale(0.05),
+						WithRegion(regionKey), WithParallelism(n))
+					if err != nil {
+						t.Fatalf("seed %d parallelism %d: %v", seed, n, err)
+					}
+					if len(serial.Cells) != len(par.Cells) {
+						t.Fatalf("seed %d parallelism %d: cell count %d (serial) != %d (parallel)",
+							seed, n, len(serial.Cells), len(par.Cells))
+					}
+					for i := range serial.Cells {
+						if !reflect.DeepEqual(serial.Cells[i], par.Cells[i]) {
+							t.Fatalf("seed %d parallelism %d: cell %d differs: serial %+v parallel %+v",
+								seed, n, i, serial.Cells[i], par.Cells[i])
+						}
+					}
+					if !reflect.DeepEqual(serial.Incomes.Counties(), par.Incomes.Counties()) {
+						t.Fatalf("seed %d parallelism %d: county income tables differ", seed, n)
+					}
 				}
 			}
-			if !reflect.DeepEqual(serial.Incomes.Counties(), par.Incomes.Counties()) {
-				t.Fatalf("seed %d parallelism %d: county income tables differ", seed, n)
-			}
-		}
+		})
 	}
 }
 

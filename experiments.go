@@ -197,6 +197,13 @@ func (m Model) Experiments() []Experiment {
 				return m.CrossConstellation(ctx, d)
 			}),
 		},
+		{
+			Name:        "xregion",
+			Description: "service fraction vs affordability per demand geography: which constraint binds where",
+			Run: instrument("xregion", func(ctx context.Context, d *Dataset) (any, error) {
+				return m.CrossRegion(ctx, d)
+			}),
+		},
 	}
 }
 

@@ -113,6 +113,78 @@ func TestGoldenCorpus(t *testing.T) {
 	}
 }
 
+// goldenRegionRoot holds the per-region findings corpus: one root per
+// synthetic region (golden.Configs wants integer seed directories
+// directly under its root), each replayed at the same seed × scale
+// matrix as the main corpus. The US region needs no entry here — the
+// main corpus already freezes every experiment on the US geography.
+const goldenRegionRoot = "testdata/golden-regions"
+
+// goldenRegionKeys are the synthetic geographies with frozen findings.
+func goldenRegionKeys() []string { return []string{"brazil-rural", "taipei-dense"} }
+
+// TestGoldenRegionCorpus freezes the findings experiment per synthetic
+// region: the one-page summary exercises the full pipeline (capacity,
+// sizing, affordability) on each geography, so drift in any synthetic
+// generation step or region dispatch shows here with a field path.
+func TestGoldenRegionCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden corpus replay is not a -short test")
+	}
+	ctx := context.Background()
+	for _, key := range goldenRegionKeys() {
+		key := key
+		for _, cfg := range goldenConfigs() {
+			cfg := cfg
+			t.Run(fmt.Sprintf("%s/seed=%d/scale=%s", key, cfg.Seed, golden.FormatScale(cfg.Scale)), func(t *testing.T) {
+				ds, err := GenerateDataset(ctx,
+					WithSeed(cfg.Seed), WithScale(cfg.Scale), WithRegion(key))
+				if err != nil {
+					t.Fatalf("generate: %v", err)
+				}
+				m := NewModel()
+				exp, ok := m.ExperimentByName("findings")
+				if !ok {
+					t.Fatal("findings experiment not in registry")
+				}
+				v, err := exp.Run(ctx, ds)
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				path := golden.File(goldenRegionRoot+"/"+key, cfg.Seed, cfg.Scale, "findings")
+				if *update {
+					if err := golden.WriteFile(ctx, path, v); err != nil {
+						t.Fatalf("update corpus: %v", err)
+					}
+					return
+				}
+				want, err := golden.ReadFile(path)
+				if err != nil {
+					t.Fatalf("read corpus %s: %v\n(run `go test -run TestGoldenRegionCorpus -update ./...` to create it)", path, err)
+				}
+				got, err := golden.Encode(v)
+				if err != nil {
+					t.Fatalf("encode result: %v", err)
+				}
+				diffs, err := golden.Compare(got, want, goldenTolerance())
+				if err != nil {
+					t.Fatalf("compare against %s: %v", path, err)
+				}
+				for i, d := range diffs {
+					if i >= 10 {
+						t.Errorf("... and %d more field diffs", len(diffs)-i)
+						break
+					}
+					t.Errorf("findings drifted at %s", d)
+				}
+				if len(diffs) > 0 {
+					t.Fatalf("findings on %s: %d field(s) drifted from %s\n(if the change is intentional, regenerate with -update and justify the corpus diff)", key, len(diffs), path)
+				}
+			})
+		}
+	}
+}
+
 // TestGoldenCorpusCoversRegistry pins the corpus to the registry: every
 // experiment must have a frozen file in every committed config, and the
 // corpus must not carry files for experiments that no longer exist.

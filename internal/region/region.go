@@ -1,0 +1,117 @@
+// Package region makes the demand geography pluggable: a Region yields
+// hexgrid demand cells, per-cell location counts and an income
+// distribution, and the root facade's GenerateDataset consumes that
+// output instead of calling the BDC/census pipeline directly.
+//
+// Three regions are declared:
+//
+//   - "us" wraps the existing calibrated BDC + census pipeline and is
+//     byte-identical to the legacy generation path (the golden corpus
+//     proves it).
+//   - "brazil-rural" is a deterministic seeded synthetic geography: a
+//     sparse equatorial-to-mid-latitude demand band in the style of
+//     Brazil's rural-connectivity roadmap.
+//   - "taipei-dense" is a compact high-density urban geography where
+//     the per-cell beam-stacking cap binds long before affordability.
+//
+// The determinism contract of the repository applies unchanged: every
+// region's output is a pure function of (seed, scale) and is
+// byte-identical at every Parallelism setting. Synthetic regions draw
+// all randomness from a single rand.New(rand.NewSource(seed)) stream
+// consumed serially in a fixed order, mirroring the BDC generator's
+// idiom; only RNG-free phases (grid enumeration) fan out, collected in
+// canonical face order.
+package region
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"leodivide/internal/census"
+	"leodivide/internal/demand"
+	"leodivide/internal/hexgrid"
+)
+
+// GenConfig is the per-generation parameter set every Region receives:
+// the dataset identity (seed, scale) plus the worker bound. Regions
+// must produce byte-identical output at every Parallelism value.
+type GenConfig struct {
+	// Seed drives all pseudo-randomness; equal seeds give identical
+	// outputs.
+	Seed int64
+	// Scale shrinks the region to this fraction of its declared total,
+	// in (0, 1]. Peak cells scale too, so distribution shape is
+	// preserved.
+	Scale float64
+	// Parallelism bounds the worker count for RNG-free phases (0 = one
+	// worker per CPU, 1 = the serial path). Output is identical at
+	// every setting.
+	Parallelism int
+}
+
+// Validate reports whether the generation parameters are usable.
+func (g GenConfig) Validate() error {
+	if math.IsNaN(g.Scale) || math.IsInf(g.Scale, 0) || g.Scale <= 0 || g.Scale > 1 {
+		return fmt.Errorf("region: scale must be in (0,1], got %v", g.Scale)
+	}
+	if g.Parallelism < 0 {
+		return fmt.Errorf("region: parallelism must be >= 0, got %d", g.Parallelism)
+	}
+	return nil
+}
+
+// Output is what a region yields: the demand cells, their prebuilt
+// distribution, the income table weighted by location counts, and the
+// grid resolution the cells live on. Dist is always non-nil and built
+// from exactly Cells, so consumers need not rebuild it.
+type Output struct {
+	Cells      []demand.Cell
+	Dist       *demand.Distribution
+	Incomes    *census.Table
+	Resolution hexgrid.Resolution
+}
+
+// Region is one pluggable demand/income geography.
+type Region interface {
+	// Key is the canonical lowercase identifier used in scenario
+	// selectors, canonical cache keys and the serving API.
+	Key() string
+	// Name is the human-readable display name.
+	Name() string
+	// Description is a one-line summary for listings.
+	Description() string
+	// Generate synthesizes the region's dataset. The seed fully
+	// determines the result regardless of GenConfig.Parallelism.
+	Generate(ctx context.Context, cfg GenConfig) (Output, error)
+}
+
+// DefaultKey is the canonical key of the default region.
+const DefaultKey = "us"
+
+// Regions returns the declared regions in canonical order. The first
+// entry is the default (the calibrated US pipeline).
+func Regions() []Region {
+	return []Region{US(), BrazilRural(), TaipeiDense()}
+}
+
+// Names returns the canonical keys of the declared regions, in
+// canonical order.
+func Names() []string {
+	regions := Regions()
+	names := make([]string, len(regions))
+	for i, r := range regions {
+		names[i] = r.Key()
+	}
+	return names
+}
+
+// ByName resolves a canonical key to its region.
+func ByName(name string) (Region, bool) {
+	for _, r := range Regions() {
+		if r.Key() == name {
+			return r, true
+		}
+	}
+	return nil, false
+}

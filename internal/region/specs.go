@@ -1,0 +1,107 @@
+package region
+
+// The two shipped synthetic geographies. Both are declared as
+// SyntheticSpec literals (the same structure the fuzzed JSON decoder
+// accepts) and validated once at startup — a bad edit fails every test
+// immediately instead of surfacing as a generation error later.
+//
+// Calibration intent, not census fidelity: brazil-rural models the
+// sparse equatorial-to-mid-latitude band of Brazil's rural-connectivity
+// roadmap (many small demand cells, low incomes, thin orbital latitude
+// density near the equator), and taipei-dense models a compact
+// high-density urban basin (few cells, very high per-cell counts,
+// higher incomes) where the per-cell beam-stacking cap binds long
+// before affordability. Totals are multiples of 1000 so the golden
+// scales (0.02, 0.05) split exactly.
+
+import "leodivide/internal/census"
+
+// brazilRuralSpec is the "brazil-rural" geography: a sparse demand band
+// from the Amazon basin down to the mid-latitude south, 27 synthetic
+// districts under the ISO-3166 numeric prefix for Brazil (076 → "76").
+var brazilRuralSpec = SyntheticSpec{
+	Key:         "brazil-rural",
+	Name:        "Brazil (rural band)",
+	Description: "sparse equatorial-to-mid-latitude rural demand band, Brazil roadmap calibration",
+	Resolution:  5,
+	LatMinDeg:   -25,
+	LatMaxDeg:   -3,
+	LngMinDeg:   -61,
+	LngMaxDeg:   -40,
+
+	TotalLocations: 1_500_000,
+	Cells:          900,
+	DensityAnchors: []DensityAnchor{
+		{Q: 0, Weight: 1},
+		{Q: 0.6, Weight: 8},
+		{Q: 0.9, Weight: 40},
+		{Q: 1, Weight: 120},
+	},
+	Peaks: []SyntheticPeak{
+		{Locations: 30_000, LatDeg: -3.8, LngDeg: -60.2},  // upper Amazon basin
+		{Locations: 24_000, LatDeg: -15.8, LngDeg: -47.9}, // central plateau
+		{Locations: 18_000, LatDeg: -23.4, LngDeg: -51.9}, // southern farm belt
+	},
+
+	Districts:      27,
+	DistrictPrefix: "76",
+	RegionAbbr:     "BR",
+	IncomeAnchors: []census.QuantileAnchor{
+		{Q: 0, Income: 5_600},
+		{Q: 0.3, Income: 11_200},
+		{Q: 0.7, Income: 21_500},
+		{Q: 0.9, Income: 38_000},
+		{Q: 1, Income: 96_000},
+	},
+}
+
+// taipeiDenseSpec is the "taipei-dense" geography: a compact urban
+// basin of very high per-cell demand, 12 synthetic districts under the
+// ISO-3166 numeric prefix for Taiwan (158 → "15").
+var taipeiDenseSpec = SyntheticSpec{
+	Key:         "taipei-dense",
+	Name:        "Taipei (dense urban)",
+	Description: "compact high-density urban basin, Starlink-Taipei calibration",
+	Resolution:  5,
+	LatMinDeg:   24.4,
+	LatMaxDeg:   25.6,
+	LngMinDeg:   121.0,
+	LngMaxDeg:   122.2,
+
+	TotalLocations: 600_000,
+	Cells:          16,
+	DensityAnchors: []DensityAnchor{
+		{Q: 0, Weight: 400},
+		{Q: 0.8, Weight: 1_500},
+		{Q: 1, Weight: 2_600},
+	},
+	Peaks: []SyntheticPeak{
+		{Locations: 90_000, LatDeg: 25.05, LngDeg: 121.55}, // city core
+		{Locations: 60_000, LatDeg: 24.95, LngDeg: 121.22}, // western corridor
+	},
+
+	Districts:      12,
+	DistrictPrefix: "15",
+	RegionAbbr:     "TW",
+	IncomeAnchors: []census.QuantileAnchor{
+		{Q: 0, Income: 17_800},
+		{Q: 0.25, Income: 33_500},
+		{Q: 0.6, Income: 52_000},
+		{Q: 0.9, Income: 86_000},
+		{Q: 1, Income: 205_000},
+	},
+}
+
+// BrazilRural returns the shipped "brazil-rural" synthetic region.
+func BrazilRural() Region { return mustSynthetic(brazilRuralSpec) }
+
+// TaipeiDense returns the shipped "taipei-dense" synthetic region.
+func TaipeiDense() Region { return mustSynthetic(taipeiDenseSpec) }
+
+func mustSynthetic(spec SyntheticSpec) Region {
+	r, err := NewSynthetic(spec)
+	if err != nil {
+		panic(err) // shipped specs are validated by the package tests
+	}
+	return r
+}

@@ -1,0 +1,38 @@
+package region
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStateOfFIPS pins the hard-error contract on county FIPS prefixes
+// (relocated here with the income-assignment pipeline): before this, an
+// unknown prefix silently produced an empty state abbreviation that
+// skewed the income-assignment poverty ordering.
+func TestStateOfFIPS(t *testing.T) {
+	cases := []struct {
+		fips    string
+		want    string
+		wantErr string
+	}{
+		{fips: "01001", want: "AL"},
+		{fips: "06037", want: "CA"},
+		{fips: "48201", want: "TX"},
+		{fips: "99123", wantErr: `unknown state FIPS prefix "99"`},
+		{fips: "00001", wantErr: `unknown state FIPS prefix "00"`},
+		{fips: "7", wantErr: "too short"},
+		{fips: "", wantErr: "too short"},
+	}
+	for _, tc := range cases {
+		abbr, err := stateOfFIPS(tc.fips)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("stateOfFIPS(%q) err = %v, want mention of %q", tc.fips, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil || abbr != tc.want {
+			t.Errorf("stateOfFIPS(%q) = %q, %v, want %q", tc.fips, abbr, err, tc.want)
+		}
+	}
+}

@@ -31,13 +31,18 @@ import (
 // Schema is the versioned identifier shared by the canonical key
 // prefix and the HTTP request/response envelope of `leodivide serve`.
 // Any change to the key layout or the request schema bumps the suffix.
-// v2 added the constellation selector and the cost-model override
-// fields to the key layout.
-const Schema = "leodivide-serve/v2"
+// v3 added the region selector; v2 added the constellation selector
+// and the cost-model override fields.
+const Schema = "leodivide-serve/v3"
 
-// SchemaV1 is the previous key schema, retained so committed v1 keys
-// keep decoding (they map to the Starlink default; the root package's
-// UpgradeScenarioKey owns that mapping).
+// SchemaV2 is the previous key schema, retained so committed v2 keys
+// keep decoding (they map to the default "us" region; the root
+// package's UpgradeScenarioKey owns that mapping).
+const SchemaV2 = "leodivide-serve/v2"
+
+// SchemaV1 is the original key schema, retained so committed v1 keys
+// keep decoding (they map to the Starlink default with declared costs
+// on the "us" region).
 const SchemaV1 = "leodivide-serve/v1"
 
 // FormatFloat renders a float in the canonical shortest round-trippable

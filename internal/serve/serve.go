@@ -21,12 +21,13 @@
 //     SIGTERM/SIGINT to that context), so in-flight queries finish
 //     before the process exits.
 //
-// Wire contract (schema leodivide-serve/v2; v1 bodies still accepted —
-// see leodivide.ScenarioRequest.ValidateSchema):
+// Wire contract (schema leodivide-serve/v3; v1/v2 bodies still
+// accepted — see leodivide.ScenarioRequest.ValidateSchema):
 //
-//	POST /v1/scenario       {"schema":"leodivide-serve/v2","experiment":"xconst","constellation":"kuiper",...}
+//	POST /v1/scenario       {"schema":"leodivide-serve/v3","experiment":"xconst","region":"brazil-rural",...}
 //	GET  /v1/experiments
 //	GET  /v1/constellations
+//	GET  /v1/regions
 //	GET  /v1/stats
 //	GET  /healthz
 //	GET  /metrics
@@ -42,6 +43,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -49,6 +51,7 @@ import (
 	"leodivide/internal/constellation"
 	"leodivide/internal/obs"
 	"leodivide/internal/par"
+	"leodivide/internal/region"
 	"leodivide/internal/spectrum"
 )
 
@@ -77,7 +80,9 @@ type Config struct {
 	// field is ignored — requests name their own.
 	Scenario leodivide.ScenarioConfig
 	// Dataset optionally supplies a pre-generated dataset matching
-	// Scenario; nil makes New generate it.
+	// Scenario (including its region); nil makes New generate it.
+	// Queries naming a different region generate that geography lazily
+	// at the same (seed, scale) identity on first use.
 	Dataset *leodivide.Dataset
 	// CacheEntries bounds the memoized result cache (default 1024).
 	CacheEntries int
@@ -102,6 +107,15 @@ type Server struct {
 	gate *par.Gate
 	mux  *http.ServeMux
 
+	// baseRegion is the geography of the shared startup dataset;
+	// regionDS memoizes the sibling geographies, generated lazily at
+	// the same (seed, scale) identity the first time a query names
+	// them. The mutex also serializes those generations, so concurrent
+	// first queries for one region cost one generation.
+	baseRegion string
+	regionMu   sync.Mutex
+	regionDS   map[string]*leodivide.Dataset
+
 	// Server-local traffic counters backing /v1/stats (the obs
 	// counters are process-global and shared across servers).
 	requests, hits, misses, coalesced, errs atomic.Int64
@@ -119,9 +133,13 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	ds := cfg.Dataset
 	if ds == nil {
 		var err error
-		if ds, err = base.RunConfig.Generate(ctx); err != nil {
+		if ds, err = base.Generate(ctx); err != nil {
 			return nil, fmt.Errorf("serve: generate dataset: %w", err)
 		}
+	}
+	baseRegion := base.Region
+	if baseRegion == "" {
+		baseRegion = region.DefaultKey
 	}
 	entries := cfg.CacheEntries
 	if entries == 0 {
@@ -135,15 +153,18 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		bytes = 0 // memo-internal convention: 0 = no byte bound
 	}
 	s := &Server{
-		ds:   ds,
-		base: base,
-		memo: newMemo(entries, bytes),
-		gate: par.NewGate(cfg.MaxInflight),
-		mux:  http.NewServeMux(),
+		ds:         ds,
+		base:       base,
+		memo:       newMemo(entries, bytes),
+		gate:       par.NewGate(cfg.MaxInflight),
+		mux:        http.NewServeMux(),
+		baseRegion: baseRegion,
+		regionDS:   make(map[string]*leodivide.Dataset),
 	}
 	s.mux.HandleFunc("POST /v1/scenario", s.handleScenario)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/constellations", s.handleConstellations)
+	s.mux.HandleFunc("GET /v1/regions", s.handleRegions)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -208,11 +229,15 @@ type httpError struct {
 
 func (e *httpError) Error() string { return e.msg }
 
-// resolve merges a request into the server's base scenario. Both wire
-// schemas resolve: a v2 body as-is, a v1 body (which predates the
-// constellation selector and cost overrides and must not carry them)
-// onto the Starlink default — so identities minted under v1 keep
-// hitting the same cache slots.
+// resolve merges a request into the server's base scenario. All three
+// wire schemas resolve: a v3 body as-is, a v2 body (which predates the
+// region selector) onto the default "us" region, and a v1 body (which
+// additionally predates the constellation selector and cost overrides)
+// onto the Starlink default — so identities minted under the older
+// schemas keep hitting the same cache slots. The region selector is a
+// knob, not a dataset-identity conflict: the server generates sibling
+// geographies lazily at its own (seed, scale); only seed and scale
+// mismatches 409.
 func (s *Server) resolve(req Request) (leodivide.ScenarioConfig, error) {
 	if req.Schema == "" {
 		// The HTTP contract is versioned: unlike the CLI convenience
@@ -245,6 +270,7 @@ func (s *Server) resolve(req Request) (leodivide.ScenarioConfig, error) {
 	c.CostSatelliteUSD = req.CostSatelliteUSD
 	c.CostLifeYears = req.CostLifeYears
 	c.CostTerminalUSD = req.CostTerminalUSD
+	c.Region = req.Region
 	if err := c.Validate(); err != nil {
 		return leodivide.ScenarioConfig{}, &httpError{http.StatusBadRequest, err.Error()}
 	}
@@ -341,14 +367,18 @@ func (s *Server) runScenario(ctx context.Context, cfg leodivide.ScenarioConfig, 
 		// would be a registry bug, not a client error.
 		return nil, fmt.Errorf("experiment %q vanished from the registry", cfg.Experiment)
 	}
+	n := cfg.Normalized()
+	ds, err := s.datasetFor(ctx, n.Region)
+	if err != nil {
+		return nil, err
+	}
 	//lint:ignore detrand wall-clock feeds the run-duration histogram only, never the response
 	runStart := time.Now()
-	v, err := exp.Run(ctx, s.ds)
+	v, err := exp.Run(ctx, ds)
 	if err != nil {
 		return nil, err
 	}
 	metricRunSecs.ObserveSince(runStart)
-	n := cfg.Normalized()
 	return json.Marshal(Response{
 		Schema:     leodivide.ScenarioSchema,
 		Key:        key,
@@ -357,6 +387,30 @@ func (s *Server) runScenario(ctx context.Context, cfg leodivide.ScenarioConfig, 
 		Scale:      n.Scale,
 		Result:     v,
 	})
+}
+
+// datasetFor resolves the dataset a query's region runs against: the
+// shared startup dataset for the base region, a lazily generated (and
+// then memoized) sibling geography otherwise. Generation happens under
+// the region mutex, so concurrent first queries for one region pay for
+// a single generation.
+func (s *Server) datasetFor(ctx context.Context, regionKey string) (*leodivide.Dataset, error) {
+	if regionKey == "" || regionKey == s.baseRegion {
+		return s.ds, nil
+	}
+	s.regionMu.Lock()
+	defer s.regionMu.Unlock()
+	if ds, ok := s.regionDS[regionKey]; ok {
+		return ds, nil
+	}
+	sc := s.base
+	sc.Region = regionKey
+	ds, err := sc.Generate(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("generate region %q dataset: %w", regionKey, err)
+	}
+	s.regionDS[regionKey] = ds
+	return ds, nil
 }
 
 // experimentInfo is one row of GET /v1/experiments.
@@ -405,6 +459,28 @@ func (s *Server) handleConstellations(w http.ResponseWriter, r *http.Request) {
 			CostSatelliteUSD: sys.Cost.AllInSatelliteUSD(),
 			CostLifeYears:    sys.Cost.DesignLifeYears,
 			CostTerminalUSD:  sys.Cost.TerminalSubsidyUSD,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore errdrop HTTP response write; a disconnected client is not actionable
+	json.NewEncoder(w).Encode(out)
+}
+
+// regionInfo is one row of GET /v1/regions: one declared demand/income
+// geography a scenario's "region" selector names.
+type regionInfo struct {
+	Name        string `json:"name"`
+	DisplayName string `json:"display_name"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+	var out []regionInfo
+	for _, reg := range region.Regions() {
+		out = append(out, regionInfo{
+			Name:        reg.Key(),
+			DisplayName: reg.Name(),
+			Description: reg.Description(),
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -349,6 +349,111 @@ func TestScenarioConstellation(t *testing.T) {
 	}
 }
 
+// TestScenarioRegion: the region selector is a real knob — an explicit
+// default shares the default's cache entry, a sibling geography is a
+// fresh miss with a different result (served lazily from a dataset
+// generated at the server's own seed/scale), and unknown names are a
+// 400 listing the valid set. A v2 body carrying the v3-only field is
+// rejected; a v2 body without it shares the v3 default's cache entry.
+func TestScenarioRegion(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	_, def := postScenario(t, ts.URL, scenarioBody("fig1", ""))
+	resp, explicit := postScenario(t, ts.URL, scenarioBody("fig1", `"region":"us"`))
+	if h := resp.Header.Get(CacheHeader); h != "hit" {
+		t.Errorf("explicit default region should share the default's cache entry, got %q", h)
+	}
+	if !bytes.Equal(def, explicit) {
+		t.Error("explicit us produced different bytes than the implicit default")
+	}
+
+	respB, brazil := postScenario(t, ts.URL, scenarioBody("fig1", `"region":"brazil-rural"`))
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("brazil-rural fig1: %d %s", respB.StatusCode, brazil)
+	}
+	if respB.Header.Get(CacheHeader) != "miss" {
+		t.Error("a new region must be a cache miss")
+	}
+	if bytes.Equal(brazil, def) {
+		t.Error("brazil-rural fig1 should differ from us fig1")
+	}
+	respB2, brazil2 := postScenario(t, ts.URL, scenarioBody("fig1", `"region":"brazil-rural"`))
+	if h := respB2.Header.Get(CacheHeader); h != "hit" {
+		t.Errorf("repeated brazil-rural query %s = %q, want hit", CacheHeader, h)
+	}
+	if !bytes.Equal(brazil, brazil2) {
+		t.Error("repeated brazil-rural query returned different bytes")
+	}
+	respT, taipei := postScenario(t, ts.URL, scenarioBody("fig1", `"region":"taipei-dense"`))
+	if respT.StatusCode != http.StatusOK {
+		t.Fatalf("taipei-dense fig1: %d %s", respT.StatusCode, taipei)
+	}
+	if bytes.Equal(taipei, brazil) || bytes.Equal(taipei, def) {
+		t.Error("taipei-dense fig1 should differ from both siblings")
+	}
+
+	respU, bad := postScenario(t, ts.URL, scenarioBody("fig1", `"region":"atlantis"`))
+	if respU.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown region: %d %s, want 400", respU.StatusCode, bad)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(bad, &e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, `"atlantis"`) {
+		t.Errorf("error %q does not name the unknown region", e.Error)
+	}
+	for _, name := range []string{"us", "brazil-rural", "taipei-dense"} {
+		if !strings.Contains(e.Error, name) {
+			t.Errorf("error %q does not list valid option %q", e.Error, name)
+		}
+	}
+
+	respV2Bad, v2bad := postScenario(t, ts.URL,
+		fmt.Sprintf(`{"schema":%q,"experiment":"fig1","region":"brazil-rural"}`, leodivide.ScenarioSchemaV2))
+	if respV2Bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("v2 request with v3-only region field: %d %s, want 400", respV2Bad.StatusCode, v2bad)
+	}
+	respV2, v2 := postScenario(t, ts.URL,
+		fmt.Sprintf(`{"schema":%q,"experiment":"fig1"}`, leodivide.ScenarioSchemaV2))
+	if respV2.StatusCode != http.StatusOK {
+		t.Fatalf("v2 request: %d %s", respV2.StatusCode, v2)
+	}
+	if h := respV2.Header.Get(CacheHeader); h != "hit" {
+		t.Errorf("v2 request %s = %q, want hit (must share the v3 default's cache entry)", CacheHeader, h)
+	}
+	if !bytes.Equal(v2, def) {
+		t.Error("v2 request bytes differ from the equivalent v3 request")
+	}
+}
+
+func TestRegionsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/regions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []regionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"us", "brazil-rural", "taipei-dense"}
+	if len(list) != len(wantNames) {
+		t.Fatalf("listed %d regions, want %d", len(list), len(wantNames))
+	}
+	for i, r := range list {
+		if r.Name != wantNames[i] {
+			t.Errorf("region %d = %q, want %q", i, r.Name, wantNames[i])
+		}
+		if r.DisplayName == "" || r.Description == "" {
+			t.Errorf("region %q has empty display name or description: %+v", r.Name, r)
+		}
+	}
+}
+
 func TestConstellationsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/v1/constellations")

@@ -105,6 +105,21 @@ func RequireWithinRel(t testing.TB, label string, got, want, rel float64) {
 	}
 }
 
+// RequireWithinAbs fails unless got is within abs absolute tolerance
+// of want. For integer-valued invariants with a known rounding bound
+// (largest-remainder splits, count doublings) an absolute window is the
+// honest contract: the tolerated error does not grow with the values.
+func RequireWithinAbs(t testing.TB, label string, got, want, abs float64) {
+	t.Helper()
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > abs {
+		t.Fatalf("%s: got %v, want %v (absolute error %v exceeds %v)", label, got, want, diff, abs)
+	}
+}
+
 func maxf(a, b float64) float64 {
 	if a > b {
 		return a

@@ -27,11 +27,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"leodivide/internal/afford"
@@ -43,20 +41,19 @@ import (
 	"leodivide/internal/hexgrid"
 	"leodivide/internal/obs"
 	"leodivide/internal/par"
+	"leodivide/internal/region"
 	"leodivide/internal/spectrum"
 	"leodivide/internal/stage"
 	"leodivide/internal/stats"
-	"leodivide/internal/usgeo"
 )
 
 // Facade-level observability (see internal/obs): dataset generation
 // counts and stage durations. Experiment-level instruments are attached
 // per registry entry in experiments.go.
 var (
-	metricDatasets   = obs.Default.Counter("gen.datasets")
-	metricGenSecs    = obs.Default.Histogram("gen.dataset.seconds", obs.DurationBuckets)
-	metricIncomeSecs = obs.Default.Histogram("gen.assign_incomes.seconds", obs.DurationBuckets)
-	gaugeCells       = obs.Default.Gauge("gen.cells")
+	metricDatasets = obs.Default.Counter("gen.datasets")
+	metricGenSecs  = obs.Default.Histogram("gen.dataset.seconds", obs.DurationBuckets)
+	gaugeCells     = obs.Default.Gauge("gen.cells")
 )
 
 // Dataset is a synthetic national broadband dataset: per-cell
@@ -70,8 +67,14 @@ type Dataset struct {
 	Incomes *census.Table
 	// Resolution is the service-cell grid resolution.
 	Resolution hexgrid.Resolution
-	// Seed reproduces the dataset.
+	// Seed reproduces the dataset (together with Region and Scale).
 	Seed int64
+	// Region is the canonical key of the geography that generated the
+	// dataset ("us" for the calibrated national map).
+	Region string
+	// Scale is the fraction of the region's declared total the dataset
+	// was generated at, in (0, 1].
+	Scale float64
 
 	dist *demand.Distribution
 }
@@ -82,6 +85,7 @@ type Option func(*genOptions)
 type genOptions struct {
 	seed           int64
 	scale          float64
+	region         string
 	cfg            bdc.GenConfig
 	incomeAnchors  []census.QuantileAnchor
 	parallelism    int
@@ -100,8 +104,15 @@ func WithScale(scale float64) Option {
 	return func(o *genOptions) { o.scale = scale }
 }
 
+// WithRegion selects the demand/income geography by canonical key
+// (default region.DefaultKey, the calibrated US pipeline). See
+// internal/region for the shipped set.
+func WithRegion(key string) Option {
+	return func(o *genOptions) { o.region = key }
+}
+
 // WithGenConfig replaces the calibrated BDC generator configuration
-// entirely (advanced).
+// entirely (advanced; applies to the "us" region only).
 func WithGenConfig(cfg bdc.GenConfig) Option {
 	return func(o *genOptions) { o.cfg = cfg }
 }
@@ -118,9 +129,10 @@ func WithParallelism(n int) Option {
 	return func(o *genOptions) { o.parallelism, o.hasParallelism = n, true }
 }
 
-// GenerateDataset synthesizes the calibrated national dataset. The
-// context cancels generation early; the seed fully determines the
-// result regardless of WithParallelism.
+// GenerateDataset synthesizes a dataset for the selected region
+// (default the calibrated US national map). The context cancels
+// generation early; the (seed, region, scale) triple fully determines
+// the result regardless of WithParallelism.
 func GenerateDataset(ctx context.Context, opts ...Option) (*Dataset, error) {
 	//lint:ignore detrand wall-clock feeds the generate_dataset duration metric only, never the dataset
 	start := time.Now()
@@ -129,6 +141,7 @@ func GenerateDataset(ctx context.Context, opts ...Option) (*Dataset, error) {
 	o := genOptions{
 		seed:          1,
 		scale:         1,
+		region:        region.DefaultKey,
 		cfg:           bdc.DefaultGenConfig(),
 		incomeAnchors: census.DefaultIncomeAnchors(),
 	}
@@ -138,120 +151,55 @@ func GenerateDataset(ctx context.Context, opts ...Option) (*Dataset, error) {
 	if o.scale <= 0 || o.scale > 1 {
 		return nil, fmt.Errorf("leodivide: scale must be in (0,1], got %v", o.scale)
 	}
-	cfg := o.cfg
-	cfg.Seed = o.seed
-	if o.hasParallelism {
-		cfg.Parallelism = o.parallelism
-	}
-	if o.scale < 1 {
-		cfg.TotalLocations = int(float64(cfg.TotalLocations) * o.scale)
-		peaks := make([]bdc.PeakCell, len(cfg.Peaks))
-		copy(peaks, cfg.Peaks)
-		for i := range peaks {
-			peaks[i].Locations = int(float64(peaks[i].Locations) * o.scale)
-			if peaks[i].Locations < 1 {
-				peaks[i].Locations = 1
-			}
+
+	// Resolve the geography. The default "us" region is constructed from
+	// the facade's (possibly overridden) generator configuration and
+	// income anchors, so WithGenConfig/WithIncomeAnchors keep working;
+	// every other region comes from the registry as declared.
+	var r region.Region
+	if o.region == region.DefaultKey {
+		cfg := o.cfg
+		if o.hasParallelism {
+			cfg.Parallelism = o.parallelism
 		}
-		cfg.Peaks = peaks
+		r = region.USWith(cfg, o.incomeAnchors)
+	} else {
+		reg, ok := region.ByName(o.region)
+		if !ok {
+			return nil, fmt.Errorf("leodivide: unknown region %q (valid: %s)",
+				o.region, strings.Join(region.Names(), ", "))
+		}
+		r = reg
 	}
-	cells, err := bdc.GenerateCells(ctx, cfg)
-	if err != nil {
-		return nil, err
+	parallelism := o.cfg.Parallelism
+	if o.hasParallelism {
+		parallelism = o.parallelism
 	}
-	dist, err := demand.NewDistribution(cells)
-	if err != nil {
-		return nil, err
-	}
-	incomes, err := assignIncomes(ctx, dist, o.incomeAnchors, o.seed, cfg.Parallelism)
+	out, err := r.Generate(ctx, region.GenConfig{
+		Seed:        o.seed,
+		Scale:       o.scale,
+		Parallelism: parallelism,
+	})
 	if err != nil {
 		return nil, err
 	}
 	metricDatasets.Inc()
 	metricGenSecs.ObserveSince(start)
-	gaugeCells.Set(float64(len(cells)))
+	gaugeCells.Set(float64(len(out.Cells)))
 	if span != nil {
-		span.SetAttr(obs.Int("cells", int64(len(cells))),
+		span.SetAttr(obs.Int("cells", int64(len(out.Cells))),
 			obs.Int("seed", o.seed))
 	}
 	return &Dataset{
-		Cells:      cells,
-		Incomes:    incomes,
-		Resolution: cfg.Resolution,
+		Cells:      out.Cells,
+		Incomes:    out.Incomes,
+		Resolution: out.Resolution,
 		Seed:       o.seed,
-		dist:       dist,
+		Region:     o.region,
+		Scale:      o.scale,
+		dist:       out.Dist,
 	}, nil
 }
-
-// assignIncomes distributes county incomes using a deterministic
-// poverty ordering: state rural weight (a proxy for rural poverty) plus
-// a per-county hash jitter. County weights are computed concurrently
-// over the sorted FIPS list, so the assignment input (and therefore the
-// table) is identical at every worker count.
-func assignIncomes(ctx context.Context, dist *demand.Distribution, anchors []census.QuantileAnchor, seed int64, workers int) (*census.Table, error) {
-	//lint:ignore detrand wall-clock feeds the generation span timing only, never the dataset
-	start := time.Now()
-	ctx, span := obs.StartSpan(ctx, "gen.assign_incomes")
-	defer func() {
-		metricIncomeSecs.ObserveSince(start)
-		span.End()
-	}()
-	weights := dist.CountyWeights()
-	fipsList := make([]string, 0, len(weights))
-	for fips := range weights {
-		fipsList = append(fipsList, fips)
-	}
-	sort.Strings(fipsList)
-	cw, err := par.Map(ctx, workers, len(fipsList), func(i int) (census.CountyWeight, error) {
-		fips := fipsList[i]
-		abbr, err := stateOfFIPS(fips)
-		if err != nil {
-			return census.CountyWeight{}, err
-		}
-		h := fnv.New64a()
-		fmt.Fprintf(h, "%d:%s", seed, fips)
-		jitter := float64(h.Sum64()%10000) / 10000
-		return census.CountyWeight{
-			FIPS:        fips,
-			StateAbbr:   abbr,
-			Weight:      float64(weights[fips]),
-			PovertyRank: jitter,
-		}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return census.AssignIncomes(cw, anchors)
-}
-
-// stateOfFIPS maps a county FIPS prefix to a state abbreviation via the
-// usgeo tables. An unknown or too-short prefix is a hard error: a
-// silently empty state abbreviation used to flow into the income table
-// and skew the poverty ordering without any signal. The lookup table is
-// built once under sync.Once — income assignment calls this from pool
-// workers, so unsynchronized lazy initialization would race.
-func stateOfFIPS(fips string) (string, error) {
-	if len(fips) < 2 {
-		return "", fmt.Errorf("leodivide: county FIPS %q too short for a state prefix", fips)
-	}
-	stateFIPSOnce.Do(func() {
-		m := make(map[string]string)
-		for _, s := range usgeo.States() {
-			m[s.FIPS] = s.Abbr
-		}
-		stateFIPSByPrefix = m
-	})
-	abbr, ok := stateFIPSByPrefix[fips[:2]]
-	if !ok {
-		return "", fmt.Errorf("leodivide: unknown state FIPS prefix %q in county FIPS %q", fips[:2], fips)
-	}
-	return abbr, nil
-}
-
-var (
-	stateFIPSOnce     sync.Once
-	stateFIPSByPrefix map[string]string
-)
 
 // Distribution returns the per-cell demand distribution.
 func (d *Dataset) Distribution() *demand.Distribution { return d.dist }

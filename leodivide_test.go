@@ -3,7 +3,6 @@ package leodivide
 import (
 	"context"
 	"math"
-	"strings"
 	"sync"
 	"testing"
 
@@ -372,36 +371,5 @@ func TestSizingValidatedBySimulator(t *testing.T) {
 	if cur.MeanServedFraction > 0.6*big.MeanServedFraction {
 		t.Errorf("current shell served %.3f, expected far below the sized constellation's %.3f",
 			cur.MeanServedFraction, big.MeanServedFraction)
-	}
-}
-
-// TestStateOfFIPS pins the hard-error contract on county FIPS prefixes:
-// before this, an unknown prefix silently produced an empty state
-// abbreviation that skewed the income-assignment poverty ordering.
-func TestStateOfFIPS(t *testing.T) {
-	cases := []struct {
-		fips    string
-		want    string
-		wantErr string
-	}{
-		{fips: "01001", want: "AL"},
-		{fips: "06037", want: "CA"},
-		{fips: "48201", want: "TX"},
-		{fips: "99123", wantErr: `unknown state FIPS prefix "99"`},
-		{fips: "00001", wantErr: `unknown state FIPS prefix "00"`},
-		{fips: "7", wantErr: "too short"},
-		{fips: "", wantErr: "too short"},
-	}
-	for _, tc := range cases {
-		abbr, err := stateOfFIPS(tc.fips)
-		if tc.wantErr != "" {
-			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
-				t.Errorf("stateOfFIPS(%q) err = %v, want mention of %q", tc.fips, err, tc.wantErr)
-			}
-			continue
-		}
-		if err != nil || abbr != tc.want {
-			t.Errorf("stateOfFIPS(%q) = %q, %v, want %q", tc.fips, abbr, err, tc.want)
-		}
 	}
 }

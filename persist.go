@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -13,6 +14,7 @@ import (
 	"leodivide/internal/census"
 	"leodivide/internal/demand"
 	"leodivide/internal/hexgrid"
+	"leodivide/internal/region"
 	"leodivide/internal/safeio"
 )
 
@@ -43,6 +45,13 @@ type datasetMeta struct {
 	Resolution    int   `json:"resolution"`
 	Locations     int   `json:"locations"`
 	Cells         int   `json:"cells"`
+	// Region and Scale record the dataset's generation identity so a
+	// loaded dataset reruns region-aware experiments (xregion) exactly
+	// as the generated one would. Both omitempty: directories written
+	// before the region layer lack them and load with the documented
+	// fallback (default region, full scale).
+	Region string  `json:"region,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
 	// Checksums maps data file name to its hex SHA-256.
 	Checksums map[string]string `json:"sha256,omitempty"`
 }
@@ -75,6 +84,8 @@ func (d *Dataset) Save(ctx context.Context, dir string) error {
 		Resolution:    int(d.Resolution),
 		Locations:     d.TotalLocations(),
 		Cells:         len(d.Cells),
+		Region:        d.Region,
+		Scale:         d.Scale,
 		Checksums: map[string]string{
 			datasetCellsFile:   cellsSum,
 			datasetIncomesFile: incomesSum,
@@ -108,6 +119,17 @@ func LoadDataset(ctx context.Context, dir string) (*Dataset, error) {
 	res := hexgrid.Resolution(meta.Resolution)
 	if !res.Valid() {
 		return nil, fmt.Errorf("leodivide: invalid resolution %d in metadata", meta.Resolution)
+	}
+	// Scale 0 is the pre-region manifest's absent value (treated as
+	// full scale by region-aware experiments); anything else must be a
+	// real generation scale.
+	if math.IsNaN(meta.Scale) || meta.Scale < 0 || meta.Scale > 1 {
+		return nil, fmt.Errorf("leodivide: invalid scale %v in metadata", meta.Scale)
+	}
+	if meta.Region != "" {
+		if _, ok := region.ByName(meta.Region); !ok {
+			return nil, fmt.Errorf("leodivide: unknown region %q in metadata", meta.Region)
+		}
 	}
 
 	sumFor := func(name string) (string, error) {
@@ -173,6 +195,8 @@ func LoadDataset(ctx context.Context, dir string) (*Dataset, error) {
 		Incomes:    incomes,
 		Resolution: res,
 		Seed:       meta.Seed,
+		Region:     meta.Region,
+		Scale:      meta.Scale,
 		dist:       dist,
 	}, nil
 }

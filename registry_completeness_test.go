@@ -23,6 +23,7 @@ var registryMethodNames = map[string]string{
 	"Economics":          "econ",
 	"CostCurve":          "costcurve",
 	"CrossConstellation": "xconst",
+	"CrossRegion":        "xregion",
 }
 
 // registryExemptMethods lists uniform-signature methods deliberately

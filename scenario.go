@@ -11,6 +11,7 @@ package leodivide
 // contract all derive from it.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -18,19 +19,26 @@ import (
 
 	"leodivide/internal/afford"
 	"leodivide/internal/constellation"
+	"leodivide/internal/region"
 	"leodivide/internal/scenario"
 	"leodivide/internal/spectrum"
 )
 
 // ScenarioSchema is the versioned identifier of the scenario encoding
-// and the `leodivide serve` HTTP contract (currently v2, which added
-// the constellation selector and cost-model overrides).
+// and the `leodivide serve` HTTP contract (currently v3, which added
+// the region selector).
 const ScenarioSchema = scenario.Schema
 
-// ScenarioSchemaV1 is the previous encoding. Committed v1 keys and v1
-// requests still decode — they map to the Starlink default, so cached
-// identities minted before the constellation selector stay stable; see
+// ScenarioSchemaV2 is the previous encoding (constellation selector
+// plus cost-model overrides, no region field). Committed v2 keys and
+// v2 requests still decode — they map to the default "us" region, so
+// cached identities minted before the region selector stay stable; see
 // ParseScenarioKey and UpgradeScenarioKey.
+const ScenarioSchemaV2 = scenario.SchemaV2
+
+// ScenarioSchemaV1 is the original encoding. Committed v1 keys and v1
+// requests still decode — they map to the Starlink default on the "us"
+// region.
 const ScenarioSchemaV1 = scenario.SchemaV1
 
 // ScenarioConfig describes one scenario query: which experiment to run,
@@ -66,6 +74,10 @@ type ScenarioConfig struct {
 	// analyzes, by canonical key ("" = "starlink"). See
 	// constellation.SystemNames for the valid set.
 	Constellation string
+	// Region selects the demand/income geography the dataset is
+	// generated from, by canonical key ("" = "us", the calibrated
+	// national pipeline). See region.Names for the valid set.
+	Region string
 	// CostSatelliteUSD overrides the selected system's all-in
 	// (build+launch) satellite cost (0 = the system default).
 	CostSatelliteUSD float64
@@ -110,6 +122,9 @@ func (c ScenarioConfig) Normalized() ScenarioConfig {
 	}
 	if c.Constellation == "" {
 		c.Constellation = constellation.StarlinkSystem().Key
+	}
+	if c.Region == "" {
+		c.Region = region.DefaultKey
 	}
 	// Cost defaults come from the selected system; an unknown name is
 	// left untouched for Validate to report.
@@ -178,6 +193,10 @@ func (c ScenarioConfig) validateBase() error {
 		return fmt.Errorf("leodivide: unknown constellation %q (valid: %s)",
 			n.Constellation, strings.Join(constellation.SystemNames(), ", "))
 	}
+	if _, ok := region.ByName(n.Region); !ok {
+		return fmt.Errorf("leodivide: unknown region %q (valid: %s)",
+			n.Region, strings.Join(region.Names(), ", "))
+	}
 	if math.IsNaN(n.CostSatelliteUSD) || math.IsInf(n.CostSatelliteUSD, 0) || n.CostSatelliteUSD < 0 {
 		return fmt.Errorf("leodivide: satellite cost override must be finite and non-negative, got %v", n.CostSatelliteUSD)
 	}
@@ -211,6 +230,7 @@ func (c ScenarioConfig) CanonicalKey() (string, error) {
 		Str("experiment", n.Experiment).
 		Float("max_oversub", n.MaxOversub).
 		Strings("plans", n.Plans).
+		Str("region", n.Region).
 		Float("scale", n.Scale).
 		Int64("seed", n.Seed).
 		Floats("spreads", n.Spreads).
@@ -241,6 +261,22 @@ func (c ScenarioConfig) BuildModel() Model {
 	}
 	m.PlanFilter = n.Plans
 	return m
+}
+
+// Generate synthesizes the dataset this scenario describes: the
+// embedded RunConfig identity (seed, scale, parallelism) applied to
+// the scenario's region. This supersedes RunConfig.Generate wherever a
+// full scenario is in hand — a scenario selecting a non-default region
+// generates that region's geography, byte-identically at every
+// parallelism.
+func (c ScenarioConfig) Generate(ctx context.Context) (*Dataset, error) {
+	n := c.Normalized()
+	return GenerateDataset(ctx,
+		WithSeed(n.Seed),
+		WithScale(n.Scale),
+		WithRegion(n.Region),
+		WithParallelism(n.Parallelism),
+	)
 }
 
 // appliedCost folds the scenario's cost overrides into a system's

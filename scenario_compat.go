@@ -1,13 +1,14 @@
 package leodivide
 
-// Canonical-key decoding and the v1→v2 migration contract. Schema v2
-// added the constellation selector and cost-model overrides to the
-// canonical encoding; every key minted under v1 describes a scenario
-// that is still expressible — the Starlink default with its declared
-// costs — so v1 keys keep decoding and map deterministically onto
-// their v2 identity. That is what keeps cached identities stable
-// across the schema bump: UpgradeScenarioKey(v1Key) equals the
-// CanonicalKey of the same scenario asked for under v2.
+// Canonical-key decoding and the schema migration contract. Schema v3
+// added the region selector; v2 added the constellation selector and
+// cost-model overrides. Every key minted under an older schema
+// describes a scenario that is still expressible — v1 maps to the
+// Starlink default with declared costs, v2 to the default "us" region
+// — so old keys keep decoding and map deterministically onto their
+// current identity. That is what keeps cached identities stable across
+// schema bumps: UpgradeScenarioKey(oldKey) equals the CanonicalKey of
+// the same scenario asked for under the current schema.
 
 import (
 	"fmt"
@@ -17,11 +18,11 @@ import (
 	"leodivide/internal/scenario"
 )
 
-// scenarioKeyFieldsV1 and scenarioKeyFieldsV2 are the exact ordered
-// field sets each schema's encoder writes. ParseScenarioKey requires a
-// key to carry its schema's fields exactly — nothing missing, nothing
-// unknown — so a truncated or hand-extended key is an error, not a
-// silently defaulted scenario.
+// scenarioKeyFieldsV1/V2/V3 are the exact ordered field sets each
+// schema's encoder writes. ParseScenarioKey requires a key to carry
+// its schema's fields exactly — nothing missing, nothing unknown — so
+// a truncated or hand-extended key is an error, not a silently
+// defaulted scenario.
 var (
 	scenarioKeyFieldsV1 = []string{
 		"afford_share", "calibrated", "experiment", "max_oversub",
@@ -32,13 +33,19 @@ var (
 		"cost_sat_usd", "cost_terminal_usd", "experiment", "max_oversub",
 		"plans", "scale", "seed", "spreads",
 	}
+	scenarioKeyFieldsV3 = []string{
+		"afford_share", "calibrated", "constellation", "cost_life_years",
+		"cost_sat_usd", "cost_terminal_usd", "experiment", "max_oversub",
+		"plans", "region", "scale", "seed", "spreads",
+	}
 )
 
-// ParseScenarioKey decodes a canonical key — schema v1 or v2 — back
-// into the ScenarioConfig it encodes. The returned config validates
-// and re-encodes to a stable identity: for a v2 key, the same key; for
-// a v1 key, its v2 identity (the Starlink default with declared
-// costs). Parallelism is not part of any key and comes back zero.
+// ParseScenarioKey decodes a canonical key — schema v1, v2 or v3 —
+// back into the ScenarioConfig it encodes. The returned config
+// validates and re-encodes to a stable identity: for a v3 key, the
+// same key; for a v2 key, the same scenario on the default "us"
+// region; for a v1 key, the Starlink default with declared costs.
+// Parallelism is not part of any key and comes back zero.
 func ParseScenarioKey(key string) (ScenarioConfig, error) {
 	schema, fields, err := scenario.ParseKey(key)
 	if err != nil {
@@ -48,11 +55,13 @@ func ParseScenarioKey(key string) (ScenarioConfig, error) {
 	switch schema {
 	case ScenarioSchemaV1:
 		want = scenarioKeyFieldsV1
-	case ScenarioSchema:
+	case ScenarioSchemaV2:
 		want = scenarioKeyFieldsV2
+	case ScenarioSchema:
+		want = scenarioKeyFieldsV3
 	default:
-		return ScenarioConfig{}, fmt.Errorf("leodivide: unsupported scenario key schema %q (want %q or %q)",
-			schema, ScenarioSchema, ScenarioSchemaV1)
+		return ScenarioConfig{}, fmt.Errorf("leodivide: unsupported scenario key schema %q (want %q, %q or %q)",
+			schema, ScenarioSchema, ScenarioSchemaV2, ScenarioSchemaV1)
 	}
 	if len(fields) != len(want) {
 		return ScenarioConfig{}, fmt.Errorf("leodivide: scenario key under %s carries %d fields, want %d",
@@ -101,6 +110,8 @@ func (c *ScenarioConfig) setKeyField(f scenario.Field) error {
 		if f.Value != "" {
 			c.Plans = strings.Split(f.Value, ",")
 		}
+	case "region":
+		c.Region = f.Value
 	case "scale":
 		return parseKeyFloat(f.Value, &c.Scale)
 	case "seed":
@@ -135,11 +146,12 @@ func parseKeyFloat(s string, dst *float64) error {
 	return nil
 }
 
-// UpgradeScenarioKey maps any committed canonical key — v1 or v2 — to
-// its identity under the current schema. v2 keys are fixpoints; v1
-// keys land on the Starlink-default v2 key of the same scenario. This
-// is the cache-migration contract: an identity minted under v1 finds
-// the same cache slot after the bump.
+// UpgradeScenarioKey maps any committed canonical key — v1, v2 or v3
+// — to its identity under the current schema. v3 keys are fixpoints;
+// v2 keys land on the "us"-region v3 key of the same scenario; v1 keys
+// land on the Starlink-default v3 key. This is the cache-migration
+// contract: an identity minted under any schema finds the same cache
+// slot after the bump.
 func UpgradeScenarioKey(key string) (string, error) {
 	cfg, err := ParseScenarioKey(key)
 	if err != nil {

@@ -41,6 +41,14 @@ func WithConstellation(name string) ScenarioOption {
 	return func(c *ScenarioConfig) { c.Constellation = name }
 }
 
+// WithScenarioRegion selects the demand/income geography by canonical
+// key ("us", "brazil-rural", "taipei-dense"). The name avoids
+// colliding with WithRegion, the dataset-generation option that
+// configures GenerateDataset directly.
+func WithScenarioRegion(key string) ScenarioOption {
+	return func(c *ScenarioConfig) { c.Region = key }
+}
+
 // WithOversub sets the acceptable oversubscription cap.
 func WithOversub(maxOversub float64) ScenarioOption {
 	return func(c *ScenarioConfig) { c.MaxOversub = maxOversub }

@@ -8,9 +8,15 @@ import (
 	"testing"
 )
 
-// scenarioKeyGoldenV2 is the exact byte layout of the default table2
+// scenarioKeyGoldenV3 is the exact byte layout of the default table2
 // scenario's canonical key under the current schema; changing it
 // invalidates every cached result and requires a schema bump.
+const scenarioKeyGoldenV3 = "leodivide-serve/v3|afford_share=0.02|calibrated=false" +
+	"|constellation=starlink|cost_life_years=5|cost_sat_usd=1.5e+06|cost_terminal_usd=300" +
+	"|experiment=table2|max_oversub=20|plans=|region=us|scale=1|seed=1|spreads=1,2,5,10,15"
+
+// scenarioKeyGoldenV2 is the same scenario's key as committed under
+// schema v2 (the layout every pre-v3 cache and client minted).
 const scenarioKeyGoldenV2 = "leodivide-serve/v2|afford_share=0.02|calibrated=false" +
 	"|constellation=starlink|cost_life_years=5|cost_sat_usd=1.5e+06|cost_terminal_usd=300" +
 	"|experiment=table2|max_oversub=20|plans=|scale=1|seed=1|spreads=1,2,5,10,15"
@@ -27,15 +33,16 @@ func TestScenarioCanonicalKeyGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if key != scenarioKeyGoldenV2 {
-		t.Errorf("canonical key:\n got %q\nwant %q", key, scenarioKeyGoldenV2)
+	if key != scenarioKeyGoldenV3 {
+		t.Errorf("canonical key:\n got %q\nwant %q", key, scenarioKeyGoldenV3)
 	}
 }
 
-// TestScenarioKeyCompatV1 is the v1→v2 migration table: every
-// committed v1 key layout decodes, maps to the Starlink default, and
-// lands on the same v2 identity a fresh v2 encoding of that scenario
-// produces — cached identities stay stable across the schema bump.
+// TestScenarioKeyCompatV1 is the v1→current migration table: every
+// committed v1 key layout decodes, maps to the Starlink default on the
+// "us" region, and lands on the same current-schema identity a fresh
+// encoding of that scenario produces — cached identities stay stable
+// across the schema bumps.
 func TestScenarioKeyCompatV1(t *testing.T) {
 	v1Keys := []string{
 		scenarioKeyGoldenV1,
@@ -53,9 +60,13 @@ func TestScenarioKeyCompatV1(t *testing.T) {
 			t.Errorf("v1 key %q did not decode: %v", v1, err)
 			continue
 		}
-		// v1 predates the selector: it must map to the Starlink default.
+		// v1 predates both selectors: it must map to the Starlink
+		// default on the "us" region.
 		if got := cfg.Normalized().Constellation; got != "starlink" {
 			t.Errorf("v1 key %q mapped to constellation %q, want starlink", v1, got)
+		}
+		if got := cfg.Normalized().Region; got != "us" {
+			t.Errorf("v1 key %q mapped to region %q, want us", v1, got)
 		}
 		up, err := UpgradeScenarioKey(v1)
 		if err != nil {
@@ -69,16 +80,93 @@ func TestScenarioKeyCompatV1(t *testing.T) {
 		if !strings.HasPrefix(up, ScenarioSchema+"|") {
 			t.Errorf("upgraded key %q is not under schema %s", up, ScenarioSchema)
 		}
-		// Upgrading is idempotent: the v2 key is a fixpoint.
+		// Upgrading is idempotent: the current-schema key is a fixpoint.
 		again, err := UpgradeScenarioKey(up)
 		if err != nil || again != up {
 			t.Errorf("upgrade not a fixpoint: %q -> %q (err %v)", up, again, err)
 		}
 	}
 
-	// The golden v1 key lands exactly on the golden v2 key.
-	if up, err := UpgradeScenarioKey(scenarioKeyGoldenV1); err != nil || up != scenarioKeyGoldenV2 {
-		t.Errorf("golden v1 upgrade:\n got %q\nwant %q (err %v)", up, scenarioKeyGoldenV2, err)
+	// The golden v1 key lands exactly on the golden v3 key.
+	if up, err := UpgradeScenarioKey(scenarioKeyGoldenV1); err != nil || up != scenarioKeyGoldenV3 {
+		t.Errorf("golden v1 upgrade:\n got %q\nwant %q (err %v)", up, scenarioKeyGoldenV3, err)
+	}
+}
+
+// TestScenarioKeyCompatV2 is the v2→v3 migration table, mirroring the
+// v1 table: every committed v2 key layout decodes, maps to the default
+// "us" region, and lands on the same v3 identity a fresh v3 encoding
+// of that scenario produces — v2 cache entries stay reachable after
+// the region bump.
+func TestScenarioKeyCompatV2(t *testing.T) {
+	v2Keys := []string{
+		scenarioKeyGoldenV2,
+		// Knob variants in the exact layout the v2 encoder produced.
+		"leodivide-serve/v2|afford_share=0.02|calibrated=false|constellation=kuiper" +
+			"|cost_life_years=7|cost_sat_usd=1e+06|cost_terminal_usd=600|experiment=xconst" +
+			"|max_oversub=25|plans=|scale=0.05|seed=2|spreads=1,2,5,10,15",
+		"leodivide-serve/v2|afford_share=0.03|calibrated=true|constellation=oneweb" +
+			"|cost_life_years=5|cost_sat_usd=1.5e+06|cost_terminal_usd=300|experiment=fig3" +
+			"|max_oversub=20|plans=|scale=0.02|seed=1|spreads=2,4",
+		"leodivide-serve/v2|afford_share=0.02|calibrated=false|constellation=starlink" +
+			"|cost_life_years=5|cost_sat_usd=1.5e+06|cost_terminal_usd=300|experiment=fig4" +
+			"|max_oversub=20|plans=Starlink Residential,Xfinity 300|scale=0.02|seed=1|spreads=1,2,5,10,15",
+	}
+	for _, v2 := range v2Keys {
+		cfg, err := ParseScenarioKey(v2)
+		if err != nil {
+			t.Errorf("v2 key %q did not decode: %v", v2, err)
+			continue
+		}
+		// v2 predates the region selector: it must map to "us".
+		if got := cfg.Normalized().Region; got != "us" {
+			t.Errorf("v2 key %q mapped to region %q, want us", v2, got)
+		}
+		up, err := UpgradeScenarioKey(v2)
+		if err != nil {
+			t.Errorf("v2 key %q did not upgrade: %v", v2, err)
+			continue
+		}
+		want, err := cfg.CanonicalKey()
+		if err != nil || up != want {
+			t.Errorf("v2 key %q upgraded to %q, want %q (err %v)", v2, up, want, err)
+		}
+		if !strings.HasPrefix(up, ScenarioSchema+"|") {
+			t.Errorf("upgraded key %q is not under schema %s", up, ScenarioSchema)
+		}
+		// Upgrading is idempotent: the v3 key is a fixpoint.
+		again, err := UpgradeScenarioKey(up)
+		if err != nil || again != up {
+			t.Errorf("upgrade not a fixpoint: %q -> %q (err %v)", up, again, err)
+		}
+		// The upgraded key differs from the v2 key only by schema prefix
+		// and the inserted region field: the same cache-entry identity a
+		// fresh "us"-region scenario mints.
+		stripped := strings.Replace(up, "|region=us", "", 1)
+		stripped = strings.Replace(stripped, ScenarioSchema, ScenarioSchemaV2, 1)
+		if stripped != v2 {
+			t.Errorf("upgrade changed more than schema+region:\n v2  %q\n got %q", v2, up)
+		}
+	}
+
+	// The golden v2 key lands exactly on the golden v3 key.
+	if up, err := UpgradeScenarioKey(scenarioKeyGoldenV2); err != nil || up != scenarioKeyGoldenV3 {
+		t.Errorf("golden v2 upgrade:\n got %q\nwant %q (err %v)", up, scenarioKeyGoldenV3, err)
+	}
+
+	// A v3 scenario that selects a non-default region has no v2
+	// spelling: its key must differ from every upgraded v2 key.
+	br := DefaultScenarioConfig("table2")
+	br.Region = "brazil-rural"
+	brKey, err := br.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brKey == scenarioKeyGoldenV3 {
+		t.Error("a non-default region must change the canonical key")
+	}
+	if !strings.Contains(brKey, "|region=brazil-rural|") {
+		t.Errorf("key %q does not carry the region field", brKey)
 	}
 }
 
@@ -94,6 +182,9 @@ func TestScenarioKeyParseRejects(t *testing.T) {
 		{"unknown field", scenarioKeyGoldenV1 + "|zz_custom=1"},
 		{"missing fields", "leodivide-serve/v1|afford_share=0.02|calibrated=false"},
 		{"v2 missing constellation", "leodivide-serve/v2" + scenarioKeyGoldenV1[len("leodivide-serve/v1"):]},
+		{"v3 missing region", "leodivide-serve/v3" + scenarioKeyGoldenV2[len("leodivide-serve/v2"):]},
+		{"v2 carrying region", strings.Replace(scenarioKeyGoldenV3, "leodivide-serve/v3", "leodivide-serve/v2", 1)},
+		{"unknown region", strings.Replace(scenarioKeyGoldenV3, "region=us", "region=atlantis", 1)},
 		{"out of order", "leodivide-serve/v1|calibrated=false|afford_share=0.02|experiment=table2" +
 			"|max_oversub=20|plans=|scale=1|seed=1|spreads=1,2,5,10,15"},
 		{"duplicate field", "leodivide-serve/v1|afford_share=0.02|afford_share=0.02|calibrated=false|experiment=table2" +
@@ -191,6 +282,7 @@ func TestScenarioCanonicalKeyIdentity(t *testing.T) {
 		func(c *ScenarioConfig) { c.Seed = 2 },
 		func(c *ScenarioConfig) { c.Scale = 0.5 },
 		func(c *ScenarioConfig) { c.Experiment = "fig3" },
+		func(c *ScenarioConfig) { c.Region = "taipei-dense" },
 	}
 	for i, mutate := range knobs {
 		c := base
@@ -229,6 +321,7 @@ func TestScenarioValidate(t *testing.T) {
 		{"empty plan label", func(c *ScenarioConfig) { c.Plans = []string{""} }, "plan label"},
 		{"padded plan label", func(c *ScenarioConfig) { c.Plans = []string{" Xfinity 300"} }, "plan label"},
 		{"duplicate plan", func(c *ScenarioConfig) { c.Plans = []string{"Xfinity 300", "Xfinity 300"} }, "duplicate"},
+		{"unknown region", func(c *ScenarioConfig) { c.Region = "atlantis" }, "unknown region"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -19,8 +19,9 @@ import (
 // answers against one immutable dataset, so present-but-different is a
 // 409 there. Parallelism is not a wire knob at all — results are
 // identical at every worker count. The constellation selector and the
-// cost overrides are schema-v2 fields; a request declaring schema v1
-// must not set them.
+// cost overrides are schema-v2 fields and the region selector is
+// schema-v3; a request declaring an older schema must not set fields
+// it predates.
 type ScenarioRequest struct {
 	Schema           string    `json:"schema"`
 	Experiment       string    `json:"experiment"`
@@ -35,6 +36,7 @@ type ScenarioRequest struct {
 	CostSatelliteUSD float64   `json:"cost_sat_usd,omitempty"`
 	CostLifeYears    float64   `json:"cost_life_years,omitempty"`
 	CostTerminalUSD  float64   `json:"cost_terminal_usd,omitempty"`
+	Region           string    `json:"region,omitempty"`
 }
 
 // ParseScenarioRequest decodes the wire form strictly: unknown fields
@@ -58,15 +60,25 @@ func ParseScenarioRequest(data []byte) (ScenarioRequest, error) {
 
 // ValidateSchema checks the request's schema declaration: empty (a CLI
 // convenience meaning the current schema) and the current schema are
-// accepted as-is; the v1 schema is accepted for compatibility but may
-// not use the v2-only fields it predates.
+// accepted as-is; the v1 and v2 schemas are accepted for compatibility
+// but may not use the fields they predate.
 func (r ScenarioRequest) ValidateSchema() error {
 	switch r.Schema {
 	case "", ScenarioSchema:
 		return nil
+	case ScenarioSchemaV2:
+		if r.Region != "" {
+			return fmt.Errorf("leodivide: scenario request declares schema %q but uses the v3-only region field; declare schema %q",
+				ScenarioSchemaV2, ScenarioSchema)
+		}
+		return nil
 	case ScenarioSchemaV1:
 		if r.Constellation != "" || r.CostSatelliteUSD != 0 || r.CostLifeYears != 0 || r.CostTerminalUSD != 0 {
 			return fmt.Errorf("leodivide: scenario request declares schema %q but uses v2-only fields (constellation or cost overrides); declare schema %q",
+				ScenarioSchemaV1, ScenarioSchema)
+		}
+		if r.Region != "" {
+			return fmt.Errorf("leodivide: scenario request declares schema %q but uses the v3-only region field; declare schema %q",
 				ScenarioSchemaV1, ScenarioSchema)
 		}
 		return nil
@@ -107,6 +119,7 @@ func (r ScenarioRequest) Apply(base ScenarioConfig) (ScenarioConfig, error) {
 	c.CostSatelliteUSD = r.CostSatelliteUSD
 	c.CostLifeYears = r.CostLifeYears
 	c.CostTerminalUSD = r.CostTerminalUSD
+	c.Region = r.Region
 	if c.Experiment != "" {
 		if err := c.Validate(); err != nil {
 			return ScenarioConfig{}, err
@@ -139,5 +152,6 @@ func (c ScenarioConfig) Request() ScenarioRequest {
 		CostSatelliteUSD: c.CostSatelliteUSD,
 		CostLifeYears:    c.CostLifeYears,
 		CostTerminalUSD:  c.CostTerminalUSD,
+		Region:           c.Region,
 	}
 }
