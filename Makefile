@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-parallel bench-json bench-check \
+.PHONY: build test race vet lint lint-ratchet bench bench-parallel bench-json bench-check \
 	fmt check verify fuzz-smoke cover cover-check serve-smoke
 
 build:
@@ -19,6 +19,14 @@ vet:
 # DESIGN.md §11). Exits nonzero on any unsuppressed finding.
 lint:
 	$(GO) run ./cmd/leodivide-lint ./...
+
+# The CI lint gate: full suite plus the suppression ratchet (the
+# //lint:ignore count must equal LINT_SUPPRESSIONS exactly — spend the
+# budget down in the same change that retires a suppression) and the
+# committed wall-time ceiling. Writes the lint.json report artifact.
+lint-ratchet:
+	$(GO) run ./cmd/leodivide-lint -out lint.json \
+		-ratchet LINT_SUPPRESSIONS -time-budget LINT_TIME_BUDGET ./...
 
 # The full reproduction benchmarks (one per paper table/figure).
 bench:

@@ -7,18 +7,32 @@
 //
 // Usage:
 //
-//	leodivide-lint [-json] [-rules detrand,maporder,...] [packages]
+//	leodivide-lint [-json] [-out lint.json] [-rules detrand,maporder,...]
+//	               [-ratchet LINT_SUPPRESSIONS] [-time-budget LINT_TIME_BUDGET]
+//	               [packages]
 //
 // Packages default to ./... resolved from the enclosing module root.
-// Exit status: 0 clean, 1 findings, 2 usage or load/type error.
+// -out writes the JSON report to a file regardless of -json (the CI
+// artifact). -ratchet reads a committed budget file holding the maximum
+// allowed count of //lint:ignore directives and fails when the code
+// exceeds it — suppressions may be spent down, never up. -time-budget
+// reads a committed wall-time ceiling in milliseconds and fails when
+// the analysis (load + all rules) ran longer, keeping the dataflow
+// engine honest about staying off the critical path of `make lint`.
+// Exit status: 0 clean, 1 findings or a failed ratchet/budget check,
+// 2 usage or load/type error.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
 
 	"leodivide/internal/analysis"
 )
@@ -31,13 +45,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("leodivide-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (schema "+analysis.Schema+")")
+	outFile := fs.String("out", "", "also write the JSON report to `file`")
 	rules := fs.String("rules", "", "comma-separated rule subset to run (default: all); `help` lists the catalog")
+	ratchet := fs.String("ratchet", "", "suppression budget `file`: fail if //lint:ignore directives exceed the committed count")
+	timeBudget := fs.String("time-budget", "", "wall-time budget `file` (milliseconds): fail if the analysis ran longer")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *rules == "help" {
 		for _, a := range analysis.DefaultAnalyzers() {
-			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+			engine := a.Engine
+			if engine == "" {
+				engine = analysis.EngineSyntax
+			}
+			fmt.Fprintf(stdout, "%-16s %-8s %s\n", a.Name, engine, a.Doc)
 		}
 		return 0
 	}
@@ -55,13 +76,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "leodivide-lint:", err)
 		return 2
 	}
-	diags, err := analysis.Run(moduleDir, patterns, analyzers)
+	//lint:ignore detrand wall-clock measurement for the -time-budget check; the duration is compared against a ceiling, never emitted into analysis results
+	start := time.Now()
+	diags, stats, err := analysis.RunWithStats(moduleDir, patterns, analyzers)
+	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(stderr, "leodivide-lint:", err)
 		return 2
 	}
+	if *outFile != "" {
+		var buf bytes.Buffer
+		if err := analysis.WriteJSON(&buf, diags, analyzers, stats); err != nil {
+			fmt.Fprintln(stderr, "leodivide-lint:", err)
+			return 2
+		}
+		if err := os.WriteFile(*outFile, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(stderr, "leodivide-lint:", err)
+			return 2
+		}
+	}
 	if *jsonOut {
-		if err := analysis.WriteJSON(stdout, diags); err != nil {
+		if err := analysis.WriteJSON(stdout, diags, analyzers, stats); err != nil {
 			fmt.Fprintln(stderr, "leodivide-lint:", err)
 			return 2
 		}
@@ -70,11 +105,64 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, d)
 		}
 	}
+	failed := false
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "leodivide-lint: %d finding(s)\n", len(diags))
+		failed = true
+	}
+	if *ratchet != "" {
+		budget, err := readBudget(filepath.Join(moduleDir, *ratchet), *ratchet)
+		if err != nil {
+			fmt.Fprintln(stderr, "leodivide-lint:", err)
+			return 2
+		}
+		if stats.Suppressions > budget {
+			fmt.Fprintf(stderr, "leodivide-lint: suppression ratchet: %d //lint:ignore directives exceed the committed budget of %d (%s); fix the finding instead of suppressing it, or justify lowering the bar in review\n",
+				stats.Suppressions, budget, *ratchet)
+			failed = true
+		} else if stats.Suppressions < budget {
+			fmt.Fprintf(stderr, "leodivide-lint: suppression ratchet: count is %d, budget %d — tighten %s to %d so retired suppressions cannot return\n",
+				stats.Suppressions, budget, *ratchet, stats.Suppressions)
+			failed = true
+		}
+	}
+	if *timeBudget != "" {
+		budget, err := readBudget(filepath.Join(moduleDir, *timeBudget), *timeBudget)
+		if err != nil {
+			fmt.Fprintln(stderr, "leodivide-lint:", err)
+			return 2
+		}
+		if ms := elapsed.Milliseconds(); ms > int64(budget) {
+			fmt.Fprintf(stderr, "leodivide-lint: time budget: analysis took %dms, budget %dms (%s); the engine must not become the slow gate\n",
+				ms, budget, *timeBudget)
+			failed = true
+		}
+	}
+	if failed {
 		return 1
 	}
 	return 0
+}
+
+// readBudget parses a committed budget file: one non-negative integer,
+// comments (#) and blank lines ignored.
+func readBudget(path, name string) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("reading budget file %s: %w", name, err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n, err := strconv.Atoi(line)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("budget file %s: want a single non-negative integer, got %q", name, line)
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("budget file %s: no budget line found", name)
 }
 
 // findModuleRoot walks up from the working directory to the nearest

@@ -14,10 +14,18 @@ func TestRulesHelp(t *testing.T) {
 	if code := run([]string{"-rules", "help"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d, stderr %s", code, errb.String())
 	}
-	for _, rule := range []string{"detrand", "maporder", "floatcmp", "errdrop", "ctxfirst"} {
+	for _, rule := range []string{
+		"detrand", "maporder", "floatcmp", "errdrop", "ctxfirst",
+		"lockbalance", "waitbalance", "goroutinecapture", "maptaint",
+	} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-rules help misses %s:\n%s", rule, out.String())
 		}
+	}
+	// The catalog carries the engine column so rule authors can see
+	// which rules ride the CFG/dataflow layer.
+	if !strings.Contains(out.String(), "dataflow") || !strings.Contains(out.String(), "syntax") {
+		t.Errorf("-rules help misses the engine column:\n%s", out.String())
 	}
 }
 
@@ -57,6 +65,26 @@ func Clock() time.Time { return time.Now() }
 	t.Chdir(dir)
 }
 
+// cleanModule writes a throwaway module with no findings and n
+// well-formed suppressions, and chdirs into it — the ratchet and
+// time-budget paths need a clean baseline to isolate their exit codes.
+func cleanModule(t *testing.T, suppressions int) {
+	t.Helper()
+	dir := t.TempDir()
+	writeTestFile(t, filepath.Join(dir, "go.mod"), "module tmpmod\n\ngo 1.24\n")
+	src := "package tmpmod\n\n"
+	if suppressions > 0 {
+		src += "import \"time\"\n\n"
+	}
+	for i := 0; i < suppressions; i++ {
+		src += "//lint:ignore detrand test module: counted by the ratchet\n"
+		src += "var _ = time.Now\n\n"
+	}
+	src += "func ok() int { return 1 }\n"
+	writeTestFile(t, filepath.Join(dir, "clean.go"), src)
+	t.Chdir(dir)
+}
+
 func TestFindingsExitNonzero(t *testing.T) {
 	violatingModule(t)
 	var out, errb bytes.Buffer
@@ -71,28 +99,35 @@ func TestFindingsExitNonzero(t *testing.T) {
 	}
 }
 
+type jsonReport struct {
+	Schema string `json:"schema"`
+	Rules  []struct {
+		Name   string `json:"name"`
+		Engine string `json:"engine"`
+	} `json:"rules"`
+	Diagnostics []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	} `json:"diagnostics"`
+	Count        int `json:"count"`
+	Suppressions int `json:"suppressions"`
+}
+
 func TestJSONOutput(t *testing.T) {
 	violatingModule(t)
 	var out, errb bytes.Buffer
 	if code := run([]string{"-json", "./..."}, &out, &errb); code != 1 {
 		t.Fatalf("exit %d; want 1\nstderr: %s", code, errb.String())
 	}
-	var rep struct {
-		Schema      string `json:"schema"`
-		Diagnostics []struct {
-			File    string `json:"file"`
-			Line    int    `json:"line"`
-			Col     int    `json:"col"`
-			Rule    string `json:"rule"`
-			Message string `json:"message"`
-		} `json:"diagnostics"`
-		Count int `json:"count"`
-	}
+	var rep jsonReport
 	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
 		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
 	}
-	if rep.Schema != "leodivide-lint/v1" {
-		t.Errorf("schema %q; want leodivide-lint/v1", rep.Schema)
+	if rep.Schema != "leodivide-lint/v2" {
+		t.Errorf("schema %q; want leodivide-lint/v2", rep.Schema)
 	}
 	if rep.Count != 1 || len(rep.Diagnostics) != 1 {
 		t.Fatalf("count %d with %d diagnostics; want exactly 1", rep.Count, len(rep.Diagnostics))
@@ -100,6 +135,113 @@ func TestJSONOutput(t *testing.T) {
 	d := rep.Diagnostics[0]
 	if d.File != "bad.go" || d.Line != 5 || d.Rule != "detrand" || d.Message == "" {
 		t.Errorf("diagnostic %+v; want bad.go:5 under rule detrand with a message", d)
+	}
+	engines := map[string]string{}
+	for _, r := range rep.Rules {
+		engines[r.Name] = r.Engine
+	}
+	if len(engines) != 9 {
+		t.Errorf("rules list has %d entries; want the nine-rule catalog", len(engines))
+	}
+	if engines["detrand"] != "syntax" || engines["maptaint"] != "dataflow" {
+		t.Errorf("engine column wrong: detrand=%q maptaint=%q", engines["detrand"], engines["maptaint"])
+	}
+}
+
+func TestOutFileWritesReport(t *testing.T) {
+	violatingModule(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-out", "lint.json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d; want 1 (findings still count with -out)\nstderr: %s", code, errb.String())
+	}
+	raw, err := os.ReadFile("lint.json")
+	if err != nil {
+		t.Fatalf("-out did not write the report: %v", err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("-out file is not valid JSON: %v\n%s", err, raw)
+	}
+	if rep.Schema != "leodivide-lint/v2" || rep.Count != 1 {
+		t.Errorf("-out report = schema %q count %d; want v2 with 1 finding", rep.Schema, rep.Count)
+	}
+	// Without -json the human lines still go to stdout.
+	if !strings.Contains(out.String(), "detrand") {
+		t.Errorf("-out swallowed the human-readable output: %s", out.String())
+	}
+}
+
+func TestRatchetExactCountPasses(t *testing.T) {
+	cleanModule(t, 2)
+	writeTestFile(t, "LINT_SUPPRESSIONS", "# committed suppression budget\n2\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-ratchet", "LINT_SUPPRESSIONS", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d at an exact budget match; stderr: %s", code, errb.String())
+	}
+}
+
+func TestRatchetFailsAboveBudget(t *testing.T) {
+	cleanModule(t, 3)
+	writeTestFile(t, "LINT_SUPPRESSIONS", "2\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-ratchet", "LINT_SUPPRESSIONS", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d; want 1 when suppressions exceed the budget", code)
+	}
+	if !strings.Contains(errb.String(), "exceed the committed budget") {
+		t.Fatalf("stderr %q; want the over-budget message", errb.String())
+	}
+}
+
+func TestRatchetFailsBelowBudget(t *testing.T) {
+	// The budget must be spent down in the same change that retires a
+	// suppression, or retired ones could silently return.
+	cleanModule(t, 1)
+	writeTestFile(t, "LINT_SUPPRESSIONS", "2\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-ratchet", "LINT_SUPPRESSIONS", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d; want 1 when the budget is stale-high", code)
+	}
+	if !strings.Contains(errb.String(), "tighten") {
+		t.Fatalf("stderr %q; want the tighten-the-budget message", errb.String())
+	}
+}
+
+func TestRatchetMissingOrMalformedBudget(t *testing.T) {
+	cleanModule(t, 0)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-ratchet", "LINT_SUPPRESSIONS", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d; want 2 for a missing budget file", code)
+	}
+	writeTestFile(t, "LINT_SUPPRESSIONS", "# only comments\n")
+	errb.Reset()
+	if code := run([]string{"-ratchet", "LINT_SUPPRESSIONS", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d; want 2 for a budget file with no budget line", code)
+	}
+	writeTestFile(t, "LINT_SUPPRESSIONS", "-3\n")
+	errb.Reset()
+	if code := run([]string{"-ratchet", "LINT_SUPPRESSIONS", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d; want 2 for a negative budget", code)
+	}
+}
+
+func TestTimeBudget(t *testing.T) {
+	// The module imports time, so the analysis source-imports a real
+	// stdlib package and reliably takes >0ms.
+	cleanModule(t, 1)
+	// A generous ceiling passes...
+	writeTestFile(t, "LINT_TIME_BUDGET", "# milliseconds\n600000\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-time-budget", "LINT_TIME_BUDGET", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d under a generous time budget; stderr: %s", code, errb.String())
+	}
+	// ...and an impossible one fails with the budget message.
+	writeTestFile(t, "LINT_TIME_BUDGET", "0\n")
+	errb.Reset()
+	if code := run([]string{"-time-budget", "LINT_TIME_BUDGET", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d; want 1 when the analysis outruns the budget", code)
+	}
+	if !strings.Contains(errb.String(), "time budget") {
+		t.Fatalf("stderr %q; want the time-budget message", errb.String())
 	}
 }
 

@@ -26,6 +26,15 @@ import (
 	"sort"
 )
 
+// Engine classes for Analyzer.Engine: how deep a rule looks.
+const (
+	// EngineSyntax marks per-node AST walks (the PR 5 rule generation).
+	EngineSyntax = "syntax"
+	// EngineDataflow marks rules that consult the per-function CFG
+	// and/or the reaching-definitions solution (cfg.go, dataflow.go).
+	EngineDataflow = "dataflow"
+)
+
 // An Analyzer is one named rule. Run inspects a type-checked package
 // via the Pass and reports findings through it.
 type Analyzer struct {
@@ -34,6 +43,9 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the invariant the rule
 	// protects, shown by `leodivide-lint -rules help`.
 	Doc string
+	// Engine is EngineSyntax or EngineDataflow; surfaced in the -json
+	// report so consumers can tell which findings carry path reasoning.
+	Engine string
 	// Run inspects one package.
 	Run func(*Pass)
 }
@@ -50,6 +62,53 @@ type Pass struct {
 	Info  *types.Info
 
 	diags *[]Diagnostic
+	// funcs memoizes per-function CFGs and dataflow solutions; shared
+	// across all analyzers run on the same package so four dataflow
+	// rules pay for one graph build.
+	funcs *funcCache
+}
+
+// funcCache memoizes CFG construction and reaching-definitions per
+// function node, keyed by node identity.
+type funcCache struct {
+	cfgs map[ast.Node]*CFG
+	rds  map[ast.Node]*ReachDefs
+}
+
+// CFG returns the control-flow graph of fn (an *ast.FuncDecl or
+// *ast.FuncLit), building and caching it on first use. See cfg.go for
+// the graph contract.
+func (p *Pass) CFG(fn ast.Node) *CFG {
+	if p.funcs == nil {
+		p.funcs = &funcCache{}
+	}
+	if p.funcs.cfgs == nil {
+		p.funcs.cfgs = map[ast.Node]*CFG{}
+	}
+	if c, ok := p.funcs.cfgs[fn]; ok {
+		return c
+	}
+	c := buildCFG(fn)
+	p.funcs.cfgs[fn] = c
+	return c
+}
+
+// Reaching returns the reaching-definitions solution for fn, built on
+// demand over the (cached) CFG. See dataflow.go for what counts as a
+// definition.
+func (p *Pass) Reaching(fn ast.Node) *ReachDefs {
+	if p.funcs == nil {
+		p.funcs = &funcCache{}
+	}
+	if p.funcs.rds == nil {
+		p.funcs.rds = map[ast.Node]*ReachDefs{}
+	}
+	if rd, ok := p.funcs.rds[fn]; ok {
+		return rd
+	}
+	rd := reachingDefs(p.CFG(fn), p.Info)
+	p.funcs.rds[fn] = rd
+	return rd
 }
 
 // Reportf records a finding at pos under the pass's rule.

@@ -49,6 +49,10 @@ func TestAnalyzers(t *testing.T) {
 		{"floatcmp", "leodivide/lintest/floatcmp", Floatcmp},
 		{"floatcmp_testutil", "leodivide/internal/testutil", Floatcmp},
 		{"errdrop", "leodivide/lintest/errdrop", Errdrop},
+		{"lockbalance", "leodivide/lintest/lockbalance", Lockbalance},
+		{"waitbalance", "leodivide/lintest/waitbalance", Waitbalance},
+		{"goroutinecapture", "leodivide/lintest/goroutinecapture", Goroutinecapture},
+		{"maptaint", "leodivide/lintest/maptaint", Maptaint},
 		{"ctxfirst_par", "leodivide/internal/par", Ctxfirst},
 		{"ctxfirst_root", "leodivide", Ctxfirst},
 		{"ctxfirst_serve", "leodivide/internal/serve", Ctxfirst},

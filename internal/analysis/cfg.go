@@ -1,0 +1,475 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the control-flow half of the v2 rule engine: a
+// per-function CFG built from go/ast alone (no x/tools), precise enough
+// for the path questions the concurrency/determinism rules ask — "does
+// every path from this Lock reach an Unlock", "is there a path from
+// this append to a use that skips the sort", "can a panic escape
+// between publish and close". See DESIGN.md §16 for the contract rule
+// authors may assume.
+//
+// Model:
+//
+//   - One CFG per function-like node (*ast.FuncDecl or *ast.FuncLit).
+//     Nested function literals are NOT inlined — each gets its own CFG;
+//     a FuncLit appearing inside a statement is data, not control flow.
+//   - Blocks hold statement-level nodes in execution order. Control
+//     conditions (if/for conditions, switch tags, range expressions)
+//     appear as nodes too, so rules see every evaluated expression.
+//   - A single virtual Exit block terminates every path: returns,
+//     falling off the end, and explicit panic(...) statements all edge
+//     to Exit. Rules that care whether an exit is a panic look at the
+//     last node of the predecessor block.
+//   - defer statements are ordinary nodes (registration points); their
+//     run-at-exit semantics are the rule's business — lockbalance and
+//     waitbalance scan deferred calls/closures for release obligations.
+//   - break/continue (labeled and not), goto, and fallthrough are
+//     resolved to real edges. Unreachable blocks may exist; dataflow
+//     passes simply never reach them.
+//
+// Soundness vs completeness: the graph over-approximates control flow
+// (every syntactic branch is considered takable), so path-existence
+// findings can be false positives on correlated branches and
+// path-universal guarantees ("sort on every path") are conservative.
+// Calls are assumed to return normally; only explicit panic statements
+// terminate a block. Rules that model runtime panics from arbitrary
+// code (waitbalance) add their own virtual edges for calls through
+// function values, where the callee is unknowable statically.
+
+// A Block is one straight-line run of nodes with a single entry.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (stable, build order).
+	Index int
+	// Nodes are the statements and control expressions executed in this
+	// block, in order.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+	// Preds are the predecessor blocks (derived from Succs).
+	Preds []*Block
+}
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Fn is the *ast.FuncDecl or *ast.FuncLit the graph describes.
+	Fn ast.Node
+	// Blocks lists every block, Entry first. Exit is always present.
+	Blocks []*Block
+	// Entry is the block control enters at the top of the body.
+	Entry *Block
+	// Exit is the single virtual exit block (no nodes). Returns, panics
+	// and falling off the end all edge here.
+	Exit *Block
+}
+
+// cfgBuilder carries the state of one build.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// break/continue targets, innermost last.
+	breaks    []*Block
+	continues []*Block
+	// labeled break/continue targets by label name.
+	labelBreak    map[string]*Block
+	labelContinue map[string]*Block
+	// goto support: labeled statement entry blocks, and pending gotos
+	// patched at the end.
+	labelBlocks map[string]*Block
+	gotos       []pendingGoto
+	// pendingLabel names the label attached to the next loop/switch
+	// pushed, so `break label` / `continue label` resolve.
+	pendingLabel string
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// buildCFG constructs the CFG for fn, which must be an *ast.FuncDecl or
+// *ast.FuncLit. A nil body (declaration without definition) yields a
+// two-block graph with Entry wired straight to Exit.
+func buildCFG(fn ast.Node) *CFG {
+	var body *ast.BlockStmt
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		body = f.Body
+	case *ast.FuncLit:
+		body = f.Body
+	default:
+		panic("analysis: buildCFG on a non-function node")
+	}
+	b := &cfgBuilder{
+		cfg:           &CFG{Fn: fn},
+		labelBreak:    map[string]*Block{},
+		labelContinue: map[string]*Block{},
+		labelBlocks:   map[string]*Block{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, b.cfg.Exit) // fall off the end
+	for _, g := range b.gotos {
+		if target, ok := b.labelBlocks[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	for _, blk := range b.cfg.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge adds from→to unless from is nil (dead code after a terminator).
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// startBlock seals cur with an edge into next and makes next current.
+func (b *cfgBuilder) startBlock(next *Block) {
+	b.edge(b.cur, next)
+	b.cur = next
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// isPanicCall reports whether stmt is an expression statement calling
+// the builtin panic.
+func isPanicCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	if b.cur == nil {
+		// Dead code after return/panic/branch: park it in an unreachable
+		// block so its nodes still exist for position queries.
+		b.cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s) {
+			b.edge(b.cur, b.cfg.Exit)
+			b.cur = nil
+		}
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			target := b.cfg.Exit
+			if s.Label != nil {
+				target = b.labelBreak[s.Label.Name]
+			} else if len(b.breaks) > 0 {
+				target = b.breaks[len(b.breaks)-1]
+			}
+			if target != nil {
+				b.edge(b.cur, target)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			target := b.cfg.Exit
+			if s.Label != nil {
+				target = b.labelContinue[s.Label.Name]
+			} else if len(b.continues) > 0 {
+				target = b.continues[len(b.continues)-1]
+			}
+			if target != nil {
+				b.edge(b.cur, target)
+			}
+			b.cur = nil
+		case token.GOTO:
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled structurally by switch clause wiring; the statement
+			// itself is recorded above and the clause adds the edge.
+		}
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		condBlock := b.cur
+		thenBlock := b.newBlock()
+		join := b.newBlock()
+		b.edge(condBlock, thenBlock)
+		b.cur = thenBlock
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			elseBlock := b.newBlock()
+			b.edge(condBlock, elseBlock)
+			b.cur = elseBlock
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(condBlock, join)
+		}
+		b.cur = join
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		header := b.newBlock()
+		bodyBlock := b.newBlock()
+		post := b.newBlock()
+		exit := b.newBlock()
+		b.startBlock(header)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(header, exit)
+		}
+		b.edge(header, bodyBlock)
+		b.pushLoop(exit, post, s)
+		b.cur = bodyBlock
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		b.edge(b.cur, post)
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, header)
+		b.cur = exit
+	case *ast.RangeStmt:
+		header := b.newBlock()
+		bodyBlock := b.newBlock()
+		exit := b.newBlock()
+		b.startBlock(header)
+		b.add(s) // the range statement itself: per-iteration var binding
+		b.edge(header, exit)
+		b.edge(header, bodyBlock)
+		b.pushLoop(exit, header, s)
+		b.cur = bodyBlock
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		b.edge(b.cur, header)
+		b.cur = exit
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(s.Body.List, s, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List, s, false)
+	case *ast.SelectStmt:
+		b.switchClauses(s.Body.List, s, true)
+	case *ast.LabeledStmt:
+		// The labeled statement's entry block is the goto target; for
+		// loops and switches, break/continue <label> targets are wired by
+		// the loop/switch construction via labelLoop.
+		entry := b.newBlock()
+		b.startBlock(entry)
+		b.labelBlocks[s.Label.Name] = entry
+		b.labeledStmt(s.Label.Name, s.Stmt)
+	case *ast.DeferStmt, *ast.GoStmt, *ast.AssignStmt, *ast.DeclStmt,
+		*ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		b.add(s)
+	default:
+		b.add(s)
+	}
+}
+
+// labeledStmt compiles the statement under a label, first registering
+// the label's break/continue targets if it is a loop or switch.
+func (b *cfgBuilder) labeledStmt(label string, s ast.Stmt) {
+	switch s.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.pendingLabel = label
+	}
+	b.stmt(s)
+	b.pendingLabel = ""
+}
+
+func (b *cfgBuilder) pushLoop(breakTo, continueTo *Block, _ ast.Stmt) {
+	b.breaks = append(b.breaks, breakTo)
+	b.continues = append(b.continues, continueTo)
+	if b.pendingLabel != "" {
+		b.labelBreak[b.pendingLabel] = breakTo
+		b.labelContinue[b.pendingLabel] = continueTo
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// switchClauses wires the shared clause structure of switch, type
+// switch and select. Each clause body is a block fed from the dispatch
+// point; a missing default adds a direct dispatch→join edge (the
+// switch may match nothing; a select without default always executes
+// exactly one clause, but treating it like a switch only adds paths —
+// conservative, never unsound for the universal path queries).
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, sw ast.Stmt, isSelect bool) {
+	dispatch := b.cur
+	join := b.newBlock()
+	b.breaks = append(b.breaks, join)
+	if b.pendingLabel != "" {
+		b.labelBreak[b.pendingLabel] = join
+		b.pendingLabel = ""
+	}
+	hasDefault := false
+	var clauseBlocks []*Block
+	var clauseBodies [][]ast.Stmt
+	for _, c := range clauses {
+		blk := b.newBlock()
+		b.edge(dispatch, blk)
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			b.cur = blk
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauseBodies = append(clauseBodies, cc.Body)
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.Nodes = append(blk.Nodes, cc.Comm)
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauseBodies = append(clauseBodies, cc.Body)
+		}
+	}
+	for i := range clauseBlocks {
+		b.cur = clauseBlocks[i]
+		b.stmtList(clauseBodies[i])
+		// fallthrough: an explicit fallthrough statement at the end of a
+		// case transfers to the next clause's body.
+		if b.cur != nil && endsInFallthrough(clauseBodies[i]) && i+1 < len(clauseBlocks) {
+			b.edge(b.cur, clauseBlocks[i+1])
+			b.cur = nil
+			continue
+		}
+		b.edge(b.cur, join)
+	}
+	if !hasDefault && !isSelect {
+		// The switch may match nothing. A select without default always
+		// runs exactly one clause (or blocks forever on `select {}`), so
+		// it gets no dispatch→join shortcut.
+		b.edge(dispatch, join)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// --- path queries -----------------------------------------------------
+
+// PathExistsAvoiding reports whether some path from one of the start
+// blocks reaches target while never passing through a block for which
+// avoid returns true. The target itself is never tested against avoid;
+// every other visited block is, including the start blocks (callers
+// slice within-block node runs separately when a boundary falls
+// mid-block).
+func (c *CFG) PathExistsAvoiding(starts []*Block, target *Block, avoid func(*Block) bool) bool {
+	seen := make([]bool, len(c.Blocks))
+	var stack []*Block
+	push := func(b *Block) {
+		if b != nil && !seen[b.Index] {
+			seen[b.Index] = true
+			stack = append(stack, b)
+		}
+	}
+	for _, s := range starts {
+		push(s)
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == target {
+			return true
+		}
+		if avoid != nil && avoid(b) {
+			continue
+		}
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	return false
+}
+
+// BlockOf returns the block containing the given node (by identity),
+// and the node's index within it; nil if the node is not on the graph.
+func (c *CFG) BlockOf(n ast.Node) (*Block, int) {
+	for _, b := range c.Blocks {
+		for i, bn := range b.Nodes {
+			if bn == n {
+				return b, i
+			}
+		}
+	}
+	return nil, -1
+}

@@ -1,0 +1,616 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFunc parses src (a complete function declaration) and returns
+// its *ast.FuncDecl.
+func parseFunc(t *testing.T, src string) *ast.FuncDecl {
+	t.Helper()
+	file, err := parser.ParseFile(token.NewFileSet(), "cfgtest.go", "package p\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	t.Fatalf("no func decl in %q", src)
+	return nil
+}
+
+// reachesExit reports whether Exit is reachable from Entry.
+func reachesExit(c *CFG) bool {
+	return c.PathExistsAvoiding([]*Block{c.Entry}, c.Exit, nil)
+}
+
+// countEdges sums len(Succs) over all blocks.
+func countEdges(c *CFG) int {
+	n := 0
+	for _, b := range c.Blocks {
+		n += len(b.Succs)
+	}
+	return n
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	fn := parseFunc(t, `func f() { x := 1; _ = x }`)
+	c := buildCFG(fn)
+	if c.Entry == nil || c.Exit == nil {
+		t.Fatal("missing entry/exit")
+	}
+	if len(c.Entry.Nodes) != 2 {
+		t.Fatalf("entry nodes = %d, want 2", len(c.Entry.Nodes))
+	}
+	if len(c.Entry.Succs) != 1 || c.Entry.Succs[0] != c.Exit {
+		t.Fatalf("entry should edge straight to exit, got %v", c.Entry.Succs)
+	}
+	if len(c.Exit.Preds) != 1 || c.Exit.Preds[0] != c.Entry {
+		t.Fatalf("exit preds = %v, want [entry]", c.Exit.Preds)
+	}
+}
+
+func TestCFGEmptyBody(t *testing.T) {
+	fn := parseFunc(t, `func f() {}`)
+	c := buildCFG(fn)
+	if !reachesExit(c) {
+		t.Fatal("empty body must reach exit")
+	}
+	if len(c.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2 (entry+exit)", len(c.Blocks))
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	fn := parseFunc(t, `func f(a bool) int {
+	if a {
+		return 1
+	} else {
+		return 2
+	}
+}`)
+	c := buildCFG(fn)
+	// Entry (cond) branches to then and else; both return to Exit.
+	if got := len(c.Entry.Succs); got != 2 {
+		t.Fatalf("cond succs = %d, want 2", got)
+	}
+	for _, s := range c.Entry.Succs {
+		if len(s.Succs) != 1 || s.Succs[0] != c.Exit {
+			t.Fatalf("branch %d should return to exit, has succs %v", s.Index, s.Succs)
+		}
+	}
+}
+
+func TestCFGIfNoElse(t *testing.T) {
+	fn := parseFunc(t, `func f(a bool) {
+	if a {
+		println("yes")
+	}
+	println("after")
+}`)
+	c := buildCFG(fn)
+	// cond → then → join, cond → join. The join holds the trailing call.
+	if got := len(c.Entry.Succs); got != 2 {
+		t.Fatalf("cond succs = %d, want 2 (then, join)", got)
+	}
+	if !reachesExit(c) {
+		t.Fatal("must reach exit")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	fn := parseFunc(t, `func f() {
+	for i := 0; i < 10; i++ {
+		println(i)
+	}
+	println("done")
+}`)
+	c := buildCFG(fn)
+	if !reachesExit(c) {
+		t.Fatal("bounded loop must reach exit")
+	}
+	// The header must have a back edge: some block's successor list
+	// contains a block with a smaller index (the loop header).
+	hasBack := false
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s != c.Exit {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatal("for loop should produce a back edge")
+	}
+}
+
+func TestCFGInfiniteFor(t *testing.T) {
+	fn := parseFunc(t, `func f() {
+	for {
+		println("spin")
+	}
+}`)
+	c := buildCFG(fn)
+	if reachesExit(c) {
+		t.Fatal("for {} with no break must not reach exit")
+	}
+}
+
+func TestCFGInfiniteForWithBreak(t *testing.T) {
+	fn := parseFunc(t, `func f(a bool) {
+	for {
+		if a {
+			break
+		}
+	}
+}`)
+	c := buildCFG(fn)
+	if !reachesExit(c) {
+		t.Fatal("break must restore a path to exit")
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	fn := parseFunc(t, `func f(m map[string]int) {
+	for k := range m {
+		println(k)
+	}
+}`)
+	c := buildCFG(fn)
+	if !reachesExit(c) {
+		t.Fatal("range must reach exit")
+	}
+	// The RangeStmt node itself must be on the graph (header block), so
+	// rules can locate iteration scopes.
+	var rng *ast.RangeStmt
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			rng = r
+		}
+		return true
+	})
+	if blk, _ := c.BlockOf(rng); blk == nil {
+		t.Fatal("RangeStmt not placed on the CFG")
+	}
+}
+
+func TestCFGSwitch(t *testing.T) {
+	fn := parseFunc(t, `func f(x int) int {
+	switch x {
+	case 1:
+		return 10
+	case 2:
+		return 20
+	}
+	return 0
+}`)
+	c := buildCFG(fn)
+	if !reachesExit(c) {
+		t.Fatal("switch must reach exit")
+	}
+	// No default: the dispatch block needs an edge skipping all clauses.
+	// Find the dispatch block (holds the tag expression) and check it
+	// has 3 successors (case1, case2, join).
+	var tag ast.Node
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if sw, ok := n.(*ast.SwitchStmt); ok {
+			tag = sw.Tag
+		}
+		return true
+	})
+	blk, _ := c.BlockOf(tag)
+	if blk == nil {
+		t.Fatal("switch tag not on graph")
+	}
+	if got := len(blk.Succs); got != 3 {
+		t.Fatalf("default-less switch dispatch succs = %d, want 3", got)
+	}
+}
+
+func TestCFGSwitchDefault(t *testing.T) {
+	fn := parseFunc(t, `func f(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	default:
+		return -1
+	}
+}`)
+	c := buildCFG(fn)
+	if !reachesExit(c) {
+		t.Fatal("switch with returns in all clauses still reaches exit via them")
+	}
+	// With a default and all clauses returning, the join block (empty,
+	// not entry/exit) must be unreachable from entry: no skip edge.
+	for _, b := range c.Blocks {
+		if len(b.Nodes) == 0 && b != c.Exit && b != c.Entry {
+			if c.PathExistsAvoiding([]*Block{c.Entry}, b, nil) {
+				t.Fatalf("join block %d reachable: switch with default got a skip edge", b.Index)
+			}
+		}
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	fn := parseFunc(t, `func f(x int) {
+	switch x {
+	case 1:
+		println("one")
+		fallthrough
+	case 2:
+		println("two")
+	}
+}`)
+	c := buildCFG(fn)
+	if !reachesExit(c) {
+		t.Fatal("must reach exit")
+	}
+	// Locate the two case-body prints; a path must exist from the first
+	// clause's block into the second clause's block.
+	var prints []ast.Node
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			prints = append(prints, es)
+		}
+		return true
+	})
+	if len(prints) != 2 {
+		t.Fatalf("prints = %d, want 2", len(prints))
+	}
+	b1, _ := c.BlockOf(prints[0])
+	b2, _ := c.BlockOf(prints[1])
+	if b1 == nil || b2 == nil {
+		t.Fatal("case bodies not on graph")
+	}
+	if !c.PathExistsAvoiding([]*Block{b1}, b2, nil) {
+		t.Fatal("fallthrough edge missing: case 1 body must flow into case 2 body")
+	}
+}
+
+func TestCFGTypeSwitch(t *testing.T) {
+	fn := parseFunc(t, `func f(v any) {
+	switch v.(type) {
+	case int:
+		println("int")
+	case string:
+		println("string")
+	default:
+		println("other")
+	}
+}`)
+	c := buildCFG(fn)
+	if !reachesExit(c) {
+		t.Fatal("type switch must reach exit")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	fn := parseFunc(t, `func f(a, b chan int) int {
+	select {
+	case x := <-a:
+		return x
+	case y := <-b:
+		return y
+	}
+}`)
+	c := buildCFG(fn)
+	// Both clauses return; select without default has no skip edge, so
+	// exit is reachable only through the clause returns.
+	if !reachesExit(c) {
+		t.Fatal("select clauses return; exit must be reachable")
+	}
+	// The comm statements must be on the graph.
+	n := 0
+	ast.Inspect(fn, func(node ast.Node) bool {
+		if cc, ok := node.(*ast.CommClause); ok && cc.Comm != nil {
+			if blk, _ := c.BlockOf(cc.Comm); blk != nil {
+				n++
+			}
+		}
+		return true
+	})
+	if n != 2 {
+		t.Fatalf("comm statements on graph = %d, want 2", n)
+	}
+}
+
+func TestCFGSelectNoSkipEdge(t *testing.T) {
+	// A default-less select must NOT get a dispatch→join shortcut: if
+	// every clause returns, the code after the select is unreachable.
+	fn := parseFunc(t, `func f(a chan int) {
+	select {
+	case <-a:
+		return
+	}
+	println("after")
+}`)
+	c := buildCFG(fn)
+	var after ast.Node
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "println" {
+					after = es
+				}
+			}
+		}
+		return true
+	})
+	blk, _ := c.BlockOf(after)
+	if blk == nil {
+		t.Fatal("trailing statement not on graph")
+	}
+	if c.PathExistsAvoiding([]*Block{c.Entry}, blk, nil) {
+		t.Fatal("code after a returning single-clause select must be unreachable")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	fn := parseFunc(t, `func f(a bool) {
+	if a {
+		panic("boom")
+	}
+	println("after")
+}`)
+	c := buildCFG(fn)
+	var panicStmt, after ast.Node
+	ast.Inspect(fn, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "panic":
+				panicStmt = es
+			case "println":
+				after = es
+			}
+		}
+		return true
+	})
+	pb, _ := c.BlockOf(panicStmt)
+	ab, _ := c.BlockOf(after)
+	if pb == nil || ab == nil {
+		t.Fatal("statements not on graph")
+	}
+	// The panic block's only successor is Exit — no flow into "after".
+	if len(pb.Succs) != 1 || pb.Succs[0] != c.Exit {
+		t.Fatalf("panic block succs = %v, want [exit]", pb.Succs)
+	}
+	if c.PathExistsAvoiding([]*Block{pb}, ab, nil) {
+		t.Fatal("no path may lead from panic to the following statement")
+	}
+}
+
+func TestCFGDeferIsANode(t *testing.T) {
+	fn := parseFunc(t, `func f() {
+	defer println("cleanup")
+	println("work")
+}`)
+	c := buildCFG(fn)
+	var def ast.Node
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			def = d
+		}
+		return true
+	})
+	blk, idx := c.BlockOf(def)
+	if blk == nil {
+		t.Fatal("defer statement must appear on the graph")
+	}
+	if idx != 0 {
+		t.Fatalf("defer is the first statement; idx = %d", idx)
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	fn := parseFunc(t, `func f(err error) error {
+	if err != nil {
+		return err
+	}
+	println("ok")
+	return nil
+}`)
+	c := buildCFG(fn)
+	// Two returns → Exit has ≥2 preds.
+	if len(c.Exit.Preds) < 2 {
+		t.Fatalf("exit preds = %d, want >= 2", len(c.Exit.Preds))
+	}
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	fn := parseFunc(t, `func f(grid [][]int) int {
+outer:
+	for i := range grid {
+		for j := range grid[i] {
+			if grid[i][j] < 0 {
+				break outer
+			}
+			if grid[i][j] == 0 {
+				continue outer
+			}
+			println(j)
+		}
+	}
+	return 0
+}`)
+	c := buildCFG(fn)
+	if !reachesExit(c) {
+		t.Fatal("labeled loop must reach exit")
+	}
+	// break outer must edge out of both loops: from the break's block
+	// there must be a path to Exit that avoids every block containing a
+	// println call (i.e. without re-entering the inner loop body tail).
+	var brk ast.Node
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok == token.BREAK {
+			brk = b
+		}
+		return true
+	})
+	bb, _ := c.BlockOf(brk)
+	if bb == nil {
+		t.Fatal("break not on graph")
+	}
+	avoidPrintln := func(b *Block) bool {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "println" {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	if !c.PathExistsAvoiding([]*Block{bb}, c.Exit, avoidPrintln) {
+		t.Fatal("break outer must escape both loops without re-entering the body")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	fn := parseFunc(t, `func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}`)
+	c := buildCFG(fn)
+	if !reachesExit(c) {
+		t.Fatal("goto loop must still reach exit")
+	}
+	// goto produces a back edge to the labeled block.
+	hasBack := false
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s != c.Exit {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatal("goto should produce a back edge")
+	}
+}
+
+func TestCFGFuncLitNotInlined(t *testing.T) {
+	fn := parseFunc(t, `func f() {
+	g := func() { panic("inner") }
+	g()
+}`)
+	c := buildCFG(fn)
+	// The inner panic belongs to the FuncLit's own CFG; the outer graph
+	// must flow straight through to exit.
+	if !reachesExit(c) {
+		t.Fatal("outer function must reach exit; inner panic is not its control flow")
+	}
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						t.Fatal("FuncLit body leaked into the enclosing CFG")
+					}
+				}
+			}
+		}
+	}
+	// And the FuncLit itself builds its own graph.
+	var lit *ast.FuncLit
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok {
+			lit = l
+		}
+		return true
+	})
+	inner := buildCFG(lit)
+	if len(inner.Blocks) < 2 {
+		t.Fatal("FuncLit CFG missing")
+	}
+}
+
+func TestCFGNilBody(t *testing.T) {
+	fn := parseFunc(t, `func f()`)
+	c := buildCFG(fn)
+	if !reachesExit(c) {
+		t.Fatal("declaration-only function: entry must edge to exit")
+	}
+}
+
+func TestCFGDeadCodeParked(t *testing.T) {
+	fn := parseFunc(t, `func f() int {
+	return 1
+	println("dead")
+}`)
+	c := buildCFG(fn)
+	var dead ast.Node
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			dead = es
+		}
+		return true
+	})
+	blk, _ := c.BlockOf(dead)
+	if blk == nil {
+		t.Fatal("dead code must still be placed on the graph")
+	}
+	if c.PathExistsAvoiding([]*Block{c.Entry}, blk, nil) {
+		t.Fatal("dead code must be unreachable from entry")
+	}
+}
+
+func TestCFGPredsConsistent(t *testing.T) {
+	fn := parseFunc(t, `func f(x int) int {
+	for i := 0; i < x; i++ {
+		switch {
+		case i%2 == 0:
+			continue
+		default:
+			if i > 5 {
+				return i
+			}
+		}
+	}
+	return -1
+}`)
+	c := buildCFG(fn)
+	// Preds must mirror Succs exactly.
+	fwd := map[[2]int]bool{}
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			fwd[[2]int{b.Index, s.Index}] = true
+		}
+	}
+	back := map[[2]int]bool{}
+	for _, b := range c.Blocks {
+		for _, p := range b.Preds {
+			back[[2]int{p.Index, b.Index}] = true
+		}
+	}
+	if len(fwd) != len(back) {
+		t.Fatalf("edge sets differ: %d forward, %d backward", len(fwd), len(back))
+	}
+	for e := range fwd {
+		if !back[e] {
+			t.Fatalf("edge %v present in Succs but not Preds", e)
+		}
+	}
+	if n := countEdges(c); n != len(fwd) {
+		t.Fatalf("duplicate edges: counted %d, unique %d", n, len(fwd))
+	}
+}

@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file is the dataflow half of the v2 engine: classic forward
+// reaching-definitions over the CFG, exposed to rule authors as
+// ReachDefs. A "definition" is a statement-level write to a named local
+// variable (assignment, short declaration, var decl, ++/--, a range
+// binding, or the function's own parameters at entry). Writes through
+// pointers, writes to struct fields / slice elements / map entries, and
+// writes performed inside nested function literals are NOT definitions
+// of the outer variable — rules that care about those model them
+// separately (goroutinecapture does). The analysis is flow-sensitive
+// and path-insensitive: at a use it answers "which defs MAY reach
+// here", the union over all CFG paths.
+
+// bitset is a fixed-width bit vector sized for the function's def count.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) orInto(src bitset) (changed bool) {
+	for i := range b {
+		old := b[i]
+		b[i] |= src[i]
+		changed = changed || b[i] != old
+	}
+	return changed
+}
+
+func (b bitset) copyFrom(src bitset) {
+	copy(b, src)
+}
+
+// A defSite is one definition of one variable.
+type defSite struct {
+	id int
+	v  *types.Var
+	// node is the defining statement, or the function node itself for
+	// parameter/receiver/named-result entry definitions.
+	node ast.Node
+	// blk/pos locate the def on the CFG: block index and node index
+	// within the block. Entry defs use blk 0 (entry), pos -1.
+	blk int
+	pos int
+}
+
+// ReachDefs holds the reaching-definitions solution for one function.
+type ReachDefs struct {
+	cfg   *CFG
+	defs  []defSite
+	byVar map[*types.Var][]int
+	// in[b] = defs live at the top of block b.
+	in []bitset
+}
+
+// reachingDefs solves reaching definitions for the function underlying
+// cfg. info supplies the identifier→object resolution.
+func reachingDefs(cfg *CFG, info *types.Info) *ReachDefs {
+	rd := &ReachDefs{cfg: cfg, byVar: map[*types.Var][]int{}}
+
+	addDef := func(v *types.Var, node ast.Node, blk, pos int) {
+		if v == nil {
+			return
+		}
+		id := len(rd.defs)
+		rd.defs = append(rd.defs, defSite{id: id, v: v, node: node, blk: blk, pos: pos})
+		rd.byVar[v] = append(rd.byVar[v], id)
+	}
+	varOf := func(e ast.Expr) *types.Var {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			return v
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+
+	// Entry definitions: parameters, receiver, named results.
+	var ftype *ast.FuncType
+	var recv *ast.FieldList
+	switch f := cfg.Fn.(type) {
+	case *ast.FuncDecl:
+		ftype, recv = f.Type, f.Recv
+	case *ast.FuncLit:
+		ftype = f.Type
+	}
+	entryFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				addDef(varOf(name), cfg.Fn, cfg.Entry.Index, -1)
+			}
+		}
+	}
+	entryFields(recv)
+	if ftype != nil {
+		entryFields(ftype.Params)
+		entryFields(ftype.Results)
+	}
+
+	// Statement definitions, in block/node order.
+	for _, blk := range cfg.Blocks {
+		for pos, n := range blk.Nodes {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					addDef(varOf(lhs), s, blk.Index, pos)
+				}
+			case *ast.IncDecStmt:
+				addDef(varOf(s.X), s, blk.Index, pos)
+			case *ast.DeclStmt:
+				if gd, ok := s.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							for _, name := range vs.Names {
+								addDef(varOf(name), s, blk.Index, pos)
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if s.Key != nil {
+					addDef(varOf(s.Key), s, blk.Index, pos)
+				}
+				if s.Value != nil {
+					addDef(varOf(s.Value), s, blk.Index, pos)
+				}
+			}
+		}
+	}
+
+	n := len(rd.defs)
+	rd.in = make([]bitset, len(cfg.Blocks))
+	out := make([]bitset, len(cfg.Blocks))
+	for i := range cfg.Blocks {
+		rd.in[i] = newBitset(n)
+		out[i] = newBitset(n)
+	}
+
+	// transfer applies block b's defs to state (in place).
+	transfer := func(b *Block, state bitset) {
+		for _, d := range rd.defs {
+			if d.blk != b.Index {
+				continue
+			}
+			// Defs are appended in (block, pos) order, so iterating the
+			// full def list in order applies them in execution order.
+			for _, other := range rd.byVar[d.v] {
+				state.clear(other)
+			}
+			state.set(d.id)
+		}
+	}
+
+	// Seed entry with parameter defs.
+	for _, d := range rd.defs {
+		if d.pos == -1 {
+			rd.in[cfg.Entry.Index].set(d.id)
+		}
+	}
+
+	// Worklist to fixpoint.
+	work := make([]*Block, len(cfg.Blocks))
+	copy(work, cfg.Blocks)
+	inWork := make([]bool, len(cfg.Blocks))
+	for i := range inWork {
+		inWork[i] = true
+	}
+	scratch := newBitset(n)
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+		scratch.copyFrom(rd.in[b.Index])
+		transfer(b, scratch)
+		if !outEqual(out[b.Index], scratch) {
+			out[b.Index].copyFrom(scratch)
+			for _, s := range b.Succs {
+				if rd.in[s.Index].orInto(out[b.Index]) && !inWork[s.Index] {
+					inWork[s.Index] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return rd
+}
+
+func outEqual(a, b bitset) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DefsAt returns the definition statements of v that may reach the
+// given statement-level node (a node placed on the CFG). The defining
+// statement for parameter/entry defs is the function node itself. A nil
+// result means no def reaches (v is not a tracked local, or the node is
+// not on the graph).
+func (rd *ReachDefs) DefsAt(at ast.Node, v *types.Var) []ast.Node {
+	blk, pos := rd.cfg.BlockOf(at)
+	if blk == nil {
+		return nil
+	}
+	state := newBitset(len(rd.defs))
+	state.copyFrom(rd.in[blk.Index])
+	// Apply in-block defs strictly before the queried node.
+	for _, d := range rd.defs {
+		if d.blk != blk.Index || d.pos < 0 || d.pos >= pos {
+			continue
+		}
+		for _, other := range rd.byVar[d.v] {
+			state.clear(other)
+		}
+		state.set(d.id)
+	}
+	var nodes []ast.Node
+	for _, id := range rd.byVar[v] {
+		if state.has(id) {
+			nodes = append(nodes, rd.defs[id].node)
+		}
+	}
+	return nodes
+}
+
+// DefNodes returns every definition statement recorded for v, in
+// program order. Rules use it to enumerate a variable's write sites
+// without re-walking the AST.
+func (rd *ReachDefs) DefNodes(v *types.Var) []ast.Node {
+	var nodes []ast.Node
+	for _, id := range rd.byVar[v] {
+		nodes = append(nodes, rd.defs[id].node)
+	}
+	return nodes
+}
+
+// Vars lists the variables with at least one tracked definition, in
+// declaration-position order (deterministic).
+func (rd *ReachDefs) Vars() []*types.Var {
+	vars := make([]*types.Var, 0, len(rd.byVar))
+	for v := range rd.byVar {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+	return vars
+}

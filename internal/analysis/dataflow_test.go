@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkFunc parses and type-checks a file containing one function and
+// returns the func decl, its CFG+reaching-defs solution, and the
+// type info.
+func checkFunc(t *testing.T, src string) (*ast.FuncDecl, *ReachDefs, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "dftest.go", "package p\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Types: map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	var fn *ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fn == nil {
+			fn = fd
+		}
+	}
+	if fn == nil {
+		t.Fatal("no function")
+	}
+	cfg := buildCFG(fn)
+	return fn, reachingDefs(cfg, info), info
+}
+
+// varNamed finds the unique *types.Var with the given name in info.Defs.
+func varNamed(t *testing.T, info *types.Info, name string) *types.Var {
+	t.Helper()
+	var found *types.Var
+	for id, obj := range info.Defs {
+		if id.Name != name {
+			continue
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if found != nil {
+				t.Fatalf("multiple vars named %q", name)
+			}
+			found = v
+		}
+	}
+	if found == nil {
+		t.Fatalf("no var named %q", name)
+	}
+	return found
+}
+
+// returnStmt finds the n-th (0-based) return statement in fn.
+func returnStmt(t *testing.T, fn ast.Node, n int) *ast.ReturnStmt {
+	t.Helper()
+	var ret *ast.ReturnStmt
+	i := 0
+	ast.Inspect(fn, func(node ast.Node) bool {
+		if r, ok := node.(*ast.ReturnStmt); ok {
+			if i == n {
+				ret = r
+			}
+			i++
+		}
+		return true
+	})
+	if ret == nil {
+		t.Fatalf("return #%d not found", n)
+	}
+	return ret
+}
+
+func TestReachDefsKill(t *testing.T) {
+	fn, rd, info := checkFunc(t, `func f() int {
+	x := 1
+	x = 2
+	return x
+}`)
+	x := varNamed(t, info, "x")
+	defs := rd.DefsAt(returnStmt(t, fn, 0), x)
+	if len(defs) != 1 {
+		t.Fatalf("defs reaching return = %d, want 1 (x=2 kills x:=1)", len(defs))
+	}
+	as, ok := defs[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN {
+		t.Fatalf("surviving def should be the plain assignment, got %T", defs[0])
+	}
+}
+
+func TestReachDefsBranchMerge(t *testing.T) {
+	fn, rd, info := checkFunc(t, `func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}`)
+	x := varNamed(t, info, "x")
+	defs := rd.DefsAt(returnStmt(t, fn, 0), x)
+	if len(defs) != 2 {
+		t.Fatalf("defs reaching return = %d, want 2 (both branches merge)", len(defs))
+	}
+}
+
+func TestReachDefsBothBranchesKill(t *testing.T) {
+	fn, rd, info := checkFunc(t, `func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}`)
+	x := varNamed(t, info, "x")
+	defs := rd.DefsAt(returnStmt(t, fn, 0), x)
+	if len(defs) != 2 {
+		t.Fatalf("defs = %d, want 2 (x=2, x=3; x:=1 killed on both paths)", len(defs))
+	}
+	for _, d := range defs {
+		if as, ok := d.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+			t.Fatal("x := 1 must be killed by both branches")
+		}
+	}
+}
+
+func TestReachDefsLoopBackEdge(t *testing.T) {
+	fn, rd, info := checkFunc(t, `func f(n int) int {
+	x := 0
+	for i := 0; i < n; i++ {
+		x = x + i
+	}
+	return x
+}`)
+	x := varNamed(t, info, "x")
+	// At the return, both the initial x := 0 (zero-iteration path) and
+	// the loop-body x = x+i (back edge) may reach.
+	defs := rd.DefsAt(returnStmt(t, fn, 0), x)
+	if len(defs) != 2 {
+		t.Fatalf("defs = %d, want 2 (init + loop body via back edge)", len(defs))
+	}
+}
+
+func TestReachDefsParamsAtEntry(t *testing.T) {
+	fn, rd, info := checkFunc(t, `func f(a int) int {
+	return a
+}`)
+	a := varNamed(t, info, "a")
+	defs := rd.DefsAt(returnStmt(t, fn, 0), a)
+	if len(defs) != 1 {
+		t.Fatalf("defs = %d, want 1 (parameter entry def)", len(defs))
+	}
+	if defs[0] != fn {
+		t.Fatalf("parameter def node = %T, want the FuncDecl itself", defs[0])
+	}
+}
+
+func TestReachDefsParamShadowedByAssign(t *testing.T) {
+	fn, rd, info := checkFunc(t, `func f(a int) int {
+	a = 7
+	return a
+}`)
+	a := varNamed(t, info, "a")
+	defs := rd.DefsAt(returnStmt(t, fn, 0), a)
+	if len(defs) != 1 {
+		t.Fatalf("defs = %d, want 1 (assignment kills entry def)", len(defs))
+	}
+	if defs[0] == fn {
+		t.Fatal("entry def must be killed by the assignment")
+	}
+}
+
+func TestReachDefsRangeBinding(t *testing.T) {
+	fn, rd, info := checkFunc(t, `func f(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total = total + v
+	}
+	return total
+}`)
+	v := varNamed(t, info, "v")
+	// Inside the loop body, the only def of v is the range statement.
+	var bodyAssign *ast.AssignStmt
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+			bodyAssign = as
+		}
+		return true
+	})
+	defs := rd.DefsAt(bodyAssign, v)
+	if len(defs) != 1 {
+		t.Fatalf("defs of range value var = %d, want 1", len(defs))
+	}
+	if _, ok := defs[0].(*ast.RangeStmt); !ok {
+		t.Fatalf("def node = %T, want *ast.RangeStmt", defs[0])
+	}
+}
+
+func TestReachDefsInBlockOrder(t *testing.T) {
+	// Within one basic block, a def after the queried node must not
+	// reach it.
+	fn, rd, info := checkFunc(t, `func f() int {
+	x := 1
+	y := x
+	x = 2
+	return y
+}`)
+	x := varNamed(t, info, "x")
+	var yDecl *ast.AssignStmt
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "y" {
+				yDecl = as
+			}
+		}
+		return true
+	})
+	defs := rd.DefsAt(yDecl, x)
+	if len(defs) != 1 {
+		t.Fatalf("defs of x at y := x: %d, want 1", len(defs))
+	}
+	if as, ok := defs[0].(*ast.AssignStmt); !ok || as.Tok != token.DEFINE {
+		t.Fatalf("x := 1 should be the reaching def, got %T", defs[0])
+	}
+}
+
+func TestReachDefsVarDecl(t *testing.T) {
+	fn, rd, info := checkFunc(t, `func f() int {
+	var x int
+	return x
+}`)
+	x := varNamed(t, info, "x")
+	defs := rd.DefsAt(returnStmt(t, fn, 0), x)
+	if len(defs) != 1 {
+		t.Fatalf("defs = %d, want 1 (var decl)", len(defs))
+	}
+	if _, ok := defs[0].(*ast.DeclStmt); !ok {
+		t.Fatalf("def node = %T, want *ast.DeclStmt", defs[0])
+	}
+}
+
+func TestReachDefsDefNodesAndVars(t *testing.T) {
+	_, rd, info := checkFunc(t, `func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}`)
+	x := varNamed(t, info, "x")
+	if got := len(rd.DefNodes(x)); got != 2 {
+		t.Fatalf("DefNodes(x) = %d, want 2", got)
+	}
+	names := map[string]bool{}
+	for _, v := range rd.Vars() {
+		names[v.Name()] = true
+	}
+	if !names["x"] || !names["c"] {
+		t.Fatalf("Vars() missing tracked variables: %v", names)
+	}
+}
+
+func TestReachDefsFuncLitIsolated(t *testing.T) {
+	// An assignment inside a nested closure must not register as a def
+	// of the outer variable on the outer function's solution.
+	fn, rd, info := checkFunc(t, `func f() int {
+	x := 1
+	g := func() { x = 2 }
+	g()
+	return x
+}`)
+	x := varNamed(t, info, "x")
+	defs := rd.DefsAt(returnStmt(t, fn, 0), x)
+	if len(defs) != 1 {
+		t.Fatalf("defs = %d, want 1 (closure write not tracked on outer CFG)", len(defs))
+	}
+	_ = fn
+}
+
+func TestReachDefsIncDec(t *testing.T) {
+	fn, rd, info := checkFunc(t, `func f() int {
+	x := 1
+	x++
+	return x
+}`)
+	x := varNamed(t, info, "x")
+	defs := rd.DefsAt(returnStmt(t, fn, 0), x)
+	if len(defs) != 1 {
+		t.Fatalf("defs = %d, want 1 (x++ kills x := 1)", len(defs))
+	}
+	if _, ok := defs[0].(*ast.IncDecStmt); !ok {
+		t.Fatalf("def node = %T, want *ast.IncDecStmt", defs[0])
+	}
+}

@@ -3,7 +3,9 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -58,6 +60,51 @@ func TestSuppressions(t *testing.T) {
 		if !found {
 			t.Errorf("no suppression finding containing %q in %v", want, messages)
 		}
+	}
+}
+
+// The multi-rule directive edges: naming several rules suppresses only
+// the named ones (a second rule's finding on the same line survives a
+// directive that doesn't name it), and each named rule that silenced
+// nothing is reported stale individually — a sibling rule firing on
+// the same directive no longer vouches for the stale name.
+func TestSuppressionsMultiRule(t *testing.T) {
+	loader := testLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "suppress_multi"), "leodivide/lintest/suppressmulti")
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, a := range DefaultAnalyzers() {
+		known[a.Name] = true
+	}
+	diags := RunPackage(pkg, loader, []*Analyzer{Detrand, Floatcmp})
+	sups := collectSuppressions(pkg, loader.Fset, known, func(d Diagnostic) {
+		diags = append(diags, d)
+	})
+	got := applySuppressions(diags, sups, map[string]bool{"detrand": true, "floatcmp": true}, loader.Fset)
+
+	var survivors, suppressionFindings []Diagnostic
+	for _, d := range got {
+		if d.Rule == "suppression" {
+			suppressionFindings = append(suppressionFindings, d)
+		} else {
+			survivors = append(survivors, d)
+		}
+	}
+	// mixed(): the directive names only floatcmp, so the detrand
+	// finding on the same line must survive.
+	if len(survivors) != 1 || survivors[0].Rule != "detrand" {
+		t.Fatalf("want exactly the unnamed detrand finding to survive, got %v", survivors)
+	}
+	// now(): detrand fired and is used; floatcmp silenced nothing and
+	// must be reported stale by name — and only it.
+	if len(suppressionFindings) != 1 {
+		t.Fatalf("want exactly 1 stale-suppression finding, got %v", suppressionFindings)
+	}
+	msg := suppressionFindings[0].Message
+	if !strings.Contains(msg, "unused lint:ignore for floatcmp") || strings.Contains(msg, "detrand") {
+		t.Fatalf("stale report must name floatcmp alone, got %q", msg)
 	}
 }
 
@@ -149,13 +196,15 @@ func TestSelect(t *testing.T) {
 
 func TestWriteJSONSchema(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteJSON(&buf, nil); err != nil {
+	if err := WriteJSON(&buf, nil, DefaultAnalyzers(), Stats{Suppressions: 4}); err != nil {
 		t.Fatal(err)
 	}
 	var rep struct {
-		Schema      string       `json:"schema"`
-		Diagnostics []Diagnostic `json:"diagnostics"`
-		Count       int          `json:"count"`
+		Schema       string       `json:"schema"`
+		Rules        []RuleInfo   `json:"rules"`
+		Diagnostics  []Diagnostic `json:"diagnostics"`
+		Count        int          `json:"count"`
+		Suppressions int          `json:"suppressions"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatal(err)
@@ -166,10 +215,26 @@ func TestWriteJSONSchema(t *testing.T) {
 	if !strings.Contains(buf.String(), `"diagnostics": []`) {
 		t.Fatalf("empty diagnostics must serialize as [], not null: %s", buf.String())
 	}
+	if rep.Suppressions != 4 {
+		t.Fatalf("suppressions = %d; want the Stats value 4", rep.Suppressions)
+	}
+	if len(rep.Rules) != len(DefaultAnalyzers()) {
+		t.Fatalf("rules list has %d entries; want %d", len(rep.Rules), len(DefaultAnalyzers()))
+	}
+	engines := map[string]string{}
+	for _, r := range rep.Rules {
+		if r.Engine != EngineSyntax && r.Engine != EngineDataflow {
+			t.Fatalf("rule %s reports engine %q; want %q or %q", r.Name, r.Engine, EngineSyntax, EngineDataflow)
+		}
+		engines[r.Name] = r.Engine
+	}
+	if engines["detrand"] != EngineSyntax || engines["lockbalance"] != EngineDataflow {
+		t.Fatalf("engine column wrong: detrand=%q lockbalance=%q", engines["detrand"], engines["lockbalance"])
+	}
 
 	buf.Reset()
 	d := Diagnostic{File: "x.go", Line: 3, Col: 7, Rule: "detrand", Message: "m"}
-	if err := WriteJSON(&buf, []Diagnostic{d}); err != nil {
+	if err := WriteJSON(&buf, []Diagnostic{d}, nil, Stats{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
@@ -180,10 +245,12 @@ func TestWriteJSONSchema(t *testing.T) {
 	}
 }
 
-// TestModuleLintClean is the bitrot gate: the full rule suite must run
-// clean over the module itself, inside `go test`, so a reintroduced
-// violation (or a deleted-but-needed suppression, or a stale one)
-// fails CI even if nobody runs `make lint`.
+// TestModuleLintClean is the bitrot gate: the full v2 rule suite —
+// syntax and dataflow engines both — must run clean over the module
+// itself, inside `go test`, so a reintroduced violation (or a
+// deleted-but-needed suppression, or a stale one) fails CI even if
+// nobody runs `make lint`. It also holds the suppression count to the
+// committed LINT_SUPPRESSIONS budget, mirroring `make lint-ratchet`.
 func TestModuleLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
@@ -192,11 +259,42 @@ func TestModuleLintClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := Run(moduleDir, []string{"./..."}, DefaultAnalyzers())
+	analyzers := DefaultAnalyzers()
+	if len(analyzers) != 9 {
+		t.Fatalf("default suite has %d rules, want the nine-rule v2 catalog", len(analyzers))
+	}
+	dataflow := 0
+	for _, a := range analyzers {
+		if a.Engine == EngineDataflow {
+			dataflow++
+		}
+	}
+	if dataflow < 4 {
+		t.Fatalf("only %d dataflow-engine rules registered, want at least lockbalance/waitbalance/goroutinecapture/maptaint", dataflow)
+	}
+	diags, stats, err := RunWithStats(moduleDir, []string{"./..."}, analyzers)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range diags {
 		t.Errorf("lint finding: %s", d)
+	}
+	raw, err := os.ReadFile(filepath.Join(moduleDir, "LINT_SUPPRESSIONS"))
+	if err != nil {
+		t.Fatalf("reading the committed suppression budget: %v", err)
+	}
+	budget := -1
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if budget, err = strconv.Atoi(line); err != nil {
+			t.Fatalf("LINT_SUPPRESSIONS: bad budget line %q: %v", line, err)
+		}
+		break
+	}
+	if stats.Suppressions != budget {
+		t.Errorf("module has %d //lint:ignore directives, LINT_SUPPRESSIONS says %d; keep the ratchet exact — fix the finding or spend the budget down in the same change", stats.Suppressions, budget)
 	}
 }

@@ -34,6 +34,7 @@ func floatcmpRun(p *Pass) {
 		return
 	}
 	for _, f := range p.Files {
+		comparators := sortComparators(p, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.BinaryExpr:
@@ -46,6 +47,19 @@ func floatcmpRun(p *Pass) {
 				if floatcmpAllowed(p, n) {
 					return true
 				}
+				inComparator := false
+				for _, lit := range comparators {
+					if within(n.Pos(), lit) {
+						inComparator = true
+					}
+				}
+				if inComparator {
+					// Exact float equality inside a sort comparator is a
+					// tie-break between already-computed values: given the
+					// same inputs it orders identically on every run, so
+					// it is deterministic by construction.
+					return true
+				}
 				p.Reportf(n.Pos(), "exact %s on float operands; compare with a tolerance (internal/testutil) or restructure — float identity is not reproducible arithmetic", n.Op)
 			case *ast.SwitchStmt:
 				if n.Tag != nil && isFloat(p.Info.TypeOf(n.Tag)) {
@@ -55,6 +69,48 @@ func floatcmpRun(p *Pass) {
 			return true
 		})
 	}
+}
+
+// sortComparatorFuncs are the ordering entry points whose comparator
+// closures may compare floats exactly (deterministic tie-breaking).
+var sortComparatorFuncs = map[string]map[string]bool{
+	"sort":   {"Slice": true, "SliceStable": true, "SliceIsSorted": true, "Search": true},
+	"slices": {"SortFunc": true, "SortStableFunc": true, "IsSortedFunc": true, "BinarySearchFunc": true},
+}
+
+// sortComparators collects the function literals passed as comparators
+// to sort.*/slices.* ordering calls in one file.
+func sortComparators(p *Pass, f *ast.File) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		byPkg, ok := sortComparatorFuncs[pn.Imported().Path()]
+		if !ok || !byPkg[sel.Sel.Name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+			}
+		}
+		return true
+	})
+	return lits
 }
 
 func floatcmpAllowed(p *Pass, e *ast.BinaryExpr) bool {

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Goroutinecapture targets the capture bugs that produce
+// scheduling-dependent results — exactly the shape of the PR 1
+// stateOfFIPS race, where concurrent map writes from pooled workers
+// made a "deterministic" experiment return different bytes run to run.
+//
+// Two clauses:
+//
+//  1. A concurrently-executed closure — the body of a `go` statement,
+//     or a closure passed to internal/par's pooled executors — that
+//     writes a variable captured from the enclosing function: a plain
+//     assignment or ++/-- to a captured local/global, or a store into a
+//     captured map. Writes that sit between a mu.Lock() and its
+//     matching mu.Unlock() inside the closure are exempt, as are stores
+//     into captured slices (the engine's sanctioned result pattern is
+//     `out[i] = v` with a per-task index — disjoint slots are safe).
+//     The check looks through the closure's whole subtree, but it does
+//     not follow calls: a write hidden behind a helper function the
+//     closure invokes is a known completeness hole (DESIGN §16).
+//  2. A `go` or deferred closure inside a loop that references the loop
+//     variable instead of receiving it as an argument. Per-iteration
+//     loop variables (go.mod says go >= 1.22) make this
+//     correctness-neutral today, but the explicit argument keeps the
+//     data dependency visible and the code safe under older toolchain
+//     semantics; the repo standardizes on it.
+var Goroutinecapture = &Analyzer{
+	Name: "goroutinecapture",
+	Doc: "concurrently-executed closures (go statements, internal/par workers) writing captured " +
+		"variables without holding a lock, and go/defer closures capturing loop variables " +
+		"instead of taking them as arguments",
+	Engine: EngineDataflow,
+	Run:    goroutinecaptureRun,
+}
+
+func goroutinecaptureRun(p *Pass) {
+	for _, f := range p.Files {
+		// Loop stack: innermost-last loop statements enclosing the node
+		// being visited, tracked to resolve clause 2.
+		var loops []ast.Stmt
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, n.(ast.Stmt))
+				for _, c := range childStmts(n) {
+					ast.Inspect(c, walk)
+				}
+				loops = loops[:len(loops)-1]
+				return false
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					goroutinecaptureWrites(p, lit, "go statement")
+					goroutinecaptureLoopVars(p, lit, loops, "go statement")
+				}
+				return true
+			case *ast.DeferStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					goroutinecaptureLoopVars(p, lit, loops, "deferred closure")
+				}
+				return true
+			case *ast.CallExpr:
+				if name, ok := parExecutorCall(p, n); ok {
+					for _, arg := range n.Args {
+						if lit, ok := arg.(*ast.FuncLit); ok {
+							goroutinecaptureWrites(p, lit, "par."+name+" worker")
+						}
+					}
+				}
+				return true
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+}
+
+// childStmts returns the sub-nodes of a loop statement that the manual
+// walk must descend into (header expressions and the body).
+func childStmts(n ast.Node) []ast.Node {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		var out []ast.Node
+		if n.Init != nil {
+			out = append(out, n.Init)
+		}
+		if n.Cond != nil {
+			out = append(out, n.Cond)
+		}
+		if n.Post != nil {
+			out = append(out, n.Post)
+		}
+		return append(out, n.Body)
+	case *ast.RangeStmt:
+		return []ast.Node{n.X, n.Body}
+	}
+	return nil
+}
+
+// parExecutorCall reports whether call invokes a function from the
+// module's internal/par package (the pooled executors ForEach/Map/...),
+// returning the function name.
+func parExecutorCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok || !strings.HasSuffix(pn.Imported().Path(), "internal/par") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// lockInterval is a textual Lock..Unlock span inside one closure; a
+// write positionally inside a span is treated as lock-protected.
+type lockInterval struct {
+	from, to token.Pos
+}
+
+// lockIntervals scans the closure subtree for sync Lock/RLock calls
+// and pairs each with the next Unlock/RUnlock on the same receiver
+// expression (or the closure end when none follows, covering the
+// Lock-then-defer-Unlock idiom).
+func lockIntervals(p *Pass, lit *ast.FuncLit) []lockInterval {
+	type acquire struct {
+		recv string
+		pos  token.Pos
+	}
+	var opens []acquire
+	var spans []lockInterval
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, method, ok := syncCallMethod(p, call)
+		if !ok {
+			return true
+		}
+		switch method {
+		case "Lock", "RLock":
+			opens = append(opens, acquire{recv: recv, pos: call.Pos()})
+		case "Unlock", "RUnlock":
+			for i := len(opens) - 1; i >= 0; i-- {
+				if opens[i].recv == recv {
+					spans = append(spans, lockInterval{from: opens[i].pos, to: call.Pos()})
+					opens = append(opens[:i], opens[i+1:]...)
+					break
+				}
+			}
+		}
+		return true
+	})
+	for _, o := range opens {
+		spans = append(spans, lockInterval{from: o.pos, to: lit.End()})
+	}
+	return spans
+}
+
+// goroutinecaptureWrites flags writes to captured variables inside a
+// concurrently-executed closure (clause 1).
+func goroutinecaptureWrites(p *Pass, lit *ast.FuncLit, how string) {
+	locked := lockIntervals(p, lit)
+	underLock := func(pos token.Pos) bool {
+		for _, s := range locked {
+			if pos >= s.from && pos <= s.to {
+				return true
+			}
+		}
+		return false
+	}
+	captured := func(e ast.Expr) *types.Var {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		v, ok := p.Info.ObjectOf(id).(*types.Var)
+		if !ok || within(v.Pos(), lit) {
+			return nil
+		}
+		return v
+	}
+	checkWrite := func(lhs ast.Expr, pos token.Pos) {
+		if underLock(pos) {
+			return
+		}
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if v := captured(l); v != nil {
+				p.Reportf(pos, "%s writes captured variable %s without synchronization; the write races other workers — protect it with a mutex or return the value through a per-task slot", how, v.Name())
+			}
+		case *ast.IndexExpr:
+			base, ok := l.X.(*ast.Ident)
+			if !ok {
+				return
+			}
+			v := captured(base)
+			if v == nil {
+				return
+			}
+			if _, isMap := v.Type().Underlying().(*types.Map); isMap {
+				p.Reportf(pos, "%s writes captured map %s without synchronization; concurrent map writes crash and land in random order — lock around the write or merge per-worker maps afterward", how, v.Name())
+			}
+			// Captured-slice stores are the engine's sanctioned
+			// disjoint-slot result pattern; left to the race detector.
+		}
+	}
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				checkWrite(lhs, s.Pos())
+			}
+		case *ast.IncDecStmt:
+			checkWrite(s.X, s.Pos())
+		}
+		return true
+	})
+}
+
+// goroutinecaptureLoopVars flags closures referencing an enclosing
+// loop's iteration variables (clause 2).
+func goroutinecaptureLoopVars(p *Pass, lit *ast.FuncLit, loops []ast.Stmt, how string) {
+	if len(loops) == 0 {
+		return
+	}
+	loopVars := map[*types.Var]bool{}
+	addDefIdent := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if v, ok := p.Info.Defs[id].(*types.Var); ok {
+				loopVars[v] = true
+			}
+		}
+	}
+	for _, l := range loops {
+		switch l := l.(type) {
+		case *ast.RangeStmt:
+			addDefIdent(l.Key)
+			addDefIdent(l.Value)
+		case *ast.ForStmt:
+			if init, ok := l.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					addDefIdent(lhs)
+				}
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return
+	}
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || !loopVars[v] || seen[v] {
+			return true
+		}
+		seen[v] = true
+		p.Reportf(id.Pos(), "%s captures loop variable %s; pass it as an argument so the iteration value the closure sees is explicit", how, v.Name())
+		return true
+	})
+}

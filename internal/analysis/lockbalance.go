@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Lockbalance is the first CFG-backed rule: a sync.Mutex / sync.RWMutex
+// acquisition that some path to the function's exit never releases —
+// an early return between Lock and Unlock, an error path that skips the
+// release, a panic statement with no deferred Unlock. The experiments
+// survive a leaked lock only until the next query wants the same memo
+// shard; under `leodivide serve` that is a wedged process, not a slow
+// one.
+//
+// The check is per function: a Lock whose matching release happens in a
+// different function (a helper that receives the mutex, an unlock
+// method) is reported — the repo's own locking is deliberately local,
+// and cross-function protocols are exactly what review should see. Any
+// deferred release of the same lock expression (direct `defer
+// mu.Unlock()` or inside a deferred closure) balances every path; the
+// rule does not check that the defer itself is reached first, trading
+// that completeness for zero false positives on the guard-then-defer
+// idiom.
+var Lockbalance = &Analyzer{
+	Name: "lockbalance",
+	Doc: "sync.Mutex/RWMutex Lock (or RLock) not released on every control-flow path to the " +
+		"function exit — early returns, error paths, and panics without a deferred Unlock",
+	Engine: EngineDataflow,
+	Run:    lockbalanceRun,
+}
+
+// syncCallMethod returns the receiver expression string and method name
+// when call is a selector call bound to a method declared in package
+// sync (Lock, Unlock, RLock, RUnlock, Add, Done, Wait, ...). The
+// receiver string keys "which lock/group" — two spellings of the same
+// path (m.mu) compare equal, distinct locks compare different.
+func syncCallMethod(p *Pass, call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj := p.Info.ObjectOf(sel.Sel)
+	fn, isFn := obj.(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+// lockAcquire maps acquisition methods to their paired release.
+var lockAcquire = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+func lockbalanceRun(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				lockbalanceFunc(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// stmtCallsSync reports whether the statement node n is an expression
+// statement calling recv.method for a sync-package method.
+func stmtCallsSync(p *Pass, n ast.Node, recv, method string) bool {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	r, m, ok := syncCallMethod(p, call)
+	return ok && r == recv && m == method
+}
+
+// deferredSyncCalls collects "recv\x00method" keys for every sync
+// method call appearing under a defer statement in the CFG — directly
+// (`defer mu.Unlock()`) or inside a deferred closure.
+func deferredSyncCalls(p *Pass, cfg *CFG) map[[2]string]bool {
+	out := map[[2]string]bool{}
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			d, ok := n.(*ast.DeferStmt)
+			if !ok {
+				continue
+			}
+			ast.Inspect(d, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if r, m, ok := syncCallMethod(p, call); ok {
+						out[[2]string{r, m}] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func lockbalanceFunc(p *Pass, fn ast.Node) {
+	cfg := p.CFG(fn)
+	deferred := deferredSyncCalls(p, cfg)
+	for _, blk := range cfg.Blocks {
+		for pos, n := range blk.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			recv, method, ok := syncCallMethod(p, call)
+			if !ok {
+				continue
+			}
+			release, isAcquire := lockAcquire[method]
+			if !isAcquire {
+				continue
+			}
+			if deferred[[2]string{recv, release}] {
+				continue // a deferred release covers every exit
+			}
+			// Released later in the same straight-line block?
+			released := false
+			for _, later := range blk.Nodes[pos+1:] {
+				if stmtCallsSync(p, later, recv, release) {
+					released = true
+					break
+				}
+			}
+			if released {
+				continue
+			}
+			// Some path from here to exit that never passes a block
+			// containing the release?
+			leak := cfg.PathExistsAvoiding(blk.Succs, cfg.Exit, func(b *Block) bool {
+				for _, bn := range b.Nodes {
+					if stmtCallsSync(p, bn, recv, release) {
+						return true
+					}
+				}
+				return false
+			})
+			if leak {
+				p.Reportf(call.Pos(), "%s.%s is not matched by %s.%s on every path to the function exit; release before each return/panic or `defer %s.%s()`",
+					recv, method, recv, release, recv, release)
+			}
+		}
+	}
+}

@@ -1,0 +1,375 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maptaint is the dataflow upgrade of maporder: instead of flagging
+// syntactic shapes inside a map range, it tracks which values are
+// *derived* from the iteration — the key and value variables, and
+// anything assigned from them through locals — using the per-function
+// reaching-definitions solution, and flags the derived flows whose
+// result depends on iteration order:
+//
+//   - order-dependent accumulation: `x += t`, `x -= t`, `x *= t`, or
+//     `x = x + t` into a float or string declared outside the loop,
+//     where t is iteration-derived. Float rounding and string
+//     concatenation both bake the (random) order into the value;
+//     integer sums are order-independent and stay quiet, as does adding
+//     a loop-invariant amount per entry.
+//   - last-writer-wins overwrites: a plain unguarded `x = t` of an
+//     iteration-derived value into an outer variable — the final value
+//     is whichever entry the runtime happened to visit last.
+//   - order-dependent selection: a guarded `x = t` (argmax/argmin
+//     shapes) whose guard compares only iteration *values*, with no
+//     deterministic key tie-break. `if n > best { county, best = f, n }`
+//     picks a random county among ties; adding `|| (n == best && f <
+//     county)` makes it deterministic and makes the rule pass, as does
+//     assigning only the compared quantity itself (a pure max).
+//
+// Taint is tracked per (definition, variable), so a multi-assignment
+// taints each target with its own source: after `county, best = f, n`,
+// county carries key-taint and best carries value-taint only — which is
+// exactly what makes the tie-break test sound. Bucketed writes keyed by
+// the iteration key (`m[k] = ...`) are order-independent and never
+// flagged. maporder keeps the syntactic clauses (appends and in-loop
+// output); this rule owns everything that needs taint to decide.
+var Maptaint = &Analyzer{
+	Name: "maptaint",
+	Doc: "values derived from map iteration (through locals and accumulators) flowing into " +
+		"order-dependent sinks: float/string accumulation, last-writer-wins overwrites, and " +
+		"guarded selections with no key tie-break",
+	Engine: EngineDataflow,
+	Run:    maptaintRun,
+}
+
+func maptaintRun(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				maptaintFunc(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// taint classifies how a value derives from the iteration.
+type taint struct {
+	// key: derived from the range key variable — usable as a
+	// deterministic tie-break.
+	key bool
+	// any: derived from the key or the value.
+	any bool
+}
+
+func (t taint) or(o taint) taint { return taint{key: t.key || o.key, any: t.any || o.any} }
+
+func maptaintFunc(p *Pass, fn ast.Node) {
+	cfg := p.CFG(fn)
+	// Map-range statements on this function's own CFG (nested closures
+	// build their own graphs and are visited separately).
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				continue
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				maptaintLoop(p, fn, cfg, rs)
+			}
+		}
+	}
+}
+
+// defVar resolves an identifier (in defining or using position) to its
+// variable.
+func defVar(p *Pass, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := p.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := p.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// loopTaint is the taint state for one map-range loop: per (definition
+// node, variable) classification, plus the solver inputs.
+type loopTaint struct {
+	p    *Pass
+	rd   *ReachDefs
+	defs map[ast.Node]map[*types.Var]taint
+}
+
+// varAt returns the taint of v at CFG node n: the union over the
+// tainted definitions of v reaching n.
+func (lt *loopTaint) varAt(n ast.Node, v *types.Var) taint {
+	var tt taint
+	if v == nil {
+		return tt
+	}
+	for _, def := range lt.rd.DefsAt(n, v) {
+		tt = tt.or(lt.defs[def][v])
+	}
+	return tt
+}
+
+// exprAt returns the union taint over the identifiers expr uses (not
+// entering nested closures), evaluated at CFG node n.
+func (lt *loopTaint) exprAt(n ast.Node, expr ast.Expr) taint {
+	var tt taint
+	inspectShallow(expr, func(x ast.Node) {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if v, ok := lt.p.Info.Uses[id].(*types.Var); ok {
+			tt = tt.or(lt.varAt(n, v))
+		}
+	})
+	return tt
+}
+
+func (lt *loopTaint) mark(n ast.Node, v *types.Var, tt taint) (changed bool) {
+	if v == nil || !tt.any {
+		return false
+	}
+	m := lt.defs[n]
+	if m == nil {
+		m = map[*types.Var]taint{}
+		lt.defs[n] = m
+	}
+	old := m[v]
+	merged := old.or(tt)
+	m[v] = merged
+	return merged != old
+}
+
+func maptaintLoop(p *Pass, fn ast.Node, cfg *CFG, rs *ast.RangeStmt) {
+	lt := &loopTaint{p: p, rd: p.Reaching(fn), defs: map[ast.Node]map[*types.Var]taint{}}
+
+	// Seed: the range statement defines the key (key-taint) and the
+	// value (value-taint) on every iteration.
+	lt.mark(rs, defVar(p, rs.Key), taint{key: true, any: true})
+	lt.mark(rs, defVar(p, rs.Value), taint{any: true})
+
+	inBody := func(n ast.Node) bool {
+		return n.Pos() >= rs.Body.Pos() && n.End() <= rs.Body.End()
+	}
+
+	// The loop body's assignment-like CFG nodes, in block order.
+	var bodyAssigns []ast.Node
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			switch n.(type) {
+			case *ast.AssignStmt, *ast.IncDecStmt:
+				if inBody(n) {
+					bodyAssigns = append(bodyAssigns, n)
+				}
+			}
+		}
+	}
+
+	// Propagate to a fixpoint: each assignment taints each of its
+	// targets with its own right-hand side's taint (pairwise when the
+	// counts line up; the whole RHS for tuple-returning forms). op= and
+	// ++/-- also read their target.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range bodyAssigns {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					v := defVar(p, lhs)
+					if v == nil {
+						continue
+					}
+					var tt taint
+					if len(s.Rhs) == len(s.Lhs) {
+						tt = lt.exprAt(n, s.Rhs[i])
+					} else {
+						for _, rhs := range s.Rhs {
+							tt = tt.or(lt.exprAt(n, rhs))
+						}
+					}
+					if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+						tt = tt.or(lt.varAt(n, v)) // x op= t reads x too
+					}
+					if lt.mark(n, v, tt) {
+						changed = true
+					}
+				}
+			case *ast.IncDecStmt:
+				v := defVar(p, s.X)
+				if lt.mark(n, v, lt.varAt(n, v)) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, n := range bodyAssigns {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			maptaintAssign(p, rs, as, lt)
+		}
+		// ++/-- on an outer counter is an order-independent count.
+	}
+}
+
+// outerVar resolves lhs to a variable declared outside the range loop,
+// or nil (loop-local scratch and non-ident targets are not sinks; a
+// bucketed `m[k] = ...` write has an index LHS and lands here as nil).
+func outerVar(p *Pass, rs *ast.RangeStmt, lhs ast.Expr) *types.Var {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	v, ok := p.Info.ObjectOf(id).(*types.Var)
+	if !ok || within(v.Pos(), rs) {
+		return nil
+	}
+	return v
+}
+
+// isOrderSensitiveType: accumulating floats is order-dependent through
+// rounding; concatenating strings through position. Integer + is
+// associative and commutative, so int accumulators stay quiet.
+func isOrderSensitiveType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex|types.IsString) != 0
+}
+
+// selfRef reports whether expr mentions v outside nested closures
+// (`x = x + t` accumulation spelled without op=).
+func selfRef(p *Pass, expr ast.Expr, v *types.Var) bool {
+	found := false
+	inspectShallow(expr, func(x ast.Node) {
+		if id, ok := x.(*ast.Ident); ok && p.Info.ObjectOf(id) == v {
+			found = true
+		}
+	})
+	return found
+}
+
+// guardOf returns the innermost if statement inside the loop body whose
+// arms contain the assignment, or nil for an unguarded one.
+func guardOf(rs *ast.RangeStmt, as *ast.AssignStmt) *ast.IfStmt {
+	var innermost *ast.IfStmt
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if as.Pos() >= ifs.Body.Pos() && as.End() <= ifs.End() {
+			innermost = ifs // keep descending; deeper ifs overwrite
+		}
+		return true
+	})
+	return innermost
+}
+
+func maptaintAssign(p *Pass, rs *ast.RangeStmt, as *ast.AssignStmt, lt *loopTaint) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		v := outerVar(p, rs, as.Lhs[0])
+		if v == nil || !isOrderSensitiveType(v.Type()) {
+			return
+		}
+		if lt.exprAt(as, as.Rhs[0]).any {
+			p.Reportf(as.Pos(), "%s accumulates an iteration-derived value over a map range; the result depends on iteration order (%s) — iterate sorted keys", v.Name(), orderWhy(v.Type()))
+		}
+		return
+	case token.ASSIGN:
+		// fall through to the overwrite/selection analysis
+	default:
+		return // := binds fresh per-iteration locals; other op= (&=, |=, ...) are order-independent
+	}
+
+	// Outer targets assigned a tainted value.
+	var outs []*types.Var
+	for i, lhs := range as.Lhs {
+		v := outerVar(p, rs, lhs)
+		if v == nil {
+			continue
+		}
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else {
+			rhs = as.Rhs[0]
+		}
+		if !lt.exprAt(as, rhs).any {
+			continue
+		}
+		// Accumulation spelled long-form: x = x + t.
+		if len(as.Lhs) == 1 && selfRef(p, rhs, v) {
+			if isOrderSensitiveType(v.Type()) {
+				p.Reportf(as.Pos(), "%s accumulates an iteration-derived value over a map range; the result depends on iteration order (%s) — iterate sorted keys", v.Name(), orderWhy(v.Type()))
+			}
+			return
+		}
+		outs = append(outs, v)
+	}
+	if len(outs) == 0 {
+		return
+	}
+
+	guard := guardOf(rs, as)
+	if guard == nil {
+		p.Reportf(as.Pos(), "%s is overwritten on every map iteration; the surviving value is whichever entry the runtime visits last — select deterministically or iterate sorted keys", outs[0].Name())
+		return
+	}
+	// Deterministic if the guard consults the iteration key (a
+	// tie-break), directly or through a key-derived variable.
+	keyBreak := false
+	inspectShallow(guard.Cond, func(x ast.Node) {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if v, ok := p.Info.Uses[id].(*types.Var); ok && lt.varAt(guard.Cond, v).key {
+			keyBreak = true
+		}
+	})
+	if keyBreak {
+		return
+	}
+	// A pure max/min: every assigned target is itself compared in the
+	// guard, so the surviving value is order-independent.
+	allCompared := true
+	for _, v := range outs {
+		if !selfRef(p, guard.Cond, v) {
+			allCompared = false
+		}
+	}
+	if allCompared {
+		return
+	}
+	p.Reportf(as.Pos(), "selection of %s depends on map iteration order: the guard compares iteration values with no key tie-break, so ties resolve randomly — add a deterministic tie-break on the key", outs[0].Name())
+}
+
+// orderWhy names the mechanism for the accumulation message.
+func orderWhy(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		return "concatenation order"
+	}
+	return "float rounding"
+}

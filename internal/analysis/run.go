@@ -8,13 +8,19 @@ import (
 	"strings"
 )
 
-// Schema identifies the -json output format of leodivide-lint.
-const Schema = "leodivide-lint/v1"
+// Schema identifies the -json output format of leodivide-lint. v2
+// added the per-rule engine list and the suppression count (the
+// ratchet input); see DESIGN.md §16.
+const Schema = "leodivide-lint/v2"
 
 // DefaultAnalyzers is the full rule suite, in catalog order
-// (DESIGN.md §11).
+// (DESIGN.md §11, §16): the five syntax rules from PR 5 followed by
+// the four dataflow rules.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{Detrand, Maporder, Floatcmp, Errdrop, Ctxfirst}
+	return []*Analyzer{
+		Detrand, Maporder, Floatcmp, Errdrop, Ctxfirst,
+		Lockbalance, Waitbalance, Goroutinecapture, Maptaint,
+	}
 }
 
 // Select returns the analyzers named in the comma-separated rules
@@ -53,13 +59,28 @@ func ruleNames(as []*Analyzer) string {
 // sorted by position. A non-nil error means the lint could not run
 // (unparseable or ill-typed code), not that findings exist.
 func Run(moduleDir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunWithStats(moduleDir, patterns, analyzers)
+	return diags, err
+}
+
+// Stats summarizes a lint run beyond its findings. Suppressions is the
+// number of well-formed `//lint:ignore` directives encountered in the
+// linted packages (testdata is never loaded, so golden fixtures don't
+// count) — the input to the suppression ratchet (make lint-ratchet).
+type Stats struct {
+	Suppressions int `json:"suppressions"`
+}
+
+// RunWithStats is Run plus the run's Stats.
+func RunWithStats(moduleDir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, Stats, error) {
+	var stats Stats
 	loader, err := NewLoader(moduleDir)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	paths, err := loader.Expand(patterns)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	enabled := map[string]bool{}
 	for _, a := range analyzers {
@@ -75,13 +96,14 @@ func Run(moduleDir string, patterns []string, analyzers []*Analyzer) ([]Diagnost
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
-			return nil, err
+			return nil, stats, err
 		}
 		diags = append(diags, RunPackage(pkg, loader, analyzers)...)
 		sups = append(sups, collectSuppressions(pkg, loader.Fset, known, func(d Diagnostic) {
 			diags = append(diags, d)
 		})...)
 	}
+	stats.Suppressions = len(sups)
 	diags = applySuppressions(diags, sups, enabled, loader.Fset)
 	for i := range diags {
 		if rel, err := filepath.Rel(moduleDir, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
@@ -89,13 +111,16 @@ func Run(moduleDir string, patterns []string, analyzers []*Analyzer) ([]Diagnost
 		}
 	}
 	sortDiagnostics(diags)
-	return diags, nil
+	return diags, stats, nil
 }
 
 // RunPackage applies the analyzers to one loaded package and returns
 // the raw (unsuppressed) diagnostics.
 func RunPackage(pkg *Package, loader *Loader, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	// One funcCache per package: the four dataflow rules share each
+	// function's CFG and reaching-defs solution instead of rebuilding.
+	funcs := &funcCache{}
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -105,23 +130,48 @@ func RunPackage(pkg *Package, loader *Loader, analyzers []*Analyzer) []Diagnosti
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			diags:    &diags,
+			funcs:    funcs,
 		}
 		a.Run(pass)
 	}
 	return diags
 }
 
+// RuleInfo names one rule and its engine class in the -json report.
+type RuleInfo struct {
+	Name   string `json:"name"`
+	Engine string `json:"engine"`
+}
+
 // Report is the machine-readable result envelope written by -json.
 type Report struct {
-	Schema      string       `json:"schema"`
-	Diagnostics []Diagnostic `json:"diagnostics"`
-	Count       int          `json:"count"`
+	Schema       string       `json:"schema"`
+	Rules        []RuleInfo   `json:"rules"`
+	Diagnostics  []Diagnostic `json:"diagnostics"`
+	Count        int          `json:"count"`
+	Suppressions int          `json:"suppressions"`
 }
 
 // WriteJSON writes the diagnostics as a Report in the stable
-// leodivide-lint/v1 schema.
-func WriteJSON(w io.Writer, diags []Diagnostic) error {
-	rep := Report{Schema: Schema, Diagnostics: diags, Count: len(diags)}
+// leodivide-lint/v2 schema: the rules that ran (with their engine
+// class), the surviving findings, and the suppression-directive count
+// feeding the ratchet.
+func WriteJSON(w io.Writer, diags []Diagnostic, analyzers []*Analyzer, stats Stats) error {
+	rules := make([]RuleInfo, len(analyzers))
+	for i, a := range analyzers {
+		engine := a.Engine
+		if engine == "" {
+			engine = EngineSyntax
+		}
+		rules[i] = RuleInfo{Name: a.Name, Engine: engine}
+	}
+	rep := Report{
+		Schema:       Schema,
+		Rules:        rules,
+		Diagnostics:  diags,
+		Count:        len(diags),
+		Suppressions: stats.Suppressions,
+	}
 	if rep.Diagnostics == nil {
 		rep.Diagnostics = []Diagnostic{}
 	}

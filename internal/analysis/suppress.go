@@ -20,7 +20,12 @@ type suppression struct {
 	rules  []string
 	reason string
 	pos    token.Pos
-	used   bool
+	// used tracks, per listed rule, whether that rule's name silenced a
+	// finding. A multi-rule directive is only fully used when every rule
+	// it names earned its keep; the stale names are reported
+	// individually. (A single shared bool here once let `//lint:ignore
+	// a,b ...` hide a stale `b` forever once `a` fired.)
+	used map[string]bool
 }
 
 const suppressPrefix = "//lint:ignore"
@@ -71,6 +76,7 @@ func collectSuppressions(pkg *Package, fset *token.FileSet, knownRules map[strin
 					rules:  rules,
 					reason: strings.Join(fields[1:], " "),
 					pos:    c.Pos(),
+					used:   map[string]bool{},
 				})
 			}
 		}
@@ -92,7 +98,7 @@ func applySuppressions(diags []Diagnostic, sups []*suppression, enabled map[stri
 			}
 			for _, r := range s.rules {
 				if r == d.Rule {
-					s.used = true
+					s.used[r] = true
 					suppressed = true
 				}
 			}
@@ -102,25 +108,23 @@ func applySuppressions(diags []Diagnostic, sups []*suppression, enabled map[stri
 		}
 	}
 	for _, s := range sups {
-		if s.used {
-			continue
-		}
-		// Only rules that actually ran can vouch for a suppression
-		// being stale; a filtered run (-rules) stays quiet.
-		ran := false
+		// Report each listed rule name that silenced nothing. Only rules
+		// that actually ran can vouch for a name being stale; a filtered
+		// run (-rules) stays quiet about the rest.
+		var stale []string
 		for _, r := range s.rules {
-			if enabled[r] {
-				ran = true
+			if enabled[r] && !s.used[r] {
+				stale = append(stale, r)
 			}
 		}
-		if !ran {
+		if len(stale) == 0 {
 			continue
 		}
 		pos := fset.Position(s.pos)
 		kept = append(kept, Diagnostic{
 			File: pos.Filename, Line: pos.Line, Col: pos.Column,
 			Rule:    "suppression",
-			Message: "unused lint:ignore for " + strings.Join(s.rules, ",") + ": no matching finding on this or the next line",
+			Message: "unused lint:ignore for " + strings.Join(stale, ",") + ": no matching finding on this or the next line",
 		})
 	}
 	return kept

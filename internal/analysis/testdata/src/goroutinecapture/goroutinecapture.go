@@ -1,0 +1,135 @@
+// Testdata for the goroutinecapture analyzer: concurrently-executed
+// closures must not write captured state unsynchronized (clause 1),
+// and go/defer closures in loops must take the iteration value as an
+// argument rather than capturing it (clause 2).
+package goroutinecapture
+
+import (
+	"context"
+	"sync"
+
+	"leodivide/internal/par"
+)
+
+func use(int) {}
+
+func sharedCounter(items []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for _, it := range items {
+		go func(v int) {
+			defer wg.Done()
+			total += v // want "go statement writes captured variable total without synchronization"
+		}(it)
+	}
+	wg.Wait()
+	return total
+}
+
+func lockedCounter(items []int) int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for _, it := range items {
+		go func(v int) {
+			defer wg.Done()
+			mu.Lock()
+			total += v // ok: the write sits inside a Lock..Unlock interval
+			mu.Unlock()
+		}(it)
+	}
+	wg.Wait()
+	return total
+}
+
+func mapWrite(items []string) map[string]bool {
+	seen := make(map[string]bool)
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for i := range items {
+		go func(v string) {
+			defer wg.Done()
+			seen[v] = true // want "go statement writes captured map seen without synchronization"
+		}(items[i])
+	}
+	wg.Wait()
+	return seen
+}
+
+func sliceSlots(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for i := range items {
+		go func(i int) {
+			defer wg.Done()
+			out[i] = items[i] * 2 // ok: disjoint per-task slot, the sanctioned result pattern
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func parWorkerWrite(ctx context.Context, items []int) (int, error) {
+	total := 0
+	err := par.ForEach(ctx, 4, len(items), func(i int) error {
+		total += items[i] // want "par.ForEach worker writes captured variable total without synchronization"
+		return nil
+	})
+	return total, err
+}
+
+func parWorkerSlots(ctx context.Context, items []int) ([]int, error) {
+	out := make([]int, len(items))
+	err := par.ForEach(ctx, 4, len(items), func(i int) error {
+		out[i] = items[i] * 2 // ok: per-task slot
+		return nil
+	})
+	return out, err
+}
+
+func loopVarGo(items []int) {
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for _, it := range items {
+		go func() {
+			defer wg.Done()
+			use(it) // want "go statement captures loop variable it; pass it as an argument"
+		}()
+	}
+	wg.Wait()
+}
+
+func loopVarDefer(items []int) {
+	for _, it := range items {
+		defer func() {
+			use(it) // want "deferred closure captures loop variable it; pass it as an argument"
+		}()
+	}
+}
+
+func loopVarAsArg(items []int) {
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for _, it := range items {
+		go func(v int) {
+			defer wg.Done()
+			use(v) // ok: the iteration value arrives as an argument
+		}(it)
+	}
+	wg.Wait()
+}
+
+func forLoopVar(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			use(i) // want "go statement captures loop variable i; pass it as an argument"
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,83 @@
+// Testdata for the lockbalance analyzer: every Lock/RLock must be
+// matched by its release on every control-flow path to the function
+// exit; a deferred release (direct or inside a deferred closure)
+// balances all paths at once.
+package lockbalance
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	vals map[string]int
+}
+
+func earlyReturnLeak(s *store, k string) (int, bool) {
+	s.mu.Lock() // want "s.mu.Lock is not matched by s.mu.Unlock on every path"
+	v, ok := s.vals[k]
+	if !ok {
+		return 0, false // this path leaves the lock held
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+func panicPathLeak(s *store, k string) int {
+	s.mu.Lock() // want "s.mu.Lock is not matched by s.mu.Unlock on every path"
+	v, ok := s.vals[k]
+	if !ok {
+		panic("missing key") // unwinds with the lock held
+	}
+	s.mu.Unlock()
+	return v
+}
+
+func readLockLeak(s *store, k string) int {
+	s.rw.RLock() // want "s.rw.RLock is not matched by s.rw.RUnlock on every path"
+	if v, ok := s.vals[k]; ok {
+		s.rw.RUnlock()
+		return v
+	}
+	return 0 // the miss path never releases the read lock
+}
+
+func deferBalanced(s *store, k string) int {
+	s.mu.Lock() // ok: deferred unlock covers every path
+	defer s.mu.Unlock()
+	return s.vals[k]
+}
+
+func straightLine(s *store, k string, v int) {
+	s.mu.Lock() // ok: released later in the same block
+	s.vals[k] = v
+	s.mu.Unlock()
+}
+
+func branchBalanced(s *store, k string) int {
+	s.mu.Lock() // ok: both branches release before returning
+	if v, ok := s.vals[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func deferredClosureUnlock(s *store, k string, v int) {
+	s.mu.Lock() // ok: the unlock lives inside a deferred closure
+	defer func() {
+		s.vals[k] = v
+		s.mu.Unlock()
+	}()
+}
+
+func twoLocks(s *store, other *sync.Mutex, k string) int {
+	other.Lock() // ok: this lock is balanced; only s.mu leaks below
+	defer other.Unlock()
+	s.mu.Lock() // want "s.mu.Lock is not matched by s.mu.Unlock on every path"
+	if v, ok := s.vals[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	return -1
+}

@@ -1,0 +1,101 @@
+// Testdata for the maptaint analyzer: values derived from map
+// iteration must not reach order-dependent sinks — float/string
+// accumulators, last-writer-wins overwrites, or guarded selections
+// with no deterministic key tie-break. Integer sums, pure max/min,
+// key-bucketed writes, and key tie-breaks all stay quiet.
+package maptaint
+
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "total accumulates an iteration-derived value over a map range"
+	}
+	return total
+}
+
+func sumInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // ok: integer addition commutes exactly
+	}
+	return n
+}
+
+func concatKeys(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out = out + k // want "out accumulates an iteration-derived value over a map range"
+	}
+	return out
+}
+
+func throughLocal(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		scaled := v * 0.5
+		total += scaled // want "total accumulates an iteration-derived value over a map range"
+	}
+	return total
+}
+
+func loopInvariantStep(m map[string]int) float64 {
+	total := 0.0
+	for range m {
+		total += 0.25 // ok: adds a loop-invariant amount per entry
+	}
+	return total
+}
+
+func lastWriter(m map[string]string) string {
+	var last string
+	for _, v := range m {
+		last = v // want "last is overwritten on every map iteration"
+	}
+	return last
+}
+
+func argmaxNoTieBreak(m map[string]int) string {
+	var bestKey string
+	best := -1
+	for k, n := range m {
+		if n > best {
+			bestKey, best = k, n // want "selection of bestKey depends on map iteration order"
+		}
+	}
+	return bestKey
+}
+
+func argmaxKeyTieBreak(m map[string]int) string {
+	var bestKey string
+	best := -1
+	for k, n := range m {
+		if n > best || (n == best && k < bestKey) {
+			bestKey, best = k, n // ok: the key tie-break makes ties deterministic
+		}
+	}
+	return bestKey
+}
+
+func pureMax(m map[string]int) int {
+	best := 0
+	for _, n := range m {
+		if n > best {
+			best = n // ok: a pure max is order-independent
+		}
+	}
+	return best
+}
+
+func bucketed(m map[string][]int, out map[string]int) {
+	for k, vs := range m {
+		out[k] = len(vs) // ok: keyed by the iteration key, order-independent
+	}
+}
+
+func counter(m map[string]bool) int {
+	n := 0
+	for range m {
+		n++ // ok: a count does not depend on visit order
+	}
+	return n
+}

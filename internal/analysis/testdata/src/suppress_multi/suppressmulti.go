@@ -1,0 +1,15 @@
+// Testdata for the multi-rule suppression edges: a directive naming
+// several rules suppresses only the rules it names, and each named
+// rule that silences nothing is reported stale individually — even
+// when a sibling rule on the same directive fired.
+package suppressmulti
+
+import "time"
+
+//lint:ignore detrand,floatcmp testdata: detrand fires here, floatcmp never does and must surface as stale
+func now() time.Time { return time.Now() }
+
+func mixed(f float64) bool {
+	//lint:ignore floatcmp testdata: only floatcmp is named; the detrand finding on the same line must survive
+	return float64(time.Now().Unix()) == f
+}

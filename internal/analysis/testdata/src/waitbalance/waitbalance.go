@@ -1,0 +1,90 @@
+// Testdata for the waitbalance analyzer: completion obligations must
+// hold on every path — Add before the goroutine (not inside it), a
+// Done/Wait on every path after an Add, and a published completion
+// channel closed in a defer so a panicking callee cannot strand its
+// waiters.
+package waitbalance
+
+import "sync"
+
+func addInsideGoroutine(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want "wg.Add inside the spawned goroutine races wg.Wait"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func addWithoutDone(jobs []func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(jobs)) // want "wg.Add has a path to the function exit with no wg.Done or wg.Wait"
+	for _, j := range jobs {
+		go j()
+	}
+}
+
+func addThenWait(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1) // ok: wg.Wait sits on every path to the exit
+		go func(run func()) {
+			defer wg.Done()
+			run()
+		}(j)
+	}
+	wg.Wait()
+}
+
+func addParamGroup(wg *sync.WaitGroup) {
+	wg.Add(1) // ok: a parameter group's balance is the caller's contract
+}
+
+// result is the singleflight shape: done is the completion channel
+// followers wait on.
+type result struct {
+	done chan struct{}
+	val  int
+}
+
+type flightMap struct {
+	mu     sync.Mutex
+	flight map[string]*result
+}
+
+func (m *flightMap) leaderUnsafe(key string, fill func() int) int {
+	r := &result{done: make(chan struct{})}
+	m.mu.Lock()
+	m.flight[key] = r
+	m.mu.Unlock()
+	r.val = fill() // want "a panic in fill"
+	m.mu.Lock()
+	delete(m.flight, key)
+	m.mu.Unlock()
+	close(r.done)
+	return r.val
+}
+
+func (m *flightMap) leaderSafe(key string, fill func() int) int {
+	r := &result{done: make(chan struct{})}
+	m.mu.Lock()
+	m.flight[key] = r
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.flight, key)
+		m.mu.Unlock()
+		close(r.done)
+	}()
+	r.val = fill() // ok: the deferred cleanup closes done even on panic
+	return r.val
+}
+
+func unpublishedClose(work func() int) int {
+	done := make(chan struct{})
+	v := work() // ok: done was never published, nobody else can wait on it
+	close(done)
+	return v
+}

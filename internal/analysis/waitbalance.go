@@ -1,0 +1,344 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Waitbalance checks completion obligations: once code promises "a
+// waiter will be released", every control-flow path must keep the
+// promise, or the waiter hangs forever. Three clauses:
+//
+//  1. sync.WaitGroup.Add inside the spawned goroutine itself — the
+//     classic race where Wait can run before any Add lands, returning
+//     immediately with workers still starting.
+//  2. A WaitGroup.Add on a path with no Done or Wait before the
+//     function exit (and no deferred Done/Wait). Add-heavy early
+//     returns leave the counter permanently positive; a later Wait
+//     anywhere deadlocks. Parameter WaitGroups are exempt — their
+//     balance is the caller's contract.
+//  3. The singleflight shape: a value holding a completion channel is
+//     published into a shared map or field, then a caller-supplied
+//     function value is invoked, then the channel is closed — with the
+//     close NOT in a defer. If the supplied function panics, the close
+//     never runs and the published entry strands every follower that
+//     waits on it (and poisons the key for all future callers). The
+//     callee is a function-typed variable, so no static analysis can
+//     prove it returns; the only safe close is a deferred one.
+var Waitbalance = &Analyzer{
+	Name: "waitbalance",
+	Doc: "unbalanced completion obligations: WaitGroup.Add inside the spawned goroutine, Add " +
+		"without Done/Wait on some path, or a published completion channel whose close is " +
+		"skipped if a caller-supplied function panics (close it in a defer)",
+	Engine: EngineDataflow,
+	Run:    waitbalanceRun,
+}
+
+func waitbalanceRun(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				waitbalanceFunc(p, n)
+			}
+			return true
+		})
+	}
+}
+
+func waitbalanceFunc(p *Pass, fn ast.Node) {
+	cfg := p.CFG(fn)
+	waitbalanceAddInGoroutine(p, cfg)
+	waitbalanceAddPaths(p, cfg)
+	waitbalancePublishClose(p, cfg)
+}
+
+// waitbalanceAddInGoroutine flags wg.Add calls inside a go'd closure
+// when wg is captured from outside it (clause 1).
+func waitbalanceAddInGoroutine(p *Pass, cfg *CFG) {
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				continue
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			ast.Inspect(lit.Body, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				recv, method, ok := syncCallMethod(p, call)
+				if !ok || method != "Add" {
+					return true
+				}
+				// Only WaitGroups captured from the spawning function: a
+				// group declared inside the goroutine is its own business.
+				if base := baseIdentObj(p, call.Fun.(*ast.SelectorExpr).X); base != nil && within(base.Pos(), lit) {
+					return true
+				}
+				p.Reportf(call.Pos(), "%s.Add inside the spawned goroutine races %s.Wait (Wait may run before Add); call Add before the go statement", recv, recv)
+				return true
+			})
+		}
+	}
+}
+
+// baseIdentObj resolves the leftmost identifier of a selector chain
+// (m.mu → m, wg → wg) to its object, or nil.
+func baseIdentObj(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return p.Info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isParam reports whether obj is a parameter (or receiver) of the
+// function owning the CFG.
+func isParam(cfg *CFG, obj types.Object) bool {
+	var ftype *ast.FuncType
+	var recv *ast.FieldList
+	switch f := cfg.Fn.(type) {
+	case *ast.FuncDecl:
+		ftype, recv = f.Type, f.Recv
+	case *ast.FuncLit:
+		ftype = f.Type
+	}
+	inList := func(fl *ast.FieldList) bool {
+		return fl != nil && within(obj.Pos(), fl)
+	}
+	return inList(recv) || (ftype != nil && inList(ftype.Params))
+}
+
+// waitbalanceAddPaths flags wg.Add statements with a path to exit that
+// passes no Done/Wait on the same group (clause 2).
+func waitbalanceAddPaths(p *Pass, cfg *CFG) {
+	deferred := deferredSyncCalls(p, cfg)
+	for _, blk := range cfg.Blocks {
+		for pos, n := range blk.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			recv, method, ok := syncCallMethod(p, call)
+			if !ok || method != "Add" {
+				continue
+			}
+			if base := baseIdentObj(p, call.Fun.(*ast.SelectorExpr).X); base == nil || isParam(cfg, base) {
+				// Parameter groups: balance is the caller's contract. A
+				// non-ident base (method value chains) is skipped too.
+				continue
+			}
+			if deferred[[2]string{recv, "Done"}] || deferred[[2]string{recv, "Wait"}] {
+				continue
+			}
+			balances := func(node ast.Node) bool {
+				return stmtCallsSync(p, node, recv, "Done") || stmtCallsSync(p, node, recv, "Wait")
+			}
+			settled := false
+			for _, later := range blk.Nodes[pos+1:] {
+				if balances(later) {
+					settled = true
+					break
+				}
+			}
+			if settled {
+				continue
+			}
+			leak := cfg.PathExistsAvoiding(blk.Succs, cfg.Exit, func(b *Block) bool {
+				for _, bn := range b.Nodes {
+					if balances(bn) {
+						return true
+					}
+				}
+				return false
+			})
+			if leak {
+				p.Reportf(call.Pos(), "%s.Add has a path to the function exit with no %s.Done or %s.Wait; a later Wait would deadlock", recv, recv, recv)
+			}
+		}
+	}
+}
+
+// funcValueCall returns the called identifier when the statement node
+// contains a call through a function-typed variable (a parameter or
+// local like `fill` / `compute`) — a callee the analyzer cannot see
+// into and must assume can panic. Calls to declared functions and
+// methods don't count; neither do calls inside nested closures.
+func funcValueCall(p *Pass, n ast.Node) *ast.Ident {
+	var found *ast.Ident
+	inspectShallow(n, func(x ast.Node) {
+		call, ok := x.(*ast.CallExpr)
+		if !ok || found != nil {
+			return
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := p.Info.ObjectOf(id).(*types.Var)
+		if !ok {
+			return
+		}
+		if _, isSig := v.Type().Underlying().(*types.Signature); isSig {
+			found = id
+		}
+	})
+	return found
+}
+
+// closeTarget returns the closed expression when the statement node is
+// a statement-level `close(x)` call, else nil.
+func closeTarget(n ast.Node) ast.Expr {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "close" {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// publishes reports whether the statement node stores var v into a
+// shared location: an assignment whose LHS is an index or selector
+// expression and whose RHS mentions v.
+func publishes(p *Pass, n ast.Node, v types.Object) bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	shared := false
+	for _, lhs := range as.Lhs {
+		switch lhs.(type) {
+		case *ast.IndexExpr, *ast.SelectorExpr:
+			shared = true
+		}
+	}
+	if !shared {
+		return false
+	}
+	mentions := false
+	for _, rhs := range as.Rhs {
+		inspectShallow(rhs, func(x ast.Node) {
+			if id, ok := x.(*ast.Ident); ok && p.Info.ObjectOf(id) == v {
+				mentions = true
+			}
+		})
+	}
+	return mentions
+}
+
+// reachesNode reports whether control can flow from node A to node B
+// (both on the CFG): same block with A strictly before B, or a path
+// from A's block successors to B's block.
+func reachesNode(cfg *CFG, a, b ast.Node) bool {
+	ba, ia := cfg.BlockOf(a)
+	bb, ib := cfg.BlockOf(b)
+	if ba == nil || bb == nil {
+		return false
+	}
+	if ba == bb {
+		return ia < ib
+	}
+	return cfg.PathExistsAvoiding(ba.Succs, bb, nil)
+}
+
+// waitbalancePublishClose implements clause 3. For each statement-level
+// non-deferred close(x) whose base variable was published into a map or
+// field earlier on the path, with a call through a function-typed
+// variable between publish and close: a panic in that call skips the
+// close and strands the published waiters.
+func waitbalancePublishClose(p *Pass, cfg *CFG) {
+	// Deferred closes discharge the obligation for their expression.
+	deferredClose := map[string]bool{}
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			d, ok := n.(*ast.DeferStmt)
+			if !ok {
+				continue
+			}
+			ast.Inspect(d, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" {
+					deferredClose[types.ExprString(call.Args[0])] = true
+				}
+				return true
+			})
+		}
+	}
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			target := closeTarget(n)
+			if target == nil {
+				continue
+			}
+			if deferredClose[types.ExprString(target)] {
+				continue
+			}
+			base := baseIdentObj(p, target)
+			if base == nil {
+				continue
+			}
+			v, ok := base.(*types.Var)
+			if !ok {
+				continue
+			}
+			// Find a publish of v and a risky call strictly between the
+			// publish and the close; report once per close.
+			if id := publishCloseRisk(p, cfg, v, n); id != nil {
+				p.Reportf(id.Pos(), "a panic in %s() would skip close(%s): %s is already published and its waiters would block forever; run the delete/close cleanup in a defer",
+					id.Name, types.ExprString(target), v.Name())
+			}
+		}
+	}
+}
+
+// publishCloseRisk returns the function-value callee identifier sitting
+// between a publish of v and the close statement closeStmt on some
+// path, or nil when no such window exists.
+func publishCloseRisk(p *Pass, cfg *CFG, v *types.Var, closeStmt ast.Node) *ast.Ident {
+	for _, pb := range cfg.Blocks {
+		for _, pn := range pb.Nodes {
+			if !publishes(p, pn, v) || !reachesNode(cfg, pn, closeStmt) {
+				continue
+			}
+			for _, rb := range cfg.Blocks {
+				for _, rn := range rb.Nodes {
+					id := funcValueCall(p, rn)
+					if id == nil {
+						continue
+					}
+					if reachesNode(cfg, pn, rn) && reachesNode(cfg, rn, closeStmt) {
+						return id
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

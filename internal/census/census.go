@@ -126,7 +126,6 @@ func NewTable(records []CountyIncome) *Table {
 	t.ordered = make([]CountyIncome, len(records))
 	copy(t.ordered, records)
 	sort.Slice(t.ordered, func(i, j int) bool {
-		//lint:ignore floatcmp sort tie-break: exact inequality on ingested (validated, non-NaN) incomes yields a deterministic order
 		if t.ordered[i].MedianHouseholdIncomeUSD != t.ordered[j].MedianHouseholdIncomeUSD {
 			return t.ordered[i].MedianHouseholdIncomeUSD < t.ordered[j].MedianHouseholdIncomeUSD
 		}
@@ -178,7 +177,6 @@ func AssignIncomes(weights []CountyWeight, anchors []QuantileAnchor) (*Table, er
 	ws := make([]CountyWeight, len(weights))
 	copy(ws, weights)
 	sort.Slice(ws, func(i, j int) bool {
-		//lint:ignore floatcmp sort tie-break: exact inequality on computed ranks is deterministic given bit-identical inputs, which the rest of this suite enforces
 		if ws[i].PovertyRank != ws[j].PovertyRank {
 			return ws[i].PovertyRank < ws[j].PovertyRank
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -90,10 +91,14 @@ var newModelCache = func() (any, error) {
 
 // modelCacheOf returns the dataset's model cache, creating it on first
 // use. With a nil stage memo (zero-value Distribution) every call
-// returns a fresh cache: correct, just unmemoized.
+// returns a fresh cache: correct, just unmemoized. newModelCache is
+// infallible, so the only error Do can surface is a coalesced leader's
+// panic — re-panicking is the honest translation of that state.
 func modelCacheOf(d *demand.Distribution) *modelCache {
-	//lint:ignore errdrop newModelCache is infallible and stage.Memo.Do only propagates the compute error, which is nil by construction
-	v, _ := d.Stages().Do(modelCacheKey, newModelCache)
+	v, err := d.Stages().Do(modelCacheKey, newModelCache)
+	if err != nil {
+		panic(fmt.Sprintf("core: model-cache stage failed: %v", err))
+	}
 	return v.(*modelCache)
 }
 

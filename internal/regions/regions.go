@@ -160,7 +160,6 @@ func TopStressed(profiles []StateProfile, n int) []StateProfile {
 	sorted := make([]StateProfile, len(profiles))
 	copy(sorted, profiles)
 	sort.Slice(sorted, func(i, j int) bool {
-		//lint:ignore floatcmp sort tie-break: exact inequality orders bit-identical computed values deterministically; ties fall through to Abbr
 		if sorted[i].RequiredOversub != sorted[j].RequiredOversub {
 			return sorted[i].RequiredOversub > sorted[j].RequiredOversub
 		}

@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
 )
 
@@ -111,17 +112,34 @@ func (m *memo) get(ctx context.Context, key string, fill func() ([]byte, error))
 	m.flight[key] = c
 	m.mu.Unlock()
 
+	// The flight entry is already published: if fill panics, the
+	// cleanup below must still run or every future get of this key
+	// would block on done forever. The deferred form removes the
+	// entry, marks the panic for coalesced waiters, and closes done
+	// no matter how fill returns; the panic itself keeps unwinding
+	// into the leader's caller.
+	completed := false
+	defer func() {
+		if !completed {
+			c.err = errFillPanicked
+		}
+		m.mu.Lock()
+		delete(m.flight, key)
+		if completed && c.err == nil {
+			m.add(key, c.val)
+		}
+		m.mu.Unlock()
+		close(c.done)
+	}()
 	c.val, c.err = fill()
-
-	m.mu.Lock()
-	delete(m.flight, key)
-	if c.err == nil {
-		m.add(key, c.val)
-	}
-	m.mu.Unlock()
-	close(c.done)
+	completed = true
 	return c.val, StatusMiss, c.err
 }
+
+// errFillPanicked is what coalesced waiters observe when the leader's
+// fill panicked: their flight is abandoned, not wedged, and a retry
+// will run a fresh fill.
+var errFillPanicked = errors.New("serve: fill panicked in a coalesced leader")
 
 // entrySize is the accounted footprint of one cached entry. Key and
 // value both count: canonical keys are short, but the accounting should

@@ -234,3 +234,70 @@ func TestMemoFollowerHonorsOwnContext(t *testing.T) {
 	}
 	close(release)
 }
+
+// TestMemoPanickingFillDoesNotWedgeKey is the regression test for the
+// singleflight panic hole the waitbalance lint rule found: the leader
+// published its flight entry, then ran fill without a deferred
+// cleanup, so a panicking fill left the done channel open forever and
+// every later get of the key blocked on it. The fixed get must (a) let
+// the panic keep unwinding through the leader, (b) release a coalesced
+// follower with an error rather than a hang, and (c) leave the key
+// workable so a retry runs a fresh fill.
+func TestMemoPanickingFillDoesNotWedgeKey(t *testing.T) {
+	m := newMemo(8, 0)
+	ctx := context.Background()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan any, 1)
+	go func() {
+		defer func() { leaderDone <- recover() }()
+		//lint:ignore errdrop test leader; the panic is the outcome under test
+		m.get(ctx, "k", func() ([]byte, error) {
+			close(entered)
+			<-release
+			panic("fill exploded")
+		})
+	}()
+
+	// Grab the published flight entry while the fill is in progress —
+	// this is exactly the call a coalesced follower would wait on.
+	<-entered
+	m.mu.Lock()
+	c := m.flight["k"]
+	m.mu.Unlock()
+	if c == nil {
+		t.Fatal("no flight entry published while fill is running")
+	}
+	close(release)
+
+	if recovered := <-leaderDone; recovered != "fill exploded" {
+		t.Fatalf("leader recover() = %v; the panic must keep unwinding through the leader", recovered)
+	}
+	// A waiting follower must have been released with an error, not
+	// stranded on an open channel.
+	select {
+	case <-c.done:
+	default:
+		t.Fatal("flight done channel still open after the panicking fill; followers would block forever")
+	}
+	if c.err == nil {
+		t.Fatal("panicked flight carries err = nil; followers would mistake it for success")
+	}
+	m.mu.Lock()
+	_, stillInFlight := m.flight["k"]
+	m.mu.Unlock()
+	if stillInFlight {
+		t.Fatal("flight entry survived the panic; the key is wedged for future callers")
+	}
+
+	// The key must not be wedged or poisoned: a fresh get runs a fresh
+	// fill and caches normally.
+	val, st, err := m.get(ctx, "k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(val) != "ok" || st != StatusMiss {
+		t.Fatalf("retry after panic = (%q, %v, %v), want (ok, miss, nil)", val, st, err)
+	}
+	if _, st, _ := m.get(ctx, "k", nil); st != StatusHit {
+		t.Fatalf("second retry status = %v, want hit", st)
+	}
+}

@@ -24,6 +24,8 @@ package stage
 
 import (
 	"container/list"
+	"errors"
+	"fmt"
 	"sync"
 )
 
@@ -101,17 +103,32 @@ func (m *Memo) Do(key string, compute func() (any, error)) (any, error) {
 	m.misses++
 	m.mu.Unlock()
 
+	// The flight entry is already published, so the cleanup must
+	// survive a panicking compute: otherwise the key's done channel
+	// never closes and every later Do of that key blocks forever.
+	// Coalesced waiters of a panicked round get ErrComputePanicked;
+	// the panic itself keeps unwinding through the leader.
+	completed := false
+	defer func() {
+		if !completed {
+			f.err = ErrComputePanicked
+		}
+		m.mu.Lock()
+		delete(m.flight, key)
+		if completed && f.err == nil {
+			m.add(key, f.val)
+		}
+		m.mu.Unlock()
+		close(f.done)
+	}()
 	f.val, f.err = compute()
-
-	m.mu.Lock()
-	delete(m.flight, key)
-	if f.err == nil {
-		m.add(key, f.val)
-	}
-	m.mu.Unlock()
-	close(f.done)
+	completed = true
 	return f.val, f.err
 }
+
+// ErrComputePanicked is returned to coalesced callers whose leader's
+// compute panicked. Nothing is cached; a retry runs a fresh compute.
+var ErrComputePanicked = errors.New("stage: compute panicked in the coalescing leader")
 
 // add inserts under m.mu, evicting least recently used entries past the
 // bound.
@@ -160,9 +177,13 @@ func Get[T any](m *Memo, key string, compute func() (T, error)) (T, error) {
 	return v.(T), nil
 }
 
-// Cached memoizes an infallible typed compute under key.
+// Cached memoizes an infallible typed compute under key. Do can still
+// surface an error — a coalesced leader's compute may panic — and with
+// no error channel to the caller, the only honest move is to re-panic.
 func Cached[T any](m *Memo, key string, compute func() T) T {
-	//lint:ignore errdrop compute is infallible and Do only propagates compute's error, which is nil by construction here
-	v, _ := m.Do(key, func() (any, error) { return compute(), nil })
+	v, err := m.Do(key, func() (any, error) { return compute(), nil })
+	if err != nil {
+		panic(fmt.Sprintf("stage: infallible compute for %q failed: %v", key, err))
+	}
 	return v.(T)
 }

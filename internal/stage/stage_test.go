@@ -198,3 +198,64 @@ func TestNewDefaultBound(t *testing.T) {
 		t.Fatalf("New(0) bound = %d, want %d", m.max, DefaultEntries)
 	}
 }
+
+// TestDoPanickingComputeDoesNotWedgeKey is the regression test for the
+// same singleflight panic hole serve's memo had: Do published the
+// flight entry before running compute, and a panicking compute skipped
+// the cleanup — the done channel stayed open forever and every later
+// Do of that key hung. The fixed Do re-panics through the leader,
+// releases waiters with ErrComputePanicked, and leaves the key
+// workable for a retry.
+func TestDoPanickingComputeDoesNotWedgeKey(t *testing.T) {
+	m := New(4)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan any, 1)
+	go func() {
+		defer func() { leaderDone <- recover() }()
+		//lint:ignore errdrop test leader; the panic is the outcome under test
+		m.Do("k", func() (any, error) {
+			close(entered)
+			<-release
+			panic("compute exploded")
+		})
+	}()
+
+	// The published flight entry is what a coalesced waiter blocks on.
+	<-entered
+	m.mu.Lock()
+	f := m.flight["k"]
+	m.mu.Unlock()
+	if f == nil {
+		t.Fatal("no flight entry published while compute is running")
+	}
+	close(release)
+
+	if recovered := <-leaderDone; recovered != "compute exploded" {
+		t.Fatalf("leader recover() = %v; the panic must keep unwinding through the leader", recovered)
+	}
+	select {
+	case <-f.done:
+	default:
+		t.Fatal("flight done channel still open after the panicking compute; waiters would block forever")
+	}
+	if !errors.Is(f.err, ErrComputePanicked) {
+		t.Fatalf("panicked flight err = %v, want ErrComputePanicked", f.err)
+	}
+	m.mu.Lock()
+	_, stillInFlight := m.flight["k"]
+	m.mu.Unlock()
+	if stillInFlight {
+		t.Fatal("flight entry survived the panic; the key is wedged for future callers")
+	}
+
+	// Nothing cached, key not poisoned: a retry computes fresh.
+	v, err := m.Do("k", func() (any, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("retry after panic = (%v, %v), want (42, nil)", v, err)
+	}
+	if hits, misses, _, _ := m.Counters(); hits != 0 || misses != 2 {
+		t.Fatalf("counters after panic+retry = hits %d misses %d, want 0 and 2", hits, misses)
+	}
+}
